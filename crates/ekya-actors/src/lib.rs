@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # ekya-actors — actor runtime substrate for the Ekya reproduction
+//!
+//! The paper implements Ekya's modules — scheduler, micro-profiler and
+//! per-stream training/inference jobs — as long-running Ray actors (§5).
+//! This crate is the dependency-light Rust stand-in: typed mailboxes over
+//! crossbeam channels on OS threads (CPU-bound work does not belong on an
+//! async runtime), `ask`/`tell` messaging, request queueing while an
+//! actor is busy (the §5 model-reload behaviour), and supervised restart
+//! on panic (the §5 "failure recovery").
+//!
+//! Implemented: typed actors, blocking ask, ordered mailboxes, panic
+//! supervision with state rebuild, named registries with coordinated
+//! shutdown. Omitted: distribution across machines, actor migration,
+//! backpressure-bounded mailboxes — none are needed for a single edge
+//! server.
+
+pub mod actor;
+pub mod supervisor;
+pub mod system;
+
+pub use actor::{spawn, Actor, ActorError, ActorHandle, Address};
+pub use supervisor::{spawn_supervised, SupervisedHandle, SupervisorStats};
+pub use system::ActorSystem;

@@ -1,0 +1,138 @@
+//! Actor system: named registry with coordinated shutdown.
+//!
+//! Ekya's modules (scheduler, micro-profiler, per-stream training and
+//! inference jobs) are "a collection of logically distributed modules …
+//! implemented by a long-running actor" (§5). The [`ActorSystem`] is the
+//! registry that owns their lifecycles and shuts them down together.
+
+use crate::actor::{spawn, Actor, ActorError, ActorHandle};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A registry owning a set of same-typed actors, addressable by name.
+///
+/// Heterogeneous deployments hold one system per actor type (the typed
+/// mailboxes are the point — no `Any`-casting message bags).
+pub struct ActorSystem<A: Actor> {
+    actors: Vec<(String, ActorHandle<A>)>,
+    stopped: Arc<Mutex<bool>>,
+}
+
+impl<A: Actor> Default for ActorSystem<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Actor> ActorSystem<A> {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self { actors: Vec::new(), stopped: Arc::new(Mutex::new(false)) }
+    }
+
+    /// Spawns an actor under `name`. Names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — configuration bugs should fail fast.
+    pub fn spawn(&mut self, name: impl Into<String>, actor: A) -> &ActorHandle<A> {
+        let name = name.into();
+        assert!(
+            self.actors.iter().all(|(n, _)| *n != name),
+            "duplicate actor name: {name}"
+        );
+        let handle = spawn(name.clone(), actor);
+        self.actors.push((name, handle));
+        &self.actors.last().expect("just pushed").1
+    }
+
+    /// Looks up an actor by name.
+    pub fn get(&self, name: &str) -> Option<&ActorHandle<A>> {
+        self.actors.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Sends `msg` to the named actor (convenience).
+    pub fn tell(&self, name: &str, msg: A::Msg) -> Result<(), ActorError> {
+        self.get(name).ok_or(ActorError::Stopped)?.tell(msg)
+    }
+
+    /// Asks the named actor (convenience).
+    pub fn ask(&self, name: &str, msg: A::Msg) -> Result<A::Reply, ActorError> {
+        self.get(name).ok_or(ActorError::Stopped)?.ask(msg)
+    }
+
+    /// Number of registered actors.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True when no actors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// All registered names, in spawn order.
+    pub fn names(&self) -> Vec<&str> {
+        self.actors.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Graceful shutdown: every actor drains its mailbox and its thread
+    /// is joined.
+    pub fn shutdown(mut self) {
+        *self.stopped.lock() = true;
+        for (_, handle) in self.actors.drain(..) {
+            handle.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl Actor for Echo {
+        type Msg = String;
+        type Reply = String;
+
+        fn handle(&mut self, msg: String) -> String {
+            format!("echo:{msg}")
+        }
+    }
+
+    #[test]
+    fn spawn_and_route_by_name() {
+        let mut sys: ActorSystem<Echo> = ActorSystem::new();
+        sys.spawn("a", Echo);
+        sys.spawn("b", Echo);
+        assert_eq!(sys.len(), 2);
+        assert_eq!(sys.names(), vec!["a", "b"]);
+        assert_eq!(sys.ask("a", "hi".into()).unwrap(), "echo:hi");
+        assert_eq!(sys.ask("b", "yo".into()).unwrap(), "echo:yo");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let sys: ActorSystem<Echo> = ActorSystem::new();
+        assert_eq!(sys.ask("ghost", "hi".into()), Err(ActorError::Stopped));
+        assert!(sys.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate actor name")]
+    fn duplicate_names_panic() {
+        let mut sys: ActorSystem<Echo> = ActorSystem::new();
+        sys.spawn("a", Echo);
+        sys.spawn("a", Echo);
+    }
+
+    #[test]
+    fn shutdown_joins_all() {
+        let mut sys: ActorSystem<Echo> = ActorSystem::new();
+        for i in 0..8 {
+            sys.spawn(format!("worker-{i}"), Echo);
+        }
+        sys.shutdown(); // must not hang
+    }
+}

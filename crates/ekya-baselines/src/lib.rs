@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ekya-baselines — the paper's comparison points
+//!
+//! Every scheduler and alternative design Ekya is evaluated against:
+//!
+//! * [`uniform`] — the uniform scheduler (§6.1): fixed retraining
+//!   configuration + static inference/training partition, with hold-out
+//!   Pareto selection of Config 1 / Config 2;
+//! * [`ablations`] — `Ekya-FixedRes` and `Ekya-FixedConfig` (Fig 8);
+//! * [`cloud`] — cloud-offload retraining over constrained links
+//!   (Table 4);
+//! * [`model_cache`] — cached-model reuse by nearest class distribution
+//!   (§6.5);
+//! * [`oneshot`] — the one-shot training options of the motivation
+//!   experiment (Fig 2b);
+//! * [`oracle`] — the exact accuracy-optimal scheduler (Fig 4) via the
+//!   knapsack DP.
+
+pub mod ablations;
+pub mod cloud;
+pub mod model_cache;
+pub mod oneshot;
+pub mod oracle;
+pub mod uniform;
+
+pub use ablations::{EkyaFixedConfig, EkyaFixedRes};
+pub use cloud::{run_cloud_retraining, CloudRunConfig};
+pub use model_cache::run_model_cache;
+pub use oneshot::{run_fig2b, Fig2bResult};
+pub use oracle::OraclePolicy;
+pub use uniform::{holdout_configs, UniformPolicy};

@@ -1,0 +1,107 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! allocation quantisation for placement, estimator checkpoint modelling,
+//! reallocate-on-completion vs static windows, and end-to-end window cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ekya_core::{
+    estimate_window, EstimateParams, InferenceConfig, InferenceProfile, RetrainWork,
+};
+use ekya_nn::fit::LearningCurve;
+use ekya_sim::{quantize_inv_pow2, run_windows, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use std::hint::black_box;
+
+fn bench_estimator(c: &mut Criterion) {
+    let curve = LearningCurve { a: 1.0, b: 2.0, c: 0.9 };
+    let work = RetrainWork {
+        curve: &curve,
+        k_total: 10.0,
+        k_done: 0.0,
+        gpu_seconds_remaining: 60.0,
+    };
+    let infer = InferenceProfile {
+        config: InferenceConfig { frame_sampling: 0.5, resolution: 1.0 },
+        accuracy_factor: 0.9,
+        gpu_demand: 0.12,
+    };
+
+    // Checkpoint-aware integration vs plain two-phase: the §5 design
+    // choice of hot-swapping checkpoints costs estimator time; measure it.
+    c.bench_function("estimate_plain", |b| {
+        let params = EstimateParams { a_min: 0.4, checkpoint_every_k: None };
+        b.iter(|| {
+            black_box(estimate_window(
+                Some(&work),
+                0.5,
+                &infer,
+                None,
+                0.5,
+                0.5,
+                200.0,
+                &params,
+            ))
+        })
+    });
+    c.bench_function("estimate_checkpointed", |b| {
+        let params = EstimateParams { a_min: 0.4, checkpoint_every_k: Some(1.0) };
+        b.iter(|| {
+            black_box(estimate_window(
+                Some(&work),
+                0.5,
+                &infer,
+                None,
+                0.5,
+                0.5,
+                200.0,
+                &params,
+            ))
+        })
+    });
+
+    c.bench_function("quantize_inv_pow2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += quantize_inv_pow2(black_box(i as f64 * 0.033));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // One full mechanistic window under Ekya: labelling, micro-profiling,
+    // thief scheduling, real SGD, checkpoint swaps. This is the unit of
+    // the paper's evaluation, so its wall cost bounds every sweep.
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 2, 5);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("ekya_window_2streams", |b| {
+        b.iter(|| {
+            let mut policy =
+                ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
+            let cfg = RunnerConfig { total_gpus: 1.0, seed: 5, ..RunnerConfig::default() };
+            black_box(run_windows(&mut policy, &streams, &cfg, 1))
+        })
+    });
+    // Ablation: §4.2's "reallocate only on completion" vs disabling the
+    // mid-window adaptation machinery entirely.
+    group.bench_function("ekya_window_no_adapt", |b| {
+        b.iter(|| {
+            let mut policy =
+                ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
+            let cfg = RunnerConfig {
+                total_gpus: 1.0,
+                seed: 5,
+                adapt_estimates: false,
+                checkpoint_every_epochs: None,
+                ..RunnerConfig::default()
+            };
+            black_box(run_windows(&mut policy, &streams, &cfg, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the thief scheduler (§6.3).
+//!
+//! The paper reports the thief scheduler deciding for 10 video streams,
+//! 8 GPUs and 18 configurations per model in 9.4 seconds (Python). These
+//! benches measure the Rust implementation on the same problem shape and
+//! its scaling in streams, GPUs, and the stealing quantum Δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ekya_core::{
+    default_inference_grid, optimal_schedule, thief_schedule, RetrainConfig, RetrainProfile,
+    SchedulerParams, StreamInput,
+};
+use ekya_nn::cost::CostModel;
+use ekya_nn::fit::LearningCurve;
+use ekya_video::StreamId;
+use std::hint::black_box;
+
+/// Synthetic but realistic profile set: 18 configurations spanning the
+/// Fig 3b cost/accuracy ranges.
+fn retrain_profiles(seed: u64) -> Vec<RetrainProfile> {
+    let mut out = Vec::new();
+    let mut x = seed;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for epochs in [3u32, 10, 30] {
+        for frac in [0.1f64, 0.3, 1.0] {
+            for layers in [1u32, 3] {
+                let asymptote = 0.6 + 0.35 * next();
+                out.push(RetrainProfile {
+                    config: RetrainConfig {
+                        epochs,
+                        batch_size: 32,
+                        last_layer_neurons: 16,
+                        layers_trained: layers,
+                        data_fraction: frac,
+                    },
+                    curve: LearningCurve { a: 1.0, b: 2.0, c: asymptote },
+                    gpu_seconds_per_epoch: (0.5 + 2.0 * next())
+                        * frac
+                        * if layers == 3 { 3.0 } else { 1.2 },
+                });
+            }
+        }
+    }
+    out
+}
+
+fn bench_thief(c: &mut Criterion) {
+    let infer =
+        ekya_core::build_inference_profiles(&CostModel::default(), 1.0, 30.0, &default_inference_grid());
+
+    let mut group = c.benchmark_group("thief_scheduler");
+    for &(streams, gpus) in &[(2usize, 1.0f64), (4, 2.0), (10, 8.0), (20, 8.0)] {
+        let profiles: Vec<Vec<RetrainProfile>> =
+            (0..streams).map(|s| retrain_profiles(s as u64)).collect();
+        let inputs: Vec<StreamInput> = (0..streams)
+            .map(|s| StreamInput {
+                id: StreamId(s as u32),
+                serving_accuracy: 0.45 + 0.03 * s as f64,
+                retrain_profiles: &profiles[s],
+                infer_profiles: &infer,
+                in_progress: None,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("streams_gpus", format!("{streams}x{gpus}")),
+            &(streams, gpus),
+            |b, _| {
+                let params = SchedulerParams::new(gpus);
+                b.iter(|| black_box(thief_schedule(&inputs, 200.0, &params)));
+            },
+        );
+    }
+    group.finish();
+
+    // Δ sensitivity: the Fig 10 runtime axis.
+    let profiles: Vec<Vec<RetrainProfile>> = (0..10).map(|s| retrain_profiles(s as u64)).collect();
+    let inputs: Vec<StreamInput> = (0..10)
+        .map(|s| StreamInput {
+            id: StreamId(s as u32),
+            serving_accuracy: 0.5,
+            retrain_profiles: &profiles[s],
+            infer_profiles: &infer,
+            in_progress: None,
+        })
+        .collect();
+    let mut group = c.benchmark_group("thief_delta");
+    for &delta in &[0.1f64, 0.2, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            let params = SchedulerParams { delta, ..SchedulerParams::new(8.0) };
+            b.iter(|| black_box(thief_schedule(&inputs, 200.0, &params)));
+        });
+    }
+    group.finish();
+
+    // The exact knapsack oracle on a small instance, for scale.
+    let small_inputs = &inputs[..2];
+    c.bench_function("optimal_knapsack_2streams", |b| {
+        let params = SchedulerParams { granularity: 0.25, ..SchedulerParams::new(2.0) };
+        b.iter(|| black_box(optimal_schedule(small_inputs, 200.0, &params)));
+    });
+}
+
+criterion_group!(benches, bench_thief);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the substrates: MLP training/inference
+//! throughput, the discrete-event engine, timelines, and GPU packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ekya_nn::data::{DataView, Sample};
+use ekya_nn::mlp::{Mlp, MlpArch, Sgd};
+use ekya_sim::{pack, Engine, PlacementRequest, SimTime, Timeline};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn samples(n: usize, dim: usize, classes: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let y = rng.gen_range(0..classes);
+            let x = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            Sample::new(x, y)
+        })
+        .collect()
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let data = samples(600, 16, 6, 1);
+    let view = DataView::new(&data, 6);
+
+    let mut group = c.benchmark_group("mlp");
+    group.bench_function("train_epoch_600x16", |b| {
+        let mut model = Mlp::new(MlpArch::edge(16, 6, 16), 3);
+        let mut opt = Sgd::new(&model, 0.05, 0.9);
+        let mut e = 0u64;
+        b.iter(|| {
+            e += 1;
+            black_box(model.train_epoch(view, &mut opt, 32, e))
+        })
+    });
+    group.bench_function("predict_600", |b| {
+        let model = Mlp::new(MlpArch::edge(16, 6, 16), 3);
+        b.iter(|| black_box(model.predict(&data)))
+    });
+    group.bench_function("accuracy_600", |b| {
+        let model = Mlp::new(MlpArch::edge(16, 6, 16), 3);
+        b.iter(|| black_box(model.accuracy(view)))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e: Engine<u32> = Engine::new();
+                let g = e.new_generation();
+                for i in 0..n {
+                    e.schedule_at(SimTime::from_secs(i as f64 * 0.001), g, i as u32);
+                }
+                let mut count = 0;
+                while e.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("timeline_average_1000pts", |b| {
+        let mut t = Timeline::new(0.0, 0.5);
+        for i in 1..1000 {
+            t.set(i as f64 * 0.2, 0.5 + (i % 7) as f64 * 0.05);
+        }
+        b.iter(|| black_box(t.average(0.0, 200.0)))
+    });
+
+    c.bench_function("gpu_pack_20jobs", |b| {
+        let reqs: Vec<PlacementRequest> = (0..20)
+            .map(|i| PlacementRequest {
+                job: i,
+                demand: [1.0, 0.5, 0.25, 0.125][i as usize % 4],
+            })
+            .collect();
+        b.iter(|| black_box(pack(&reqs, 8)))
+    });
+}
+
+criterion_group!(benches, bench_nn, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Design-choice ablations (DESIGN.md §5) beyond the paper's Fig 8.
+//!
+//! Toggles each §5 implementation mechanism independently on the same
+//! workload and reports the accuracy delta:
+//!
+//! * checkpoint hot-swaps (§5 "model checkpointing and reloading");
+//! * mid-window estimate correction + rescheduling (§5 "adapting
+//!   estimates during retraining");
+//! * iCaRL exemplar memory (§2.2 continual-learning substrate);
+//! * inverse-power-of-two placement quantisation (§5 "placement onto
+//!   GPUs");
+//! * charging micro-profiling GPU time (§4.3).
+//!
+//! Run: `cargo run --release -p ekya-bench --bin ablation_design`
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 6).
+
+use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_core::{EkyaPolicy, SchedulerParams};
+use ekya_sim::{run_windows, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    accuracy: f64,
+    delta_vs_full: f64,
+}
+
+fn main() {
+    let windows = env_usize("EKYA_WINDOWS", 4);
+    let num_streams = env_usize("EKYA_STREAMS", 6);
+    let seed = env_u64("EKYA_SEED", 42);
+    let gpus = 2.0;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, num_streams, windows, seed);
+
+    let base = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
+    let run = |cfg: RunnerConfig| -> f64 {
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
+        run_windows(&mut policy, &streams, &cfg, windows).mean_accuracy()
+    };
+
+    let full = run(base.clone());
+    let variants: Vec<(&str, RunnerConfig)> = vec![
+        (
+            "no checkpoint hot-swaps",
+            RunnerConfig { checkpoint_every_epochs: None, ..base.clone() },
+        ),
+        (
+            "no mid-window estimate correction",
+            RunnerConfig { adapt_estimates: false, ..base.clone() },
+        ),
+        (
+            "no exemplar memory (iCaRL off)",
+            RunnerConfig { exemplar_per_class: 0, ..base.clone() },
+        ),
+        (
+            "quantised MPS placement (inverse powers of two)",
+            RunnerConfig { quantize_placement: true, ..base.clone() },
+        ),
+        (
+            "profiling not charged (idealised)",
+            RunnerConfig { charge_profiling: false, ..base.clone() },
+        ),
+    ];
+
+    let mut t = Table::new(
+        format!("Design ablations ({num_streams} streams, {gpus} GPUs, Cityscapes)"),
+        &["variant", "accuracy", "delta vs full Ekya"],
+    );
+    t.row(vec!["full Ekya".into(), f3(full), "-".into()]);
+    let mut rows = vec![Row { variant: "full Ekya".into(), accuracy: full, delta_vs_full: 0.0 }];
+    for (name, cfg) in variants {
+        let acc = run(cfg);
+        t.row(vec![name.into(), f3(acc), format!("{:+.3}", acc - full)]);
+        rows.push(Row { variant: name.into(), accuracy: acc, delta_vs_full: acc - full });
+    }
+    t.print();
+    println!(
+        "\nExpected directions: removing checkpoints/adaptation/memory costs accuracy; \
+         quantised placement costs a little; not charging profiling gains a little."
+    );
+
+    save_json("ablation_design", &rows);
+}

@@ -1,0 +1,165 @@
+//! Figure 3 — retraining-configuration tradeoffs.
+//!
+//! (a) Accuracy vs GPU-seconds when varying two example hyperparameters
+//!     (data fraction and layers trained), others held constant.
+//! (b) The resource-accuracy scatter of the full configuration grid with
+//!     its Pareto boundary; the paper observes a ~200x spread in GPU cost
+//!     and that higher cost does not imply higher accuracy.
+//!
+//! Run: `cargo run --release -p ekya-bench --bin fig03_configs`
+
+use ekya_bench::{env_u64, f1, f3, save_json, Table};
+use ekya_core::{
+    exhaustive_profile, extended_retrain_grid, pareto_frontier, RetrainConfig, RetrainProfile,
+    TrainHyper,
+};
+use ekya_nn::cost::CostModel;
+use ekya_nn::fit::LearningCurve;
+use ekya_nn::golden::{distill_labels, OracleTeacher};
+use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConfigPoint {
+    label: String,
+    gpu_seconds: f64,
+    accuracy: f64,
+    on_pareto: bool,
+}
+
+fn main() {
+    let seed = env_u64("EKYA_SEED", 42);
+    let cost = CostModel::default();
+    let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 2, seed));
+    let nc = ds.num_classes;
+    let mut teacher = OracleTeacher::new(0.02, nc, seed ^ 0xAA);
+    let w0 = distill_labels(&mut teacher, &ds.window(0).train_pool);
+    let w1 = distill_labels(&mut teacher, &ds.window(1).train_pool);
+    let val = distill_labels(&mut teacher, &ds.window(1).val);
+
+    // Warm model: the steady-state regime.
+    let base = Mlp::new(MlpArch::edge(ds.feature_dim, nc, 16), seed);
+    let mut warm = ekya_core::RetrainExecution::new(
+        &base,
+        &w0,
+        RetrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            last_layer_neurons: 16,
+            layers_trained: 3,
+            data_fraction: 1.0,
+        },
+        nc,
+        TrainHyper::default(),
+        seed,
+    );
+    warm.run_to_completion();
+    let mut model = warm.model().clone();
+    model.set_layers_trained(usize::MAX);
+
+    let measure = |configs: &[RetrainConfig]| -> Vec<(RetrainConfig, f64, f64)> {
+        let (accs, _) = exhaustive_profile(
+            &model,
+            &w1,
+            &val,
+            configs,
+            nc,
+            TrainHyper::default(),
+            &cost,
+            seed,
+        );
+        configs
+            .iter()
+            .zip(&accs)
+            .map(|(&c, &acc)| {
+                let variant = ekya_core::build_variant(&model, &c, seed);
+                let n = ((w1.len() as f64) * c.data_fraction).round().max(1.0) as usize;
+                let gpu_s =
+                    c.epochs as f64 * cost.train_epoch_gpu_seconds(&variant, n, c.batch_size);
+                (c, gpu_s, acc)
+            })
+            .collect()
+    };
+
+    // ---- (a) two example hyperparameters ----
+    let mut axis_a: Vec<RetrainConfig> = Vec::new();
+    for &frac in &[0.2f64, 0.5, 1.0] {
+        axis_a.push(RetrainConfig {
+            epochs: 15,
+            batch_size: 32,
+            last_layer_neurons: 16,
+            layers_trained: 3,
+            data_fraction: frac,
+        });
+    }
+    for &layers in &[1u32, 2, 3] {
+        axis_a.push(RetrainConfig {
+            epochs: 15,
+            batch_size: 32,
+            last_layer_neurons: 16,
+            layers_trained: layers,
+            data_fraction: 1.0,
+        });
+    }
+    let points_a = measure(&axis_a);
+    let mut ta = Table::new(
+        "Fig 3a — effect of data fraction (rho) and layers trained",
+        &["hyperparameter", "GPU seconds", "accuracy"],
+    );
+    for (i, (c, gpu_s, acc)) in points_a.iter().enumerate() {
+        // The first three entries sweep the data fraction; the rest sweep
+        // the layers-trained axis.
+        let label = if i < 3 {
+            format!("rho={}", c.data_fraction)
+        } else {
+            format!("layers={}", c.layers_trained)
+        };
+        ta.row(vec![label, f1(*gpu_s), f3(*acc)]);
+    }
+    ta.print();
+
+    // ---- (b) full grid + Pareto boundary ----
+    let grid = extended_retrain_grid();
+    let points_b = measure(&grid);
+    let profiles: Vec<RetrainProfile> = points_b
+        .iter()
+        .map(|(c, gpu_s, acc)| RetrainProfile {
+            config: *c,
+            curve: LearningCurve::flat(*acc),
+            gpu_seconds_per_epoch: gpu_s / c.epochs as f64,
+        })
+        .collect();
+    let frontier = pareto_frontier(&profiles);
+    let mut tb = Table::new(
+        "Fig 3b — resource vs accuracy of the full configuration grid",
+        &["config", "GPU seconds", "accuracy", "Pareto"],
+    );
+    let mut json_points = Vec::new();
+    for (i, (c, gpu_s, acc)) in points_b.iter().enumerate() {
+        let on = frontier.contains(&i);
+        tb.row(vec![
+            c.label(),
+            f1(*gpu_s),
+            f3(*acc),
+            if on { "*".into() } else { "".into() },
+        ]);
+        json_points.push(ConfigPoint {
+            label: c.label(),
+            gpu_seconds: *gpu_s,
+            accuracy: *acc,
+            on_pareto: on,
+        });
+    }
+    tb.print();
+
+    let max_cost = points_b.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let min_cost = points_b.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    println!(
+        "\nGPU-cost spread across configurations: {:.0}x (paper reports ~200x)",
+        max_cost / min_cost
+    );
+    println!("Pareto-optimal configurations: {} of {}", frontier.len(), grid.len());
+
+    save_json("fig03_configs", &json_points);
+}

@@ -1,0 +1,137 @@
+//! Figure 7 — accuracy vs provisioned GPUs, 10 concurrent streams, four
+//! datasets.
+//!
+//! Uses the trace-driven simulator exactly as the paper does ("to scale
+//! to more GPUs, we use the simulator, which uses profiles recorded from
+//! real tests"): one mechanistic recording per dataset, then fast replay
+//! of every scheduler x GPU-count combination. Also derives the headline
+//! "4x resource saving": the GPU count where the best baseline finally
+//! matches Ekya's accuracy at 4 GPUs.
+//!
+//! Run: `cargo run --release -p ekya-bench --bin fig07_provisioning`
+//! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10),
+//!        EKYA_QUICK=1 (2 datasets, fewer GPUs).
+
+use ekya_baselines::{holdout_configs, UniformPolicy};
+use ekya_bench::{env_u64, env_usize, f3, quick, save_json, Table};
+use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
+use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    gpus: f64,
+    scheduler: String,
+    accuracy: f64,
+}
+
+fn main() {
+    let windows = env_usize("EKYA_WINDOWS", 6);
+    let num_streams = env_usize("EKYA_STREAMS", 10);
+    let seed = env_u64("EKYA_SEED", 42);
+    let datasets: Vec<DatasetKind> = if quick() {
+        vec![DatasetKind::Cityscapes, DatasetKind::UrbanTraffic]
+    } else {
+        DatasetKind::ALL.to_vec()
+    };
+    let gpu_grid: Vec<f64> =
+        if quick() { vec![1.0, 4.0, 8.0] } else { vec![1.0, 2.0, 4.0, 6.0, 8.0, 16.0] };
+
+    let mut points: Vec<Point> = Vec::new();
+    for kind in &datasets {
+        eprintln!("[recording trace for {} — {} streams x {} windows]", kind.name(), num_streams, windows);
+        let streams = StreamSet::generate(*kind, num_streams, windows, seed);
+        let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
+        let trace = record_trace(&streams, &cfg, windows, 6);
+        let (c1, c2) = holdout_configs(*kind, &cfg.retrain_grid, &cfg.cost, seed ^ 0xF00D);
+
+        for &gpus in &gpu_grid {
+            let harness = ReplayPolicyHarness::new(gpus);
+            let mut policies: Vec<Box<dyn Policy>> = vec![
+                Box::new(EkyaPolicy::new(SchedulerParams::new(gpus))),
+                Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Cfg 1, 50%)")),
+                Box::new(UniformPolicy::new(c2, 0.3, "Uniform (Cfg 2, 30%)")),
+                Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Cfg 2, 50%)")),
+                Box::new(UniformPolicy::new(c2, 0.9, "Uniform (Cfg 2, 90%)")),
+            ];
+            for policy in policies.iter_mut() {
+                let report = harness.run(policy.as_mut(), &trace);
+                points.push(Point {
+                    dataset: kind.name().to_string(),
+                    gpus,
+                    scheduler: report.policy.clone(),
+                    accuracy: report.mean_accuracy(),
+                });
+            }
+        }
+    }
+
+    for kind in &datasets {
+        let mut t = Table::new(
+            format!("Fig 7 — {} (10 streams): accuracy vs provisioned GPUs", kind.name()),
+            &["scheduler", "1", "2", "4", "6", "8", "16"],
+        );
+        let schedulers: Vec<String> = {
+            let mut s: Vec<String> = points
+                .iter()
+                .filter(|p| p.dataset == kind.name())
+                .map(|p| p.scheduler.clone())
+                .collect();
+            s.dedup();
+            s
+        };
+        for sched in schedulers {
+            let mut row = vec![sched.clone()];
+            for &g in &[1.0f64, 2.0, 4.0, 6.0, 8.0, 16.0] {
+                let v = points
+                    .iter()
+                    .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == sched)
+                    .map(|p| f3(p.accuracy))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            t.row(row);
+        }
+        t.print();
+
+        // The 4x headline: Ekya@4 GPUs vs best baseline per GPU count.
+        let ekya_at = |g: f64| {
+            points
+                .iter()
+                .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == "Ekya")
+                .map(|p| p.accuracy)
+        };
+        let best_uniform_at = |g: f64| {
+            points
+                .iter()
+                .filter(|p| {
+                    p.dataset == kind.name() && p.gpus == g && p.scheduler.starts_with("Uniform")
+                })
+                .map(|p| p.accuracy)
+                .fold(f64::MIN, f64::max)
+        };
+        if let Some(ekya4) = ekya_at(4.0) {
+            let needed = gpu_grid
+                .iter()
+                .find(|&&g| best_uniform_at(g) >= ekya4)
+                .copied();
+            match needed {
+                Some(g) => println!(
+                    "{}: best uniform needs {}x the GPUs to match Ekya@4 GPUs (paper: 4x)",
+                    kind.name(),
+                    g / 4.0
+                ),
+                None => println!(
+                    "{}: no uniform variant matches Ekya@4 GPUs even at {} GPUs (> {:.0}x)",
+                    kind.name(),
+                    gpu_grid.last().unwrap(),
+                    gpu_grid.last().unwrap() / 4.0
+                ),
+            }
+        }
+    }
+
+    save_json("fig07_provisioning", &points);
+}

@@ -1,0 +1,84 @@
+//! Figure 8 — factor analysis of Ekya's two mechanisms.
+//!
+//! `Ekya-FixedRes` removes the thief allocation (static 50/50 split, but
+//! micro-profiled configuration selection); `Ekya-FixedConfig` removes
+//! configuration adaptation (thief allocation over one pinned
+//! configuration). Both should lose accuracy relative to full Ekya, most
+//! visibly when the system is under stress (few GPUs).
+//!
+//! Run: `cargo run --release -p ekya-bench --bin fig08_factors`
+//! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10).
+
+use ekya_baselines::{holdout_configs, EkyaFixedConfig, EkyaFixedRes, UniformPolicy};
+use ekya_bench::{env_u64, env_usize, f3, quick, save_json, Table};
+use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
+use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    gpus: f64,
+    scheduler: String,
+    accuracy: f64,
+}
+
+fn main() {
+    let windows = env_usize("EKYA_WINDOWS", 6);
+    let num_streams = env_usize("EKYA_STREAMS", 10);
+    let seed = env_u64("EKYA_SEED", 42);
+    let kind = DatasetKind::Cityscapes;
+    let gpu_grid: Vec<f64> = if quick() { vec![2.0, 8.0] } else { vec![2.0, 4.0, 6.0, 8.0] };
+
+    eprintln!("[recording trace — {num_streams} streams x {windows} windows]");
+    let streams = StreamSet::generate(kind, num_streams, windows, seed);
+    let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
+    let trace = record_trace(&streams, &cfg, windows, 6);
+    let (_c1, c2) = holdout_configs(kind, &cfg.retrain_grid, &cfg.cost, seed ^ 0xF00D);
+
+    let mut points: Vec<Point> = Vec::new();
+    for &gpus in &gpu_grid {
+        let harness = ReplayPolicyHarness::new(gpus);
+        let params = SchedulerParams::new(gpus);
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Cfg 2, 50%)")),
+            Box::new(EkyaFixedRes::new(params, 0.5)),
+            Box::new(EkyaFixedConfig::new(params, c2)),
+            Box::new(EkyaPolicy::new(params)),
+        ];
+        for policy in policies.iter_mut() {
+            let report = harness.run(policy.as_mut(), &trace);
+            points.push(Point {
+                gpus,
+                scheduler: report.policy.clone(),
+                accuracy: report.mean_accuracy(),
+            });
+        }
+    }
+
+    let mut t = Table::new(
+        format!("Fig 8 — factor analysis ({num_streams} streams, Cityscapes)"),
+        &["scheduler", "2 GPUs", "4 GPUs", "6 GPUs", "8 GPUs"],
+    );
+    let mut schedulers: Vec<String> = points.iter().map(|p| p.scheduler.clone()).collect();
+    schedulers.dedup();
+    for sched in schedulers {
+        let mut row = vec![sched.clone()];
+        for &g in &[2.0f64, 4.0, 6.0, 8.0] {
+            let v = points
+                .iter()
+                .find(|p| p.gpus == g && p.scheduler == sched)
+                .map(|p| f3(p.accuracy))
+                .unwrap_or_else(|| "-".into());
+            row.push(v);
+        }
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "\nExpected ordering (paper): Ekya >= Ekya-FixedRes, Ekya-FixedConfig >= Uniform, \
+         with the gaps largest at few GPUs."
+    );
+
+    save_json("fig08_factors", &points);
+}

@@ -1,0 +1,110 @@
+//! Table 3 — capacity (concurrent streams supported at a target accuracy)
+//! vs provisioned GPUs.
+//!
+//! "Setting an accuracy threshold is common in practice"; the paper uses
+//! 0.75 on Cityscapes and shows Ekya's capacity scaling 4x from 1 GPU to
+//! 2 GPUs while uniform baselines scale 1-2x. Absolute accuracies differ
+//! on our synthetic substrate, so the threshold is a knob
+//! (`EKYA_THRESHOLD`, default 0.6) and the *scaling factors* are the
+//! reproduction target.
+//!
+//! Run: `cargo run --release -p ekya-bench --bin table3_capacity`
+
+use ekya_baselines::{holdout_configs, UniformPolicy};
+use ekya_bench::{env_f64, env_u64, env_usize, save_json, Table};
+use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
+use ekya_sim::{run_windows, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CapacityRow {
+    scheduler: String,
+    capacity_1gpu: usize,
+    capacity_2gpu: usize,
+    scaling: f64,
+}
+
+fn main() {
+    let windows = env_usize("EKYA_WINDOWS", 4);
+    let seed = env_u64("EKYA_SEED", 42);
+    let threshold = env_f64("EKYA_THRESHOLD", 0.65);
+    let kind = DatasetKind::Cityscapes;
+    let stream_counts = [2usize, 4, 6, 8];
+
+    let cfg0 = RunnerConfig::default();
+    let (c1, c2) = holdout_configs(kind, &cfg0.retrain_grid, &cfg0.cost, seed ^ 0xF00D);
+
+    // capacity[scheduler][gpu] = max streams with accuracy >= threshold.
+    let mut rows: Vec<CapacityRow> = Vec::new();
+    let schedulers: Vec<(String, Box<dyn Fn(f64) -> Box<dyn Policy>>)> = vec![
+        (
+            "Ekya".into(),
+            Box::new(|g: f64| Box::new(EkyaPolicy::new(SchedulerParams::new(g)))),
+        ),
+        (
+            "Uniform (Config 1, 50%)".into(),
+            Box::new(move |_| Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Config 1, 50%)"))),
+        ),
+        (
+            "Uniform (Config 2, 90%)".into(),
+            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.9, "Uniform (Config 2, 90%)"))),
+        ),
+        (
+            "Uniform (Config 2, 50%)".into(),
+            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Config 2, 50%)"))),
+        ),
+        (
+            "Uniform (Config 2, 30%)".into(),
+            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.3, "Uniform (Config 2, 30%)"))),
+        ),
+    ];
+
+    for (name, make) in &schedulers {
+        let mut capacity = [0usize; 2];
+        for (gi, &gpus) in [1.0f64, 2.0].iter().enumerate() {
+            for &n in &stream_counts {
+                let streams = StreamSet::generate(kind, n, windows, seed);
+                let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
+                let mut policy = make(gpus);
+                let report = run_windows(policy.as_mut(), &streams, &cfg, windows);
+                if report.mean_accuracy() >= threshold {
+                    capacity[gi] = capacity[gi].max(n);
+                }
+            }
+        }
+        let scaling = if capacity[0] > 0 {
+            capacity[1] as f64 / capacity[0] as f64
+        } else if capacity[1] > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        rows.push(CapacityRow {
+            scheduler: name.clone(),
+            capacity_1gpu: capacity[0],
+            capacity_2gpu: capacity[1],
+            scaling,
+        });
+    }
+
+    let mut t = Table::new(
+        format!("Table 3 — capacity at accuracy >= {threshold} (Cityscapes)"),
+        &["scheduler", "1 GPU", "2 GPUs", "scaling factor"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.scheduler.clone(),
+            r.capacity_1gpu.to_string(),
+            r.capacity_2gpu.to_string(),
+            if r.scaling.is_finite() { format!("{:.1}x", r.scaling) } else { "-".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper (threshold 0.75): Ekya 2 -> 8 streams (4x); Uniform C1-50%: 2 -> 2 (1x); \
+         C2 variants 2 -> 4 (2x)."
+    );
+
+    save_json("table3_capacity", &rows);
+}

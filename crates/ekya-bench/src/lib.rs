@@ -1,0 +1,154 @@
+//! # ekya-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p ekya-bench --bin figNN_*`) plus Criterion
+//! microbenchmarks (`cargo bench`). Binaries print the same rows/series
+//! the paper reports and write machine-readable JSON to `results/`.
+//!
+//! Environment knobs shared by all binaries:
+//!
+//! * `EKYA_WINDOWS` — override the number of retraining windows;
+//! * `EKYA_SEED` — override the base RNG seed;
+//! * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Reads an integer environment knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads a float environment knob.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads a u64 environment knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// True when `EKYA_QUICK=1`.
+pub fn quick() -> bool {
+    std::env::var("EKYA_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A printable results table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table in aligned-markdown form.
+    pub fn print(&self) {
+        println!("\n## {}\n", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String], widths: &[usize]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = *w))
+                .collect();
+            println!("| {} |", line.join(" | "));
+        };
+        print_row(&self.headers, &widths);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            print_row(row, &widths);
+        }
+    }
+}
+
+/// Writes a serialisable result to `results/<name>.json` (relative to the
+/// workspace root when run via cargo, else the current directory).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = workspace_results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("failed to serialise {name}: {e}"),
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/ekya-bench -> workspace root two levels up.
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_default() {
+        assert_eq!(env_usize("EKYA_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_f64("EKYA_DOES_NOT_EXIST", 1.5), 1.5);
+        assert_eq!(env_u64("EKYA_DOES_NOT_EXIST", 9), 9);
+    }
+
+    #[test]
+    fn table_rows_align() {
+        let mut t = Table::new("test", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+        t.print(); // smoke: no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("test", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Mid-window estimate correction (§5, "Adapting estimates during
+//! retraining").
+//!
+//! When the accuracy observed during an actual retraining run diverges
+//! from the micro-profiled prediction, Ekya refits the learning curve
+//! with the observed points, updates the profile, and re-runs the thief
+//! scheduler for new allocations (leaving the in-flight configuration γ
+//! unchanged).
+
+use ekya_nn::fit::LearningCurve;
+
+/// How far apart (absolute accuracy) prediction and observation must be
+/// before a correction is worthwhile.
+pub const CORRECTION_THRESHOLD: f64 = 0.03;
+
+/// Checks whether the latest observation deviates enough from the curve's
+/// prediction to justify a correction and rescheduling.
+pub fn needs_correction(curve: &LearningCurve, k: f64, observed_accuracy: f64) -> bool {
+    (curve.predict(k) - observed_accuracy).abs() > CORRECTION_THRESHOLD
+}
+
+/// Refits the learning curve using the accuracy points observed during the
+/// real retraining run so far. Observed points are authoritative: when at
+/// least two are available the refit replaces the prediction, otherwise
+/// the original curve is kept.
+pub fn refit_curve(original: &LearningCurve, observed: &[(f64, f64)]) -> LearningCurve {
+    if observed.len() < 2 {
+        return *original;
+    }
+    let refit = LearningCurve::fit(observed);
+    // Guard against a degenerate refit (e.g. identical points): keep the
+    // better-fitting model on the observations.
+    if refit.rmse(observed) <= original.rmse(observed) {
+        refit
+    } else {
+        *original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_correction_when_prediction_matches() {
+        let c = LearningCurve { a: 1.0, b: 2.0, c: 0.9 };
+        let k = 3.0;
+        assert!(!needs_correction(&c, k, c.predict(k)));
+        assert!(!needs_correction(&c, k, c.predict(k) + 0.02));
+    }
+
+    #[test]
+    fn correction_triggered_on_divergence() {
+        let c = LearningCurve { a: 1.0, b: 2.0, c: 0.9 };
+        assert!(needs_correction(&c, 3.0, c.predict(3.0) - 0.1));
+    }
+
+    #[test]
+    fn refit_tracks_observations() {
+        // Original curve is too optimistic; observations follow a lower
+        // curve. The refit must predict closer to the observations.
+        let optimistic = LearningCurve { a: 2.0, b: 1.0, c: 0.95 };
+        let truth = LearningCurve { a: 1.0, b: 2.0, c: 0.7 };
+        let observed: Vec<(f64, f64)> =
+            (1..=5).map(|k| (k as f64, truth.predict(k as f64))).collect();
+        let refit = refit_curve(&optimistic, &observed);
+        let err_refit = (refit.predict(20.0) - truth.predict(20.0)).abs();
+        let err_orig = (optimistic.predict(20.0) - truth.predict(20.0)).abs();
+        assert!(
+            err_refit < err_orig,
+            "refit error {err_refit:.3} should beat original {err_orig:.3}"
+        );
+    }
+
+    #[test]
+    fn refit_with_too_few_points_keeps_original() {
+        let c = LearningCurve { a: 1.0, b: 2.0, c: 0.9 };
+        let refit = refit_curve(&c, &[(1.0, 0.5)]);
+        assert_eq!(refit, c);
+        let refit = refit_curve(&c, &[]);
+        assert_eq!(refit, c);
+    }
+}

@@ -1,0 +1,339 @@
+//! Exact solver for the joint optimisation problem (Eq. 1, §4.1).
+//!
+//! The paper shows the problem reduces to a multi-dimensional binary
+//! knapsack once all `A_T(v, γ, λ, R, I)` values are known. For small
+//! instances this module solves it exactly by dynamic programming over
+//! the GPU capacity, which serves two purposes: it is the
+//! *accuracy-optimal* reference scheduler of the illustrative example
+//! (Fig 4 / Table 1), and it bounds how far the thief heuristic is from
+//! optimal in tests.
+//!
+//! Complexity is `O(V * U^2 * (|Γ|+1))` where `U = G/δ` allocation units —
+//! exponentially better than brute force but still far too slow for the
+//! online setting (which is why Ekya uses the thief heuristic).
+
+use crate::estimator::{estimate_window, RetrainWork};
+use crate::scheduler::{
+    RetrainChoice, Schedule, SchedulerParams, StreamDecision, StreamInput,
+};
+
+/// Best achievable value for one stream at a given `(infer_units,
+/// train_units)` split, together with the choices that achieve it.
+#[derive(Debug, Clone)]
+struct SplitEval {
+    value: f64,
+    retrain: RetrainChoice,
+    infer_idx: Option<usize>,
+    estimate: crate::estimator::AccuracyEstimate,
+}
+
+/// Evaluates the best configuration pair for a stream at a fixed split.
+fn best_for_split(
+    stream: &StreamInput<'_>,
+    infer_units: i64,
+    train_units: i64,
+    gran: f64,
+    horizon: f64,
+    params: &SchedulerParams,
+) -> SplitEval {
+    let infer_alloc = infer_units as f64 * gran;
+    let train_alloc = train_units as f64 * gran;
+    let mut best = SplitEval {
+        value: 0.0,
+        retrain: RetrainChoice::Skip,
+        infer_idx: None,
+        estimate: crate::estimator::AccuracyEstimate {
+            avg_accuracy: 0.0,
+            min_accuracy: 0.0,
+            retrain_duration_secs: 0.0,
+            end_model_accuracy: stream.serving_accuracy,
+            completes: true,
+        },
+    };
+    // Post-completion inference configuration: the best one feasible at
+    // the combined allocation (the scheduler re-runs on completion and
+    // inference reclaims the training GPUs).
+    let infer_after = crate::estimator::pick_best_infer(
+        stream.infer_profiles,
+        infer_alloc + train_alloc,
+        stream.serving_accuracy,
+        params.estimate.a_min,
+    )
+    .map(|i| &stream.infer_profiles[i]);
+    for (li, infer) in stream.infer_profiles.iter().enumerate() {
+        // γ = ∅ option.
+        if let Some(est) = estimate_window(
+            None,
+            stream.serving_accuracy,
+            infer,
+            None,
+            0.0,
+            infer_alloc,
+            horizon,
+            &params.estimate,
+        ) {
+            if est.avg_accuracy > best.value {
+                best = SplitEval {
+                    value: est.avg_accuracy,
+                    retrain: RetrainChoice::Skip,
+                    infer_idx: Some(li),
+                    estimate: est,
+                };
+            }
+        }
+        for (gi, profile) in stream.retrain_profiles.iter().enumerate() {
+            let work = RetrainWork {
+                curve: &profile.curve,
+                k_total: profile.config.k_total(),
+                k_done: 0.0,
+                gpu_seconds_remaining: profile.total_gpu_seconds(),
+            };
+            let est = estimate_window(
+                Some(&work),
+                stream.serving_accuracy,
+                infer,
+                infer_after,
+                train_alloc,
+                infer_alloc,
+                horizon,
+                &params.estimate,
+            );
+            let Some(est) = est.filter(|e| e.completes) else { continue };
+            if est.avg_accuracy > best.value {
+                best = SplitEval {
+                    value: est.avg_accuracy,
+                    retrain: RetrainChoice::Start { profile_idx: gi },
+                    infer_idx: Some(li),
+                    estimate: est,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Solves Eq. 1 exactly by capacity DP. Intended for *small* instances
+/// (a few streams, coarse granularity); cost grows quadratically with
+/// `G/δ`.
+pub fn optimal_schedule(
+    streams: &[StreamInput<'_>],
+    horizon_secs: f64,
+    params: &SchedulerParams,
+) -> Schedule {
+    let n = streams.len();
+    if n == 0 {
+        return Schedule { decisions: Vec::new(), avg_accuracy: 0.0, evaluations: 0 };
+    }
+    let gran = params.granularity;
+    let units_total = (params.total_gpus / gran).round().max(0.0) as i64;
+    let u = units_total as usize;
+    let mut evaluations = 0usize;
+
+    // Per stream: for every total weight w (= infer + train units), the
+    // best achievable value and the split/configs achieving it.
+    let mut stream_tables: Vec<Vec<SplitEval>> = Vec::with_capacity(n);
+    let mut stream_splits: Vec<Vec<(i64, i64)>> = Vec::with_capacity(n);
+    for stream in streams {
+        let mut best_by_weight: Vec<SplitEval> = Vec::with_capacity(u + 1);
+        let mut split_by_weight: Vec<(i64, i64)> = Vec::with_capacity(u + 1);
+        for w in 0..=units_total {
+            let mut best: Option<(SplitEval, (i64, i64))> = None;
+            for infer_units in 0..=w {
+                let train_units = w - infer_units;
+                let eval = best_for_split(
+                    stream,
+                    infer_units,
+                    train_units,
+                    gran,
+                    horizon_secs,
+                    params,
+                );
+                evaluations += 1;
+                let better = best.as_ref().map(|(b, _)| eval.value > b.value).unwrap_or(true);
+                if better {
+                    best = Some((eval, (infer_units, train_units)));
+                }
+            }
+            let (eval, split) = best.expect("at least one split exists");
+            best_by_weight.push(eval);
+            split_by_weight.push(split);
+        }
+        stream_tables.push(best_by_weight);
+        stream_splits.push(split_by_weight);
+    }
+
+    // Knapsack DP over capacity; `choice[s][cap]` records the weight
+    // assigned to stream s when the first s+1 streams use exactly `cap`
+    // units. The final answer takes the best over all capacities, so no
+    // monotone fixup is needed.
+    let neg = f64::NEG_INFINITY;
+    let mut dp = vec![0.0f64; u + 1];
+    let mut choice = vec![vec![0usize; u + 1]; n];
+    for s in 0..n {
+        let mut next = vec![neg; u + 1];
+        let mut pick = vec![0usize; u + 1];
+        for cap in 0..=u {
+            if dp[cap] == neg {
+                continue;
+            }
+            for w in 0..=(u - cap) {
+                let v = dp[cap] + stream_tables[s][w].value;
+                if v > next[cap + w] {
+                    next[cap + w] = v;
+                    pick[cap + w] = w;
+                }
+            }
+        }
+        dp = next;
+        choice[s] = pick;
+    }
+
+    let best_cap = (0..=u)
+        .max_by(|&a, &b| dp[a].partial_cmp(&dp[b]).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or(0);
+
+    // Walk back through the DP to recover per-stream weights.
+    let mut weights = vec![0usize; n];
+    let mut cap = best_cap;
+    for s in (0..n).rev() {
+        let w = choice[s][cap];
+        weights[s] = w;
+        cap -= w;
+    }
+
+    let decisions: Vec<StreamDecision> = streams
+        .iter()
+        .enumerate()
+        .map(|(s, stream)| {
+            let w = weights[s];
+            let eval = &stream_tables[s][w];
+            let (iu, tu) = stream_splits[s][w];
+            StreamDecision {
+                id: stream.id,
+                retrain: eval.retrain,
+                train_gpus: tu as f64 * gran,
+                infer_profile_idx: eval.infer_idx,
+                infer_gpus: iu as f64 * gran,
+                estimate: eval.estimate,
+            }
+        })
+        .collect();
+    let avg = decisions.iter().map(|d| d.estimate.avg_accuracy).sum::<f64>() / n as f64;
+    Schedule { decisions, avg_accuracy: avg, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{default_inference_grid, RetrainConfig};
+    use crate::profile::{build_inference_profiles, InferenceProfile, RetrainProfile};
+    use crate::scheduler::thief_schedule;
+    use ekya_nn::cost::CostModel;
+    use ekya_nn::fit::LearningCurve;
+    use ekya_video::StreamId;
+
+    fn infer_profiles() -> Vec<InferenceProfile> {
+        build_inference_profiles(&CostModel::default(), 1.0, 30.0, &default_inference_grid())
+    }
+
+    fn retrain_profile(
+        epochs: u32,
+        gpu_s_per_epoch: f64,
+        start: f64,
+        asymptote: f64,
+    ) -> RetrainProfile {
+        let b = 1.0 / (asymptote - start).max(1e-3);
+        RetrainProfile {
+            config: RetrainConfig {
+                epochs,
+                batch_size: 32,
+                last_layer_neurons: 16,
+                layers_trained: 3,
+                data_fraction: 1.0,
+            },
+            curve: LearningCurve { a: 1.0, b, c: asymptote },
+            gpu_seconds_per_epoch: gpu_s_per_epoch,
+        }
+    }
+
+    #[test]
+    fn optimal_allocates_within_budget() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 3.0, 0.5, 0.9)];
+        let streams: Vec<StreamInput> = (0..2)
+            .map(|i| StreamInput {
+                id: StreamId(i),
+                serving_accuracy: 0.5,
+                retrain_profiles: &retrain,
+                infer_profiles: &infer,
+                in_progress: None,
+            })
+            .collect();
+        let params = SchedulerParams { granularity: 0.25, ..SchedulerParams::new(1.0) };
+        let s = optimal_schedule(&streams, 200.0, &params);
+        assert!(s.total_allocated() <= params.total_gpus + 1e-9);
+        assert!(s.avg_accuracy > 0.0);
+    }
+
+    #[test]
+    fn optimal_at_least_matches_thief() {
+        let infer = infer_profiles();
+        let retrain_a = vec![retrain_profile(10, 4.0, 0.6, 0.8)];
+        let retrain_b = vec![retrain_profile(10, 4.0, 0.4, 0.9)];
+        let streams = vec![
+            StreamInput {
+                id: StreamId(0),
+                serving_accuracy: 0.6,
+                retrain_profiles: &retrain_a,
+                infer_profiles: &infer,
+                in_progress: None,
+            },
+            StreamInput {
+                id: StreamId(1),
+                serving_accuracy: 0.4,
+                retrain_profiles: &retrain_b,
+                infer_profiles: &infer,
+                in_progress: None,
+            },
+        ];
+        let params = SchedulerParams { granularity: 0.25, delta: 0.25, ..SchedulerParams::new(2.0) };
+        let optimal = optimal_schedule(&streams, 120.0, &params);
+        let thief = thief_schedule(&streams, 120.0, &params);
+        assert!(
+            optimal.avg_accuracy >= thief.avg_accuracy - 1e-9,
+            "optimal {:.4} must be >= thief {:.4}",
+            optimal.avg_accuracy,
+            thief.avg_accuracy
+        );
+        // And the heuristic should be close (within 10% relative).
+        assert!(
+            thief.avg_accuracy >= optimal.avg_accuracy * 0.9,
+            "thief {:.4} too far below optimal {:.4}",
+            thief.avg_accuracy,
+            optimal.avg_accuracy
+        );
+    }
+
+    #[test]
+    fn empty_streams_ok() {
+        let s = optimal_schedule(&[], 100.0, &SchedulerParams::new(1.0));
+        assert!(s.decisions.is_empty());
+    }
+
+    #[test]
+    fn single_stream_gets_everything_useful() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 2.0, 0.4, 0.95)];
+        let streams = vec![StreamInput {
+            id: StreamId(0),
+            serving_accuracy: 0.4,
+            retrain_profiles: &retrain,
+            infer_profiles: &infer,
+            in_progress: None,
+        }];
+        let params = SchedulerParams { granularity: 0.25, ..SchedulerParams::new(1.0) };
+        let s = optimal_schedule(&streams, 200.0, &params);
+        // Retraining is hugely beneficial; the oracle must pick it.
+        assert!(matches!(s.decisions[0].retrain, RetrainChoice::Start { .. }));
+    }
+}

@@ -1,0 +1,788 @@
+//! The thief scheduler (§4.2, Algorithms 1 and 2).
+//!
+//! Ekya's scheduling heuristic makes the joint retraining/inference
+//! problem tractable by decoupling resource allocation from configuration
+//! selection. Starting from a fair allocation, every job plays "thief" and
+//! iteratively steals a quantum Δ of GPU from every other job; after each
+//! steal, `PickConfigs` (Algorithm 2) re-selects the best configurations
+//! under the tentative allocation and the steal is kept only when the
+//! estimated window-averaged accuracy improves.
+//!
+//! Search-space pruning follows the paper: allocations move in coarse
+//! multiples of the granularity δ, configurations come pre-pruned from the
+//! micro-profiler, and the schedule is recomputed only at window
+//! boundaries and on retraining-job completion (with in-flight jobs'
+//! configurations pinned, §5).
+
+use crate::config::RetrainConfig;
+use crate::estimator::{estimate_window, AccuracyEstimate, EstimateParams, RetrainWork};
+use crate::profile::{InferenceProfile, RetrainProfile};
+use ekya_nn::fit::LearningCurve;
+use ekya_video::StreamId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The aggregate the thief scheduler optimises across streams.
+///
+/// The paper optimises the **mean** window accuracy and notes (§3.2,
+/// footnote 3) that "the techniques in our scheduler apply to other
+/// optimization metrics too, like max-min of accuracy" — implemented here
+/// as the future-work extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulerObjective {
+    /// Maximise the mean accuracy across streams (Eq. 1).
+    #[default]
+    Mean,
+    /// Maximise the minimum accuracy across streams (fairness), with mean
+    /// accuracy as the tie-breaker.
+    MaxMin,
+}
+
+impl SchedulerObjective {
+    /// Scores a vector of per-stream accuracies. Scores are only compared
+    /// against scores from the same objective.
+    pub fn score(&self, per_stream: &[f64]) -> f64 {
+        if per_stream.is_empty() {
+            return 0.0;
+        }
+        let mean = per_stream.iter().sum::<f64>() / per_stream.len() as f64;
+        match self {
+            SchedulerObjective::Mean => mean,
+            SchedulerObjective::MaxMin => {
+                let min = per_stream.iter().cloned().fold(f64::INFINITY, f64::min);
+                // Lexicographic (min, mean) folded into one scalar: mean is
+                // bounded by 1, so a 1e-3 weight cannot override a min
+                // difference at the scheduler's decision granularity.
+                min + 1e-3 * mean
+            }
+        }
+    }
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerParams {
+    /// Total GPUs `G` on the edge server.
+    pub total_gpus: f64,
+    /// Smallest allocatable GPU fraction δ.
+    pub granularity: f64,
+    /// Stealing quantum Δ (a multiple of δ; Fig 10 sweeps this).
+    pub delta: f64,
+    /// Estimation parameters (`a_MIN`, checkpointing).
+    pub estimate: EstimateParams,
+    /// Cross-stream aggregate to optimise.
+    pub objective: SchedulerObjective,
+}
+
+impl SchedulerParams {
+    /// Paper-default parameters for a given GPU count: δ = Δ = 0.1 GPU,
+    /// `a_MIN` = 0.4, mean objective.
+    pub fn new(total_gpus: f64) -> Self {
+        Self {
+            total_gpus,
+            granularity: 0.1,
+            delta: 0.1,
+            estimate: EstimateParams::default(),
+            objective: SchedulerObjective::Mean,
+        }
+    }
+}
+
+/// A retraining job already running when the scheduler is re-invoked
+/// mid-window; its configuration is pinned (§5) but its allocation may
+/// change.
+#[derive(Debug, Clone)]
+pub struct InProgressRetrain {
+    /// The pinned configuration.
+    pub config: RetrainConfig,
+    /// Its learning curve (possibly corrected mid-window, §5).
+    pub curve: LearningCurve,
+    /// Progress already made, in full-pool epoch equivalents.
+    pub k_done: f64,
+    /// GPU-seconds still required at 100% allocation.
+    pub gpu_seconds_remaining: f64,
+}
+
+/// Per-stream scheduler inputs.
+#[derive(Debug, Clone)]
+pub struct StreamInput<'a> {
+    /// Stream identity (for reporting).
+    pub id: StreamId,
+    /// Accuracy of the currently deployed model on current data.
+    pub serving_accuracy: f64,
+    /// Micro-profiled retraining candidates (empty ⇒ retraining cannot be
+    /// chosen for this stream).
+    pub retrain_profiles: &'a [RetrainProfile],
+    /// Inference configuration profiles.
+    pub infer_profiles: &'a [InferenceProfile],
+    /// Retraining already in flight (mid-window rescheduling).
+    pub in_progress: Option<InProgressRetrain>,
+}
+
+/// The retraining decision for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RetrainChoice {
+    /// Do not retrain in this window.
+    Skip,
+    /// Start retraining with `retrain_profiles[profile_idx]`.
+    Start {
+        /// Index into the stream's `retrain_profiles`.
+        profile_idx: usize,
+    },
+    /// Continue the pinned in-progress retraining.
+    Continue,
+}
+
+/// Scheduler output for one stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamDecision {
+    /// Stream identity.
+    pub id: StreamId,
+    /// Retraining decision.
+    pub retrain: RetrainChoice,
+    /// GPUs allocated to retraining.
+    pub train_gpus: f64,
+    /// Index into the stream's `infer_profiles` of the chosen inference
+    /// configuration (`None` when no configuration can keep up — the
+    /// stream is starved and contributes zero accuracy).
+    pub infer_profile_idx: Option<usize>,
+    /// GPUs allocated to inference.
+    pub infer_gpus: f64,
+    /// The accuracy estimate backing this decision.
+    pub estimate: AccuracyEstimate,
+}
+
+/// A complete schedule for one (remaining) window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-stream decisions, in input order.
+    pub decisions: Vec<StreamDecision>,
+    /// Estimated inference accuracy averaged over streams and the window
+    /// (the objective of Eq. 1).
+    pub avg_accuracy: f64,
+    /// Number of `PickConfigs` evaluations performed (for the Fig 10
+    /// runtime analysis).
+    pub evaluations: usize,
+}
+
+impl Schedule {
+    /// Total GPUs allocated across all jobs.
+    pub fn total_allocated(&self) -> f64 {
+        self.decisions.iter().map(|d| d.train_gpus + d.infer_gpus).sum()
+    }
+}
+
+/// Per-stream outcome of one `PickConfigs` evaluation.
+#[derive(Debug, Clone)]
+struct StreamEval {
+    retrain: RetrainChoice,
+    infer_profile_idx: Option<usize>,
+    estimate: AccuracyEstimate,
+}
+
+/// Runs Algorithm 2 for a single stream under the given allocations.
+fn pick_configs_for_stream(
+    stream: &StreamInput<'_>,
+    train_alloc: f64,
+    infer_alloc: f64,
+    horizon_secs: f64,
+    params: &EstimateParams,
+) -> StreamEval {
+    const EPS: f64 = 1e-9;
+    let zero_estimate = AccuracyEstimate {
+        avg_accuracy: 0.0,
+        min_accuracy: 0.0,
+        retrain_duration_secs: 0.0,
+        end_model_accuracy: stream.serving_accuracy,
+        completes: true,
+    };
+
+    // ---- Inference configuration (Algorithm 2, lines 3-4). ----
+    // Among configurations that keep up under `infer_alloc`, prefer those
+    // meeting a_MIN on the *current* model; fall back to the most accurate
+    // feasible one when the floor is unreachable.
+    let Some(infer_idx) = crate::estimator::pick_best_infer(
+        stream.infer_profiles,
+        infer_alloc,
+        stream.serving_accuracy,
+        params.a_min,
+    ) else {
+        return StreamEval {
+            retrain: RetrainChoice::Skip,
+            infer_profile_idx: None,
+            estimate: zero_estimate,
+        };
+    };
+    let infer = &stream.infer_profiles[infer_idx];
+    // After a retraining completes, the scheduler re-runs and inference
+    // reclaims the training GPUs (§4.2) — the estimate's post-completion
+    // phase uses the best configuration feasible at the combined share.
+    let infer_after = crate::estimator::pick_best_infer(
+        stream.infer_profiles,
+        infer_alloc + train_alloc,
+        stream.serving_accuracy,
+        params.a_min,
+    )
+    .map(|i| &stream.infer_profiles[i]);
+
+    // ---- Retraining configuration (Algorithm 2, lines 6-12). ----
+    let mut best: Option<(RetrainChoice, AccuracyEstimate)> = None;
+    let mut consider = |choice: RetrainChoice, est: Option<AccuracyEstimate>| {
+        let Some(est) = est else { return };
+        let better = match &best {
+            None => true,
+            Some((_, cur)) => est.avg_accuracy > cur.avg_accuracy + EPS,
+        };
+        if better {
+            best = Some((choice, est));
+        }
+    };
+
+    if let Some(ip) = &stream.in_progress {
+        // Mid-window: the configuration is pinned; only Continue applies.
+        let work = RetrainWork {
+            curve: &ip.curve,
+            k_total: ip.config.k_total(),
+            k_done: ip.k_done,
+            gpu_seconds_remaining: ip.gpu_seconds_remaining,
+        };
+        consider(
+            RetrainChoice::Continue,
+            estimate_window(
+                Some(&work),
+                stream.serving_accuracy,
+                infer,
+                infer_after,
+                train_alloc,
+                infer_alloc,
+                horizon_secs,
+                params,
+            ),
+        );
+    } else {
+        // Option γ = ∅: skip retraining this window.
+        consider(
+            RetrainChoice::Skip,
+            estimate_window(
+                None,
+                stream.serving_accuracy,
+                infer,
+                None,
+                0.0,
+                infer_alloc,
+                horizon_secs,
+                params,
+            ),
+        );
+        for (idx, profile) in stream.retrain_profiles.iter().enumerate() {
+            let work = RetrainWork {
+                curve: &profile.curve,
+                k_total: profile.config.k_total(),
+                k_done: 0.0,
+                gpu_seconds_remaining: profile.total_gpu_seconds(),
+            };
+            let est = estimate_window(
+                Some(&work),
+                stream.serving_accuracy,
+                infer,
+                infer_after,
+                train_alloc,
+                infer_alloc,
+                horizon_secs,
+                params,
+            );
+            // Reject configurations whose retraining cannot finish within
+            // the window at this allocation (Eq. 1 constraint 1).
+            let est = est.filter(|e| e.completes);
+            consider(RetrainChoice::Start { profile_idx: idx }, est);
+        }
+    }
+
+    match best {
+        Some((choice, est)) => {
+            StreamEval { retrain: choice, infer_profile_idx: Some(infer_idx), estimate: est }
+        }
+        None => StreamEval {
+            retrain: RetrainChoice::Skip,
+            infer_profile_idx: Some(infer_idx),
+            estimate: zero_estimate,
+        },
+    }
+}
+
+/// The thief scheduler (Algorithm 1).
+///
+/// `horizon_secs` is the (remaining) window duration ‖T‖. Returns the
+/// per-stream allocations, configuration choices, and the estimated
+/// window-averaged accuracy.
+pub fn thief_schedule(
+    streams: &[StreamInput<'_>],
+    horizon_secs: f64,
+    params: &SchedulerParams,
+) -> Schedule {
+    let n = streams.len();
+    if n == 0 {
+        return Schedule { decisions: Vec::new(), avg_accuracy: 0.0, evaluations: 0 };
+    }
+    assert!(params.total_gpus > 0.0, "need at least some GPU");
+    assert!(params.granularity > 0.0, "granularity must be positive");
+
+    // Allocations are tracked in exact milli-GPU units: Algorithm 1 starts
+    // from the *exact* fair share (line 2) and only the stealing moves in
+    // Δ quanta. Flooring the fair share to Δ multiples would start some
+    // jobs at zero whenever jobs outnumber G/Δ — a regime the paper's
+    // evaluation exercises routinely (10 streams on 1 GPU).
+    const MILLI: f64 = 1e-3;
+    // Floor, not round: rounding up would let the integer representation
+    // exceed a fractional GPU budget by up to half a milli-GPU.
+    let units_total = (params.total_gpus / MILLI).floor().max(1.0) as i64;
+    let delta_units = ((params.delta / MILLI).round() as i64).max(1);
+    let num_jobs = 2 * n; // job 2i = inference, job 2i+1 = training
+
+    // Fair initial allocation (Algorithm 1, line 2): equal units per job,
+    // remainder spread round-robin.
+    let mut alloc: Vec<i64> = vec![units_total / num_jobs as i64; num_jobs];
+    for extra in alloc.iter_mut().take((units_total % num_jobs as i64) as usize) {
+        *extra += 1;
+    }
+
+    // Cache of per-stream evaluations keyed by (stream, infer, train units)
+    // — each steal touches two jobs, so most streams are unchanged.
+    let mut cache: HashMap<(usize, i64, i64), StreamEval> = HashMap::new();
+    let mut evaluations = 0usize;
+
+    let gran = MILLI;
+    // `evaluate` returns (per-stream evals, objective score, mean
+    // accuracy); the thief compares scores, the schedule reports the mean.
+    let evaluate =
+        |alloc: &[i64], cache: &mut HashMap<(usize, i64, i64), StreamEval>, evals: &mut usize|
+         -> (Vec<StreamEval>, f64, f64) {
+            let mut evals_out = Vec::with_capacity(n);
+            let mut per_stream = Vec::with_capacity(n);
+            for (s, stream) in streams.iter().enumerate() {
+                let iu = alloc[2 * s];
+                let tu = alloc[2 * s + 1];
+                let eval = cache
+                    .entry((s, iu, tu))
+                    .or_insert_with(|| {
+                        *evals += 1;
+                        pick_configs_for_stream(
+                            stream,
+                            tu as f64 * gran,
+                            iu as f64 * gran,
+                            horizon_secs,
+                            &params.estimate,
+                        )
+                    })
+                    .clone();
+                per_stream.push(eval.estimate.avg_accuracy);
+                evals_out.push(eval);
+            }
+            let mean = per_stream.iter().sum::<f64>() / n as f64;
+            (evals_out, params.objective.score(&per_stream), mean)
+        };
+
+    let (mut best_evals, mut best_score, mut best_mean) =
+        evaluate(&alloc, &mut cache, &mut evaluations);
+    let mut best_alloc = alloc;
+
+    // Thief resource stealing (Algorithm 1, lines 4-20).
+    for thief in 0..num_jobs {
+        for victim in 0..num_jobs {
+            if thief == victim {
+                continue;
+            }
+            let mut temp = best_alloc.clone();
+            loop {
+                temp[victim] -= delta_units;
+                temp[thief] += delta_units;
+                if temp[victim] < 0 {
+                    break;
+                }
+                let (evals, score, mean) = evaluate(&temp, &mut cache, &mut evaluations);
+                if score > best_score + 1e-12 {
+                    best_alloc = temp.clone();
+                    best_score = score;
+                    best_mean = mean;
+                    best_evals = evals;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    let decisions = streams
+        .iter()
+        .zip(best_evals)
+        .enumerate()
+        .map(|(s, (stream, eval))| StreamDecision {
+            id: stream.id,
+            retrain: eval.retrain,
+            train_gpus: best_alloc[2 * s + 1] as f64 * gran,
+            infer_profile_idx: eval.infer_profile_idx,
+            infer_gpus: best_alloc[2 * s] as f64 * gran,
+            estimate: eval.estimate,
+        })
+        .collect();
+
+    Schedule { decisions, avg_accuracy: best_mean, evaluations }
+}
+
+/// Convenience: evaluates a *fixed* allocation (no stealing), used by the
+/// `Ekya-FixedRes` ablation (Fig 8) and the uniform baseline's accuracy
+/// accounting. `alloc` lists `(infer_gpus, train_gpus)` per stream.
+pub fn pick_configs_fixed(
+    streams: &[StreamInput<'_>],
+    alloc: &[(f64, f64)],
+    horizon_secs: f64,
+    params: &SchedulerParams,
+) -> Schedule {
+    assert_eq!(streams.len(), alloc.len(), "one allocation pair per stream");
+    let mut decisions = Vec::with_capacity(streams.len());
+    let mut total = 0.0;
+    for (stream, &(infer_gpus, train_gpus)) in streams.iter().zip(alloc) {
+        let eval = pick_configs_for_stream(
+            stream,
+            train_gpus,
+            infer_gpus,
+            horizon_secs,
+            &params.estimate,
+        );
+        total += eval.estimate.avg_accuracy;
+        decisions.push(StreamDecision {
+            id: stream.id,
+            retrain: eval.retrain,
+            train_gpus,
+            infer_profile_idx: eval.infer_profile_idx,
+            infer_gpus,
+            estimate: eval.estimate,
+        });
+    }
+    let n = streams.len().max(1);
+    Schedule {
+        decisions,
+        avg_accuracy: total / n as f64,
+        evaluations: streams.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{default_inference_grid, InferenceConfig};
+    use crate::profile::build_inference_profiles;
+    use ekya_nn::cost::CostModel;
+
+    fn infer_profiles() -> Vec<InferenceProfile> {
+        build_inference_profiles(&CostModel::default(), 1.0, 30.0, &default_inference_grid())
+    }
+
+    fn retrain_profile(
+        epochs: u32,
+        data_fraction: f64,
+        gpu_s_per_epoch: f64,
+        start: f64,
+        asymptote: f64,
+    ) -> RetrainProfile {
+        // Curve anchored near `start` at k = 0 rising to `asymptote`.
+        let b = 1.0 / (asymptote - start).max(1e-3);
+        RetrainProfile {
+            config: RetrainConfig {
+                epochs,
+                batch_size: 32,
+                last_layer_neurons: 16,
+                layers_trained: 3,
+                data_fraction,
+            },
+            curve: LearningCurve { a: 1.0, b, c: asymptote },
+            gpu_seconds_per_epoch: gpu_s_per_epoch,
+        }
+    }
+
+    fn stream<'a>(
+        id: u32,
+        serving: f64,
+        retrain: &'a [RetrainProfile],
+        infer: &'a [InferenceProfile],
+    ) -> StreamInput<'a> {
+        StreamInput {
+            id: StreamId(id),
+            serving_accuracy: serving,
+            retrain_profiles: retrain,
+            infer_profiles: infer,
+            in_progress: None,
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_schedule() {
+        let s = thief_schedule(&[], 200.0, &SchedulerParams::new(1.0));
+        assert!(s.decisions.is_empty());
+        assert_eq!(s.avg_accuracy, 0.0);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_total() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
+        let streams: Vec<StreamInput> =
+            (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let params = SchedulerParams::new(2.0);
+        let s = thief_schedule(&streams, 200.0, &params);
+        assert!(s.total_allocated() <= params.total_gpus + 1e-9);
+    }
+
+    #[test]
+    fn beneficial_retraining_is_chosen() {
+        let infer = infer_profiles();
+        // Large accuracy gain, cheap retraining: must be picked.
+        let retrain = vec![retrain_profile(10, 1.0, 2.0, 0.4, 0.95)];
+        let streams = vec![stream(0, 0.4, &retrain, &infer)];
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(2.0));
+        assert!(
+            matches!(s.decisions[0].retrain, RetrainChoice::Start { .. }),
+            "expected retraining, got {:?}",
+            s.decisions[0].retrain
+        );
+        assert!(s.decisions[0].train_gpus > 0.0);
+    }
+
+    #[test]
+    fn useless_retraining_is_skipped() {
+        let infer = infer_profiles();
+        // Retrained accuracy no better than serving: skip and give all
+        // resources to inference.
+        let retrain = vec![retrain_profile(30, 1.0, 10.0, 0.85, 0.86)];
+        let streams = vec![stream(0, 0.85, &retrain, &infer)];
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(1.0));
+        assert!(
+            matches!(s.decisions[0].retrain, RetrainChoice::Skip),
+            "expected skip, got {:?}",
+            s.decisions[0].retrain
+        );
+    }
+
+    #[test]
+    fn prioritises_stream_with_larger_gain() {
+        // Stream 0 gains little from retraining; stream 1 gains a lot
+        // (§3.2's second improvement: prioritise higher-benefit retraining).
+        let infer = infer_profiles();
+        let small_gain = vec![retrain_profile(10, 1.0, 8.0, 0.70, 0.75)];
+        let large_gain = vec![retrain_profile(10, 1.0, 8.0, 0.45, 0.90)];
+        let streams = vec![
+            stream(0, 0.70, &small_gain, &infer),
+            stream(1, 0.45, &large_gain, &infer),
+        ];
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(2.0));
+        let d0 = &s.decisions[0];
+        let d1 = &s.decisions[1];
+        assert!(
+            matches!(d1.retrain, RetrainChoice::Start { .. }),
+            "high-gain stream must retrain"
+        );
+        if matches!(d0.retrain, RetrainChoice::Start { .. }) {
+            assert!(
+                d1.train_gpus >= d0.train_gpus,
+                "high-gain stream should get at least as much training GPU: {} vs {}",
+                d1.train_gpus,
+                d0.train_gpus
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_config_preferred_when_resources_scarce() {
+        // Two configs: expensive/high-accuracy and cheap/medium-accuracy.
+        // With one GPU shared by 4 streams, the cheap one should win for
+        // at least some stream (§3.2's first improvement).
+        let infer = infer_profiles();
+        let retrain = vec![
+            retrain_profile(30, 1.0, 12.0, 0.5, 0.95), // 360 GPU-s: too slow
+            retrain_profile(5, 0.3, 2.0, 0.5, 0.85),   // 10 GPU-s: quick win
+        ];
+        let streams: Vec<StreamInput> =
+            (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(1.0));
+        let picked_cheap = s
+            .decisions
+            .iter()
+            .any(|d| matches!(d.retrain, RetrainChoice::Start { profile_idx: 1 }));
+        assert!(picked_cheap, "cheap config should be selected under scarcity: {s:?}");
+    }
+
+    #[test]
+    fn thief_beats_or_matches_fair_allocation() {
+        let infer = infer_profiles();
+        let retrain_a = vec![retrain_profile(10, 1.0, 6.0, 0.65, 0.75)];
+        let retrain_b = vec![retrain_profile(10, 1.0, 6.0, 0.40, 0.90)];
+        let streams =
+            vec![stream(0, 0.65, &retrain_a, &infer), stream(1, 0.40, &retrain_b, &infer)];
+        let params = SchedulerParams::new(3.0);
+        let thief = thief_schedule(&streams, 120.0, &params);
+        let fair = pick_configs_fixed(
+            &streams,
+            &[(0.75, 0.75), (0.75, 0.75)],
+            120.0,
+            &params,
+        );
+        assert!(
+            thief.avg_accuracy >= fair.avg_accuracy - 1e-9,
+            "thief {:.4} must be >= fair {:.4}",
+            thief.avg_accuracy,
+            fair.avg_accuracy
+        );
+    }
+
+    #[test]
+    fn in_progress_jobs_keep_config() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
+        let ip = InProgressRetrain {
+            config: retrain[0].config,
+            curve: retrain[0].curve,
+            k_done: 5.0,
+            gpu_seconds_remaining: 25.0,
+        };
+        let mut s = stream(0, 0.5, &retrain, &infer);
+        s.in_progress = Some(ip);
+        let sched = thief_schedule(&[s], 100.0, &SchedulerParams::new(1.0));
+        assert!(
+            matches!(sched.decisions[0].retrain, RetrainChoice::Continue),
+            "in-flight retraining must continue: {:?}",
+            sched.decisions[0].retrain
+        );
+    }
+
+    #[test]
+    fn starved_inference_contributes_zero() {
+        // One stream, almost no GPU: even the cheapest inference config
+        // cannot keep up, so the stream is starved.
+        let infer = vec![InferenceProfile {
+            config: InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
+            accuracy_factor: 1.0,
+            gpu_demand: 5.0, // needs five GPUs
+        }];
+        let retrain: Vec<RetrainProfile> = vec![];
+        let streams = vec![stream(0, 0.8, &retrain, &infer)];
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(1.0));
+        assert_eq!(s.decisions[0].infer_profile_idx, None);
+        assert_eq!(s.avg_accuracy, 0.0);
+    }
+
+    #[test]
+    fn smaller_delta_never_hurts_much() {
+        // Finer stealing quanta explore a superset of coarse allocations
+        // reachable from the same start, so accuracy should not degrade
+        // meaningfully (Fig 10's premise).
+        let infer = infer_profiles();
+        let retrain = vec![
+            retrain_profile(10, 1.0, 6.0, 0.5, 0.9),
+            retrain_profile(5, 0.3, 2.0, 0.5, 0.8),
+        ];
+        let streams: Vec<StreamInput> =
+            (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let coarse = thief_schedule(
+            &streams,
+            200.0,
+            &SchedulerParams { delta: 1.0, ..SchedulerParams::new(2.0) },
+        );
+        let fine = thief_schedule(
+            &streams,
+            200.0,
+            &SchedulerParams { delta: 0.1, ..SchedulerParams::new(2.0) },
+        );
+        assert!(fine.avg_accuracy >= coarse.avg_accuracy - 0.02);
+        assert!(fine.evaluations >= coarse.evaluations);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
+        let streams: Vec<StreamInput> =
+            (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let params = SchedulerParams::new(2.0);
+        let a = thief_schedule(&streams, 200.0, &params);
+        let b = thief_schedule(&streams, 200.0, &params);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn a_min_floor_prefers_compliant_config() {
+        // With serving accuracy 0.5 and a_min 0.4, full-quality inference
+        // (af = 1.0) meets the floor while heavy subsampling (af ~ 0.6)
+        // would not; the picked config must meet the floor when feasible.
+        let infer = infer_profiles();
+        let retrain: Vec<RetrainProfile> = vec![];
+        let streams = vec![stream(0, 0.5, &retrain, &infer)];
+        let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(2.0));
+        let idx = s.decisions[0].infer_profile_idx.unwrap();
+        let af = infer[idx].accuracy_factor;
+        assert!(0.5 * af >= 0.4 - 1e-9, "picked config violates a_min: af = {af}");
+    }
+
+    #[test]
+    fn objective_score_mean_vs_maxmin() {
+        let accs = [0.9, 0.3, 0.6];
+        let mean = SchedulerObjective::Mean.score(&accs);
+        assert!((mean - 0.6).abs() < 1e-12);
+        let mm = SchedulerObjective::MaxMin.score(&accs);
+        assert!((mm - (0.3 + 1e-3 * 0.6)).abs() < 1e-12);
+        assert_eq!(SchedulerObjective::Mean.score(&[]), 0.0);
+    }
+
+    #[test]
+    fn maxmin_objective_lifts_the_worst_stream() {
+        // One stream with a huge retraining gain, one with a moderate one.
+        // The mean objective concentrates on the big win; max-min must not
+        // leave the weaker stream starved.
+        let infer = infer_profiles();
+        let big_gain = vec![retrain_profile(10, 1.0, 6.0, 0.30, 0.95)];
+        let small_gain = vec![retrain_profile(10, 1.0, 6.0, 0.55, 0.70)];
+        let streams = vec![
+            stream(0, 0.30, &big_gain, &infer),
+            stream(1, 0.55, &small_gain, &infer),
+        ];
+        let mean_params = SchedulerParams::new(2.0);
+        let mm_params = SchedulerParams {
+            objective: SchedulerObjective::MaxMin,
+            ..SchedulerParams::new(2.0)
+        };
+        let mean_sched = thief_schedule(&streams, 200.0, &mean_params);
+        let mm_sched = thief_schedule(&streams, 200.0, &mm_params);
+        let min_of = |s: &Schedule| {
+            s.decisions
+                .iter()
+                .map(|d| d.estimate.avg_accuracy)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            min_of(&mm_sched) >= min_of(&mean_sched) - 1e-9,
+            "max-min should not have a worse minimum: {:.3} vs {:.3}",
+            min_of(&mm_sched),
+            min_of(&mean_sched)
+        );
+    }
+
+    #[test]
+    fn maxmin_never_exceeds_mean_on_mean_metric() {
+        let infer = infer_profiles();
+        let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
+        let streams: Vec<StreamInput> =
+            (0..3).map(|i| stream(i, 0.4 + 0.1 * i as f64, &retrain, &infer)).collect();
+        let mean_sched = thief_schedule(&streams, 200.0, &SchedulerParams::new(2.0));
+        let mm_sched = thief_schedule(
+            &streams,
+            200.0,
+            &SchedulerParams {
+                objective: SchedulerObjective::MaxMin,
+                ..SchedulerParams::new(2.0)
+            },
+        );
+        // The mean objective is by definition at least as good on mean
+        // accuracy (both searched from the same start).
+        assert!(mean_sched.avg_accuracy >= mm_sched.avg_accuracy - 0.02);
+    }
+}
+

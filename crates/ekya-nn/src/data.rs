@@ -1,0 +1,146 @@
+//! Labeled sample types shared between the learning substrate and the video
+//! workload generator.
+
+use serde::{Deserialize, Serialize};
+
+/// A single labeled training/validation sample: a feature vector (the
+/// stand-in for a video frame's DNN embedding) plus a class label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature vector. All samples in a dataset share one dimensionality.
+    pub x: Vec<f32>,
+    /// Class index in `0..num_classes`.
+    pub y: usize,
+}
+
+impl Sample {
+    /// Creates a new sample.
+    pub fn new(x: Vec<f32>, y: usize) -> Self {
+        Self { x, y }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// A borrowed dataset view: slice of samples with a known class count.
+#[derive(Debug, Clone, Copy)]
+pub struct DataView<'a> {
+    /// The samples.
+    pub samples: &'a [Sample],
+    /// Number of classes labels may take.
+    pub num_classes: usize,
+}
+
+impl<'a> DataView<'a> {
+    /// Creates a view over `samples`.
+    pub fn new(samples: &'a [Sample], num_classes: usize) -> Self {
+        Self { samples, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the view holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-class frequency histogram, normalised to sum to 1 (all zeros for
+    /// an empty view).
+    pub fn class_distribution(&self) -> Vec<f64> {
+        let mut hist = vec![0.0f64; self.num_classes];
+        for s in self.samples {
+            if s.y < self.num_classes {
+                hist[s.y] += 1.0;
+            }
+        }
+        let total: f64 = hist.iter().sum();
+        if total > 0.0 {
+            for h in hist.iter_mut() {
+                *h /= total;
+            }
+        }
+        hist
+    }
+}
+
+/// Deterministically subsamples `fraction` of `samples` with the given seed,
+/// using uniform random sampling without replacement.
+///
+/// Uniform sampling is what Ekya's micro-profiler uses (§4.3): it preserves
+/// the window's data distribution, which weighted schemes do not.
+pub fn subsample(samples: &[Sample], fraction: f64, seed: u64) -> Vec<Sample> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = ((samples.len() as f64) * fraction).round() as usize;
+    let n = n.min(samples.len());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..samples.len()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(n);
+    idx.sort_unstable();
+    idx.into_iter().map(|i| samples[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize) -> Vec<Sample> {
+        (0..n).map(|i| Sample::new(vec![i as f32], i % 3)).collect()
+    }
+
+    #[test]
+    fn class_distribution_normalises() {
+        let samples = mk(9);
+        let view = DataView::new(&samples, 3);
+        let d = view.class_distribution();
+        assert_eq!(d.len(), 3);
+        for v in &d {
+            assert!((*v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn class_distribution_empty_is_zero() {
+        let samples: Vec<Sample> = vec![];
+        let view = DataView::new(&samples, 4);
+        assert_eq!(view.class_distribution(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn subsample_respects_fraction() {
+        let samples = mk(100);
+        let sub = subsample(&samples, 0.25, 42);
+        assert_eq!(sub.len(), 25);
+    }
+
+    #[test]
+    fn subsample_is_deterministic() {
+        let samples = mk(50);
+        let a = subsample(&samples, 0.5, 7);
+        let b = subsample(&samples, 0.5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subsample_different_seeds_differ() {
+        let samples = mk(200);
+        let a = subsample(&samples, 0.5, 1);
+        let b = subsample(&samples, 0.5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subsample_clamps_fraction() {
+        let samples = mk(10);
+        assert_eq!(subsample(&samples, 2.0, 0).len(), 10);
+        assert_eq!(subsample(&samples, -1.0, 0).len(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Classification evaluation beyond plain accuracy.
+//!
+//! Continuous-learning failures are often *class-local*: a class that
+//! surged in the current window (Fig 2a) may be the one the stale model
+//! misses, even when overall accuracy still looks acceptable. Per-class
+//! recall and the confusion matrix make that visible; they power the
+//! drift diagnostics in the examples and tests.
+
+use crate::data::DataView;
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// Row-major confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix of `model` on `data`.
+    pub fn compute(model: &Mlp, data: DataView<'_>) -> Self {
+        let mut counts = vec![0u64; data.num_classes * data.num_classes];
+        if !data.is_empty() {
+            let preds = model.predict(data.samples);
+            for (s, &p) in data.samples.iter().zip(preds.iter()) {
+                if s.y < data.num_classes && p < data.num_classes {
+                    counts[s.y * data.num_classes + p] += 1;
+                }
+            }
+        }
+        Self { num_classes: data.num_classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Count of samples with ground truth `truth` predicted as `pred`.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.num_classes + pred]
+    }
+
+    /// Total samples of ground-truth class `truth`.
+    pub fn class_total(&self, truth: usize) -> u64 {
+        (0..self.num_classes).map(|p| self.count(truth, p)).sum()
+    }
+
+    /// Recall of class `truth` (`None` when the class has no samples).
+    pub fn recall(&self, truth: usize) -> Option<f64> {
+        let total = self.class_total(truth);
+        if total == 0 {
+            None
+        } else {
+            Some(self.count(truth, truth) as f64 / total as f64)
+        }
+    }
+
+    /// Precision of class `pred` (`None` when nothing was predicted as it).
+    pub fn precision(&self, pred: usize) -> Option<f64> {
+        let total: u64 = (0..self.num_classes).map(|t| self.count(t, pred)).sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.count(pred, pred) as f64 / total as f64)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.num_classes).map(|c| self.count(c, c)).sum();
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall vector (`None` entries for absent classes).
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        (0..self.num_classes).map(|c| self.recall(c)).collect()
+    }
+
+    /// The lowest per-class recall among classes present in the data —
+    /// the "worst-served class" signal a fairness-minded operator watches.
+    pub fn min_recall(&self) -> Option<f64> {
+        self.recalls().into_iter().flatten().fold(None, |acc, r| {
+            Some(match acc {
+                None => r,
+                Some(a) => a.min(r),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Sample;
+    use crate::mlp::{MlpArch, Sgd};
+
+    fn separable(n: usize, seed: u64) -> Vec<Sample> {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let y = rng.gen_range(0..3usize);
+                let c = y as f32 * 2.0 - 2.0;
+                Sample::new(
+                    vec![c + rng.gen_range(-0.3..0.3), -c + rng.gen_range(-0.3..0.3)],
+                    y,
+                )
+            })
+            .collect()
+    }
+
+    fn trained_model(data: &[Sample]) -> Mlp {
+        let view = DataView::new(data, 3);
+        let mut m = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 3 }, 1);
+        let mut opt = Sgd::new(&m, 0.1, 0.9);
+        for e in 0..25 {
+            m.train_epoch(view, &mut opt, 16, e);
+        }
+        m
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match_data() {
+        let data = separable(120, 5);
+        let model = trained_model(&data);
+        let cm = ConfusionMatrix::compute(&model, DataView::new(&data, 3));
+        let total: u64 = (0..3).map(|c| cm.class_total(c)).sum();
+        assert_eq!(total, 120);
+        assert_eq!(cm.num_classes(), 3);
+    }
+
+    #[test]
+    fn accuracy_matches_model_accuracy() {
+        let data = separable(200, 6);
+        let model = trained_model(&data);
+        let view = DataView::new(&data, 3);
+        let cm = ConfusionMatrix::compute(&model, view);
+        assert!((cm.accuracy() - model.accuracy(view)).abs() < 1e-12);
+        assert!(cm.accuracy() > 0.9, "separable data should be learnable");
+    }
+
+    #[test]
+    fn recall_and_precision_bounds() {
+        let data = separable(150, 7);
+        let model = trained_model(&data);
+        let cm = ConfusionMatrix::compute(&model, DataView::new(&data, 3));
+        for c in 0..3 {
+            let r = cm.recall(c).expect("class present");
+            assert!((0.0..=1.0).contains(&r));
+            if let Some(p) = cm.precision(c) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        assert!(cm.min_recall().unwrap() <= cm.accuracy() + 1e-9);
+    }
+
+    #[test]
+    fn absent_class_has_no_recall() {
+        let data: Vec<Sample> =
+            (0..10).map(|i| Sample::new(vec![i as f32, 0.0], 0)).collect();
+        let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4], num_classes: 3 }, 2);
+        let cm = ConfusionMatrix::compute(&model, DataView::new(&data, 3));
+        assert!(cm.recall(1).is_none());
+        assert!(cm.recall(2).is_none());
+        assert!(cm.recall(0).is_some());
+    }
+
+    #[test]
+    fn empty_data_is_all_zero() {
+        let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4], num_classes: 2 }, 3);
+        let empty: Vec<Sample> = vec![];
+        let cm = ConfusionMatrix::compute(&model, DataView::new(&empty, 2));
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!(cm.min_recall().is_none());
+    }
+}

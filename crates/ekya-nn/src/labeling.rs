@@ -1,0 +1,253 @@
+//! Golden-model labelling budgets.
+//!
+//! The golden model is ~13x the edge model's cost, so it "cannot keep up
+//! with inference on the live videos and we use it to label only a small
+//! fraction of the videos in the retraining window" (§2.2). This module
+//! decides *which* frames get that scarce labelling budget:
+//!
+//! * [`LabelStrategy::Uniform`] — uniform random sampling, the paper's
+//!   choice for micro-profiling data because it "preserves all the data
+//!   distributions and variations" (§4.3);
+//! * [`LabelStrategy::ClassBalanced`] — equalise labelled counts across
+//!   the classes the teacher *predicts*, protecting rare classes at the
+//!   cost of distorting the distribution;
+//! * [`LabelStrategy::Disagreement`] — prioritise frames where the edge
+//!   model disagrees with the teacher (an active-learning heuristic: those
+//!   frames carry the most corrective signal).
+
+use crate::data::Sample;
+use crate::golden::Teacher;
+use crate::mlp::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How to spend the labelling budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelStrategy {
+    /// Uniform random sampling (distribution-preserving).
+    Uniform,
+    /// Class-balanced by the teacher's predicted class.
+    ClassBalanced,
+    /// Frames where the edge model disagrees with the teacher first.
+    Disagreement,
+}
+
+/// Output of a budgeted labelling pass.
+#[derive(Debug, Clone)]
+pub struct LabeledBatch {
+    /// Teacher-labelled samples (at most `budget`).
+    pub samples: Vec<Sample>,
+    /// Frames inspected by the teacher (its GPU cost driver; for
+    /// [`LabelStrategy::Uniform`] equals `samples.len()`, for the others
+    /// the teacher scans the full pool).
+    pub teacher_inspections: usize,
+}
+
+/// Labels up to `budget` frames from `pool` with `teacher`, choosing
+/// frames per `strategy`. `edge_model` is needed only for
+/// [`LabelStrategy::Disagreement`].
+pub fn label_with_budget<T: Teacher>(
+    teacher: &mut T,
+    pool: &[Sample],
+    budget: usize,
+    strategy: LabelStrategy,
+    edge_model: Option<&Mlp>,
+    seed: u64,
+) -> LabeledBatch {
+    let budget = budget.min(pool.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    match strategy {
+        LabelStrategy::Uniform => {
+            let mut idx: Vec<usize> = (0..pool.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(budget);
+            idx.sort_unstable();
+            let samples = idx
+                .into_iter()
+                .map(|i| Sample::new(pool[i].x.clone(), teacher.label(&pool[i].x, pool[i].y)))
+                .collect();
+            LabeledBatch { samples, teacher_inspections: budget }
+        }
+        LabelStrategy::ClassBalanced => {
+            // Teacher labels everything, then we keep a balanced subset.
+            let labelled: Vec<Sample> = pool
+                .iter()
+                .map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y)))
+                .collect();
+            let num_classes = labelled.iter().map(|s| s.y).max().map_or(0, |m| m + 1);
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+            for (i, s) in labelled.iter().enumerate() {
+                buckets[s.y].push(i);
+            }
+            for b in buckets.iter_mut() {
+                b.shuffle(&mut rng);
+            }
+            // Round-robin across classes until the budget is spent.
+            let mut keep: Vec<usize> = Vec::with_capacity(budget);
+            let mut level = 0usize;
+            while keep.len() < budget {
+                let mut advanced = false;
+                for b in &buckets {
+                    if keep.len() >= budget {
+                        break;
+                    }
+                    if let Some(&i) = b.get(level) {
+                        keep.push(i);
+                        advanced = true;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+                level += 1;
+            }
+            keep.sort_unstable();
+            let inspections = labelled.len();
+            LabeledBatch {
+                samples: keep.into_iter().map(|i| labelled[i].clone()).collect(),
+                teacher_inspections: inspections,
+            }
+        }
+        LabelStrategy::Disagreement => {
+            let model = edge_model.expect("Disagreement strategy needs the edge model");
+            let labelled: Vec<Sample> = pool
+                .iter()
+                .map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y)))
+                .collect();
+            let preds = model.predict(&labelled);
+            let mut disagree: Vec<usize> = Vec::new();
+            let mut agree: Vec<usize> = Vec::new();
+            for (i, (s, &p)) in labelled.iter().zip(preds.iter()).enumerate() {
+                if p == s.y {
+                    agree.push(i);
+                } else {
+                    disagree.push(i);
+                }
+            }
+            disagree.shuffle(&mut rng);
+            agree.shuffle(&mut rng);
+            let mut keep: Vec<usize> = disagree;
+            keep.extend(agree);
+            keep.truncate(budget);
+            keep.sort_unstable();
+            let inspections = labelled.len();
+            LabeledBatch {
+                samples: keep.into_iter().map(|i| labelled[i].clone()).collect(),
+                teacher_inspections: inspections,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataView;
+    use crate::golden::OracleTeacher;
+    use crate::mlp::MlpArch;
+    use rand::Rng;
+
+    fn skewed_pool(n: usize, seed: u64) -> Vec<Sample> {
+        // 90% class 0, 10% split over classes 1-2.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let y = if rng.gen_bool(0.9) { 0 } else { rng.gen_range(1..3) };
+                let c = y as f32 * 2.0;
+                Sample::new(vec![c + rng.gen_range(-0.3..0.3), -c], y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_respects_budget_and_cost() {
+        let pool = skewed_pool(200, 1);
+        let mut teacher = OracleTeacher::new(0.0, 3, 2);
+        let out =
+            label_with_budget(&mut teacher, &pool, 50, LabelStrategy::Uniform, None, 3);
+        assert_eq!(out.samples.len(), 50);
+        assert_eq!(out.teacher_inspections, 50, "uniform only inspects what it labels");
+    }
+
+    #[test]
+    fn class_balanced_lifts_rare_classes() {
+        let pool = skewed_pool(300, 4);
+        let mut teacher = OracleTeacher::new(0.0, 3, 5);
+        let uniform =
+            label_with_budget(&mut teacher, &pool, 60, LabelStrategy::Uniform, None, 6);
+        let mut teacher2 = OracleTeacher::new(0.0, 3, 5);
+        let balanced =
+            label_with_budget(&mut teacher2, &pool, 60, LabelStrategy::ClassBalanced, None, 6);
+        let rare = |samples: &[Sample]| samples.iter().filter(|s| s.y != 0).count();
+        assert!(
+            rare(&balanced.samples) > rare(&uniform.samples),
+            "balanced ({}) should label more rare-class frames than uniform ({})",
+            rare(&balanced.samples),
+            rare(&uniform.samples)
+        );
+        assert!(balanced.teacher_inspections > balanced.samples.len());
+    }
+
+    #[test]
+    fn disagreement_prefers_frames_the_edge_model_gets_wrong() {
+        let pool = skewed_pool(200, 7);
+        let mut teacher = OracleTeacher::new(0.0, 3, 8);
+        // An untrained edge model disagrees a lot; all kept frames should
+        // be disagreements while any exist beyond the budget.
+        let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4], num_classes: 3 }, 9);
+        let out = label_with_budget(
+            &mut teacher,
+            &pool,
+            30,
+            LabelStrategy::Disagreement,
+            Some(&model),
+            10,
+        );
+        assert_eq!(out.samples.len(), 30);
+        let preds = model.predict(&out.samples);
+        let disagreements =
+            out.samples.iter().zip(&preds).filter(|(s, &p)| p != s.y).count();
+        // The untrained model is wrong on most frames, so the selected 30
+        // should be dominated by disagreements.
+        assert!(disagreements >= 20, "got {disagreements} disagreements of 30");
+    }
+
+    #[test]
+    fn budget_larger_than_pool_is_clamped() {
+        let pool = skewed_pool(10, 11);
+        let mut teacher = OracleTeacher::new(0.0, 3, 12);
+        let out =
+            label_with_budget(&mut teacher, &pool, 100, LabelStrategy::Uniform, None, 13);
+        assert_eq!(out.samples.len(), 10);
+    }
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let pool = skewed_pool(100, 14);
+        let run = |strategy| {
+            let mut teacher = OracleTeacher::new(0.02, 3, 15);
+            label_with_budget(&mut teacher, &pool, 40, strategy, None, 16).samples
+        };
+        assert_eq!(run(LabelStrategy::Uniform), run(LabelStrategy::Uniform));
+        assert_eq!(run(LabelStrategy::ClassBalanced), run(LabelStrategy::ClassBalanced));
+    }
+
+    #[test]
+    fn labelled_batches_train_fine() {
+        // End-to-end sanity: a balanced batch trains a usable model.
+        let pool = skewed_pool(300, 17);
+        let mut teacher = OracleTeacher::new(0.02, 3, 18);
+        let out =
+            label_with_budget(&mut teacher, &pool, 120, LabelStrategy::ClassBalanced, None, 19);
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 3 }, 20);
+        let view = DataView::new(&out.samples, 3);
+        let mut opt = crate::mlp::Sgd::new(&model, 0.1, 0.9);
+        for e in 0..25 {
+            model.train_epoch(view, &mut opt, 16, e);
+        }
+        assert!(model.accuracy(view) > 0.85);
+    }
+}

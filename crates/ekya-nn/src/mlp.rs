@@ -1,0 +1,561 @@
+//! Multi-layer perceptron classifier — the stand-in for the paper's
+//! compressed edge DNN (ResNet18) and the high-capacity golden model
+//! (ResNeXt101).
+//!
+//! The scheduler and micro-profiler only ever interact with the model
+//! through its learning behaviour (accuracy as a function of epochs, data
+//! size, frozen layers, batch size), so a small but *genuinely trained*
+//! classifier preserves the phenomena Ekya exploits:
+//!
+//! * diminishing-returns learning curves (fit by the micro-profiler);
+//! * a capacity ceiling — narrow models cannot memorise many appearance
+//!   modes (§2.2 "fewer weights and shallower architectures");
+//! * layer freezing trading accuracy for cheaper epochs (Fig 3a);
+//! * accuracy collapse under data drift and recovery after retraining.
+//!
+//! Implemented: dense layers, ReLU, softmax cross-entropy, minibatch SGD
+//! with momentum, per-layer freezing, last-hidden-layer resizing ("number
+//! of neurons in the last layer" hyperparameter), seeded determinism.
+//! Omitted (not needed by any experiment): convolutions, dropout,
+//! batch-norm, weight decay, GPU execution.
+
+use crate::data::{DataView, Sample};
+use crate::tensor::{relu_inplace, softmax_rows, Matrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One dense (fully connected) layer: `y = x W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, `in_dim x out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    /// He-initialised layer (suits ReLU activations).
+    pub fn he_init(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        // Box-Muller from two uniforms; avoids needing rand_distr here.
+        let mut gauss = || {
+            let u1: f32 = rng.gen_range(1e-7..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        let w = Matrix::from_fn(in_dim, out_dim, |_, _| gauss() * std);
+        Self { w, b: vec![0.0; out_dim] }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+/// Architecture description for [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpArch {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths, in order. The last entry is the "last layer
+    /// neurons" hyperparameter from the paper's retraining configurations.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl MlpArch {
+    /// A compact edge-model architecture (the "compressed ResNet18" stand-in).
+    pub fn edge(input_dim: usize, num_classes: usize, last_layer_neurons: usize) -> Self {
+        Self { input_dim, hidden: vec![24, last_layer_neurons], num_classes }
+    }
+
+    /// A heavyweight golden-model architecture (the "ResNeXt101" stand-in).
+    pub fn golden(input_dim: usize, num_classes: usize) -> Self {
+        Self { input_dim, hidden: vec![128, 128, 64], num_classes }
+    }
+
+    /// Total number of trainable layers (hidden layers + output layer).
+    pub fn num_layers(&self) -> usize {
+        self.hidden.len() + 1
+    }
+}
+
+/// Multi-layer perceptron with per-layer freezing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    arch: MlpArch,
+    layers: Vec<Dense>,
+    /// `trainable[i]` is false when layer `i` is frozen (its parameters are
+    /// not updated and no gradient flows below the lowest trainable layer).
+    trainable: Vec<bool>,
+}
+
+/// Gradients for one training step, shaped like the layers.
+struct Grads {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds a freshly initialised MLP. Deterministic for a fixed seed.
+    pub fn new(arch: MlpArch, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![arch.input_dim];
+        dims.extend_from_slice(&arch.hidden);
+        dims.push(arch.num_classes);
+        let layers: Vec<Dense> =
+            dims.windows(2).map(|d| Dense::he_init(d[0], d[1], &mut rng)).collect();
+        let trainable = vec![true; layers.len()];
+        Self { arch, layers, trainable }
+    }
+
+    /// The architecture this model was built with.
+    pub fn arch(&self) -> &MlpArch {
+        &self.arch
+    }
+
+    /// Total number of layers (hidden + output).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Freezes all but the last `layers_trained` layers.
+    ///
+    /// `layers_trained = 1` trains only the output layer; values greater
+    /// than the layer count unfreeze everything. This is the paper's
+    /// "number of layers to retrain" hyperparameter (§3.1).
+    pub fn set_layers_trained(&mut self, layers_trained: usize) {
+        let n = self.layers.len();
+        let trained = layers_trained.clamp(1, n);
+        for (i, t) in self.trainable.iter_mut().enumerate() {
+            *t = i >= n - trained;
+        }
+    }
+
+    /// Number of currently trainable layers.
+    pub fn layers_trained(&self) -> usize {
+        self.trainable.iter().filter(|t| **t).count()
+    }
+
+    /// Fraction of parameters that are currently trainable, in `[0, 1]`.
+    pub fn trainable_param_fraction(&self) -> f64 {
+        let total: usize = self.layers.iter().map(Dense::num_params).sum();
+        let trainable: usize = self
+            .layers
+            .iter()
+            .zip(&self.trainable)
+            .filter(|(_, t)| **t)
+            .map(|(l, _)| l.num_params())
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            trainable as f64 / total as f64
+        }
+    }
+
+    /// Replaces the last hidden layer (and the output layer it feeds) with
+    /// freshly initialised layers of width `neurons`.
+    ///
+    /// This models the "number of neurons in the last layer" retraining
+    /// hyperparameter: earlier layers keep their learned weights, so the
+    /// model retains its representation while the head is re-learned.
+    pub fn resize_last_hidden(&mut self, neurons: usize, seed: u64) {
+        assert!(!self.arch.hidden.is_empty(), "cannot resize a linear model head");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = self.arch.hidden.len();
+        let in_dim = if h >= 2 { self.arch.hidden[h - 2] } else { self.arch.input_dim };
+        self.arch.hidden[h - 1] = neurons;
+        // Layer index h-1 is the last hidden layer; layer h is the output.
+        self.layers[h - 1] = Dense::he_init(in_dim, neurons, &mut rng);
+        self.layers[h] = Dense::he_init(neurons, self.arch.num_classes, &mut rng);
+    }
+
+    /// Forward pass on a batch. Returns per-layer pre-activation inputs
+    /// (needed for backprop) plus the softmax probabilities.
+    fn forward_full(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Vec<bool>>, Matrix) {
+        let mut activations = vec![x.clone()];
+        let mut masks = Vec::new();
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = cur.matmul(&layer.w);
+            for r in 0..z.rows() {
+                let row = z.row_mut(r);
+                for (v, &b) in row.iter_mut().zip(layer.b.iter()) {
+                    *v += b;
+                }
+            }
+            if i + 1 < self.layers.len() {
+                let mask = relu_inplace(&mut z);
+                masks.push(mask);
+            }
+            activations.push(z.clone());
+            cur = z;
+        }
+        let mut probs = cur;
+        softmax_rows(&mut probs);
+        (activations, masks, probs)
+    }
+
+    /// Predicted class indices for a batch of samples.
+    pub fn predict(&self, samples: &[Sample]) -> Vec<usize> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let x = batch_features(samples, self.arch.input_dim);
+        let (_, _, probs) = self.forward_full(&x);
+        (0..probs.rows())
+            .map(|r| {
+                let row = probs.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Classification accuracy on a dataset view, in `[0, 1]`.
+    /// Returns 0 for an empty view.
+    pub fn accuracy(&self, data: DataView<'_>) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(data.samples);
+        let correct = preds.iter().zip(data.samples).filter(|(p, s)| **p == s.y).count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Mean cross-entropy loss on a dataset view.
+    pub fn loss(&self, data: DataView<'_>) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let x = batch_features(data.samples, self.arch.input_dim);
+        let (_, _, probs) = self.forward_full(&x);
+        let mut total = 0.0f64;
+        for (r, s) in data.samples.iter().enumerate() {
+            let p = probs.get(r, s.y).max(1e-12);
+            total -= (p as f64).ln();
+        }
+        total / data.len() as f64
+    }
+
+    /// Backward pass for a batch; returns gradients for trainable layers
+    /// (frozen layers get `None`-equivalent zero matrices that are skipped
+    /// by the optimiser via the trainable mask).
+    fn backward(
+        &self,
+        activations: &[Matrix],
+        masks: &[Vec<bool>],
+        probs: &Matrix,
+        labels: &[usize],
+    ) -> Grads {
+        let batch = labels.len();
+        let n_layers = self.layers.len();
+        let lowest_trainable = self.trainable.iter().position(|t| *t).unwrap_or(n_layers);
+
+        // dL/dz for the output layer of softmax cross-entropy: (p - y)/batch.
+        let mut delta = probs.clone();
+        for (r, &y) in labels.iter().enumerate() {
+            let v = delta.get(r, y);
+            delta.set(r, y, v - 1.0);
+        }
+        delta.scale(1.0 / batch as f32);
+
+        let mut gw: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+            .collect();
+        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+        for i in (0..n_layers).rev() {
+            if i < lowest_trainable {
+                // No trainable layer below: gradient flow can stop here.
+                break;
+            }
+            if self.trainable[i] {
+                // grad_W = a_{i}^T * delta ; grad_b = column sums of delta.
+                gw[i] = activations[i].t_matmul(&delta);
+                for r in 0..delta.rows() {
+                    for (bi, &d) in gb[i].iter_mut().zip(delta.row(r).iter()) {
+                        *bi += d;
+                    }
+                }
+            }
+            if i > lowest_trainable {
+                // delta_{i-1} = (delta * W_i^T) ⊙ relu'(z_{i-1})
+                let mut next = delta.matmul_t(&self.layers[i].w);
+                let mask = &masks[i - 1];
+                for (v, &m) in next.data_mut().iter_mut().zip(mask.iter()) {
+                    if !m {
+                        *v = 0.0;
+                    }
+                }
+                delta = next;
+            }
+        }
+        Grads { w: gw, b: gb }
+    }
+
+    /// Runs one epoch of minibatch SGD over `data`, with the given optimiser
+    /// state. Sample order is shuffled deterministically from `epoch_seed`.
+    ///
+    /// Returns the mean training loss over the epoch.
+    pub fn train_epoch(
+        &mut self,
+        data: DataView<'_>,
+        opt: &mut Sgd,
+        batch_size: usize,
+        epoch_seed: u64,
+    ) -> f64 {
+        use rand::seq::SliceRandom;
+        if data.is_empty() {
+            return 0.0;
+        }
+        let batch_size = batch_size.max(1);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(epoch_seed);
+        order.shuffle(&mut rng);
+
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch_size) {
+            let samples: Vec<Sample> =
+                chunk.iter().map(|&i| data.samples[i].clone()).collect();
+            let labels: Vec<usize> = samples.iter().map(|s| s.y).collect();
+            let x = batch_features(&samples, self.arch.input_dim);
+            let (acts, masks, probs) = self.forward_full(&x);
+
+            // Batch loss (before the update), for curve fitting.
+            let mut loss = 0.0f64;
+            for (r, &y) in labels.iter().enumerate() {
+                loss -= (probs.get(r, y).max(1e-12) as f64).ln();
+            }
+            total_loss += loss / labels.len() as f64;
+            batches += 1;
+
+            let grads = self.backward(&acts, &masks, &probs, &labels);
+            opt.apply(self, grads);
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total_loss / batches as f64
+        }
+    }
+}
+
+/// Stacks sample features into a batch matrix.
+fn batch_features(samples: &[Sample], input_dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(samples.len(), input_dim);
+    for (r, s) in samples.iter().enumerate() {
+        assert_eq!(s.x.len(), input_dim, "sample dimensionality mismatch");
+        m.row_mut(r).copy_from_slice(&s.x);
+    }
+    m
+}
+
+/// Minibatch SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    vel_w: Vec<Matrix>,
+    vel_b: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimiser for `model` with the given hyperparameters.
+    pub fn new(model: &Mlp, lr: f32, momentum: f32) -> Self {
+        let vel_w = model.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
+        let vel_b = model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        Self { lr, momentum, vel_w, vel_b }
+    }
+
+    fn apply(&mut self, model: &mut Mlp, grads: Grads) {
+        for i in 0..model.layers.len() {
+            if !model.trainable[i] {
+                continue;
+            }
+            // Velocity shapes can go stale after a head resize; re-zero them.
+            if self.vel_w[i].rows() != grads.w[i].rows()
+                || self.vel_w[i].cols() != grads.w[i].cols()
+            {
+                self.vel_w[i] = Matrix::zeros(grads.w[i].rows(), grads.w[i].cols());
+                self.vel_b[i] = vec![0.0; grads.b[i].len()];
+            }
+            self.vel_w[i].scale(self.momentum);
+            self.vel_w[i].add_scaled(&grads.w[i], 1.0);
+            model.layers[i].w.add_scaled(&self.vel_w[i], -self.lr);
+            for ((v, &g), b) in self.vel_b[i]
+                .iter_mut()
+                .zip(grads.b[i].iter())
+                .zip(model.layers[i].b.iter_mut())
+            {
+                *v = *v * self.momentum + g;
+                *b -= self.lr * *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Sample;
+
+    /// A linearly separable 2-class toy problem.
+    fn toy_data(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let y = rng.gen_range(0..2usize);
+                let cx = if y == 0 { -1.0 } else { 1.0 };
+                let x = vec![
+                    cx + rng.gen_range(-0.3..0.3),
+                    -cx + rng.gen_range(-0.3..0.3),
+                ];
+                Sample::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let arch = MlpArch::edge(4, 3, 8);
+        let a = Mlp::new(arch.clone(), 99);
+        let b = Mlp::new(arch, 99);
+        assert_eq!(a.layers[0].w, b.layers[0].w);
+    }
+
+    #[test]
+    fn training_learns_separable_data() {
+        let data = toy_data(200, 1);
+        let view = DataView::new(&data, 2);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 }, 7);
+        let before = model.accuracy(view);
+        let mut opt = Sgd::new(&model, 0.1, 0.9);
+        for e in 0..20 {
+            model.train_epoch(view, &mut opt, 16, e);
+        }
+        let after = model.accuracy(view);
+        assert!(after > 0.95, "expected >0.95 accuracy, got {after} (before: {before})");
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let data = toy_data(100, 2);
+        let view = DataView::new(&data, 2);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 }, 3);
+        let initial = model.loss(view);
+        let mut opt = Sgd::new(&model, 0.05, 0.9);
+        for e in 0..10 {
+            model.train_epoch(view, &mut opt, 16, e);
+        }
+        assert!(model.loss(view) < initial);
+    }
+
+    #[test]
+    fn frozen_layers_do_not_change() {
+        let data = toy_data(50, 3);
+        let view = DataView::new(&data, 2);
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 8], num_classes: 2 }, 11);
+        model.set_layers_trained(1); // only the output layer trains
+        let frozen_before = model.layers[0].w.clone();
+        let head_before = model.layers[2].w.clone();
+        let mut opt = Sgd::new(&model, 0.1, 0.0);
+        model.train_epoch(view, &mut opt, 8, 0);
+        assert_eq!(model.layers[0].w, frozen_before, "frozen layer moved");
+        assert_ne!(model.layers[2].w, head_before, "trainable head did not move");
+    }
+
+    #[test]
+    fn layers_trained_clamps() {
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 2, hidden: vec![4, 4], num_classes: 2 }, 0);
+        model.set_layers_trained(100);
+        assert_eq!(model.layers_trained(), 3);
+        model.set_layers_trained(0);
+        assert_eq!(model.layers_trained(), 1);
+    }
+
+    #[test]
+    fn trainable_param_fraction_reflects_freezing() {
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 8, hidden: vec![16, 8], num_classes: 4 }, 0);
+        assert!((model.trainable_param_fraction() - 1.0).abs() < 1e-9);
+        model.set_layers_trained(1);
+        let frac = model.trainable_param_fraction();
+        assert!(frac > 0.0 && frac < 0.5, "head-only fraction should be small, got {frac}");
+    }
+
+    #[test]
+    fn resize_last_hidden_changes_width_and_keeps_trunk() {
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 4, hidden: vec![8, 8], num_classes: 3 }, 5);
+        let trunk = model.layers[0].w.clone();
+        model.resize_last_hidden(16, 42);
+        assert_eq!(model.arch().hidden, vec![8, 16]);
+        assert_eq!(model.layers[1].out_dim(), 16);
+        assert_eq!(model.layers[2].in_dim(), 16);
+        assert_eq!(model.layers[0].w, trunk, "trunk must be preserved");
+        // Model still functions end to end.
+        let s = Sample::new(vec![0.1, 0.2, 0.3, 0.4], 0);
+        let _ = model.predict(&[s]);
+    }
+
+    #[test]
+    fn training_works_after_resize() {
+        let data = toy_data(150, 4);
+        let view = DataView::new(&data, 2);
+        let mut model =
+            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 4], num_classes: 2 }, 5);
+        model.resize_last_hidden(12, 6);
+        let mut opt = Sgd::new(&model, 0.1, 0.9);
+        for e in 0..20 {
+            model.train_epoch(view, &mut opt, 16, e);
+        }
+        assert!(model.accuracy(view) > 0.9);
+    }
+
+    #[test]
+    fn empty_data_is_harmless() {
+        let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4], num_classes: 2 }, 0);
+        let empty: Vec<Sample> = vec![];
+        let view = DataView::new(&empty, 2);
+        assert_eq!(model.accuracy(view), 0.0);
+        assert_eq!(model.loss(view), 0.0);
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let data = toy_data(30, 9);
+        let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![6], num_classes: 2 }, 1);
+        assert_eq!(model.predict(&data), model.predict(&data));
+    }
+}

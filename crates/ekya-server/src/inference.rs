@@ -1,0 +1,198 @@
+//! Per-stream inference actor.
+//!
+//! Holds the stream's serving model and answers classification requests
+//! continuously. Weight swaps ([`InferenceMsg::SwapModel`]) queue behind
+//! in-flight requests and block the mailbox only for the (brief) reload,
+//! exactly the behaviour the paper gets from Ray actors (§5: "queuing of
+//! requests when the actor (model) is unavailable when its new weights
+//! are being loaded").
+
+use ekya_actors::Actor;
+use ekya_core::InferenceConfig;
+use ekya_nn::data::{DataView, Sample};
+use ekya_nn::mlp::Mlp;
+use std::time::Duration;
+
+/// Counters exposed by an inference actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferenceStats {
+    /// Frames classified since spawn.
+    pub served: u64,
+    /// Model hot-swaps applied.
+    pub swaps: u64,
+}
+
+/// Messages an inference actor understands.
+pub enum InferenceMsg {
+    /// Classify one frame's feature vector.
+    Classify(Vec<f32>),
+    /// Classify a batch.
+    ClassifyBatch(Vec<Sample>),
+    /// Replace the serving model; `reload` emulates weight-loading time.
+    SwapModel {
+        /// The new model.
+        model: Box<Mlp>,
+        /// Simulated weight-reload duration.
+        reload: Duration,
+    },
+    /// Measure accuracy on a labelled batch.
+    Evaluate(Vec<Sample>),
+    /// A copy of the current serving model (for profiling/retraining).
+    GetModel,
+    /// Change the inference configuration (frame sampling / resolution).
+    SetConfig(InferenceConfig),
+    /// Current counters.
+    Stats,
+}
+
+/// Replies from an inference actor.
+pub enum InferenceReply {
+    /// Predicted class for `Classify`.
+    Prediction(usize),
+    /// Predicted classes for `ClassifyBatch`.
+    Predictions(Vec<usize>),
+    /// Swap applied.
+    Swapped,
+    /// Accuracy for `Evaluate`.
+    Accuracy(f64),
+    /// Model copy for `GetModel`.
+    Model(Box<Mlp>),
+    /// Config updated.
+    ConfigSet,
+    /// Counters for `Stats`.
+    Stats(InferenceStats),
+}
+
+/// The actor state.
+pub struct InferenceActor {
+    model: Mlp,
+    num_classes: usize,
+    config: InferenceConfig,
+    stats: InferenceStats,
+}
+
+impl InferenceActor {
+    /// Creates an inference actor serving `model`.
+    pub fn new(model: Mlp, num_classes: usize) -> Self {
+        Self {
+            model,
+            num_classes,
+            config: InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
+            stats: InferenceStats::default(),
+        }
+    }
+
+    /// The currently configured inference configuration.
+    pub fn config(&self) -> InferenceConfig {
+        self.config
+    }
+}
+
+impl Actor for InferenceActor {
+    type Msg = InferenceMsg;
+    type Reply = InferenceReply;
+
+    fn handle(&mut self, msg: InferenceMsg) -> InferenceReply {
+        match msg {
+            InferenceMsg::Classify(x) => {
+                self.stats.served += 1;
+                let s = Sample::new(x, 0);
+                InferenceReply::Prediction(self.model.predict(std::slice::from_ref(&s))[0])
+            }
+            InferenceMsg::ClassifyBatch(batch) => {
+                self.stats.served += batch.len() as u64;
+                InferenceReply::Predictions(self.model.predict(&batch))
+            }
+            InferenceMsg::SwapModel { model, reload } => {
+                if !reload.is_zero() {
+                    std::thread::sleep(reload);
+                }
+                self.model = *model;
+                self.stats.swaps += 1;
+                InferenceReply::Swapped
+            }
+            InferenceMsg::Evaluate(batch) => InferenceReply::Accuracy(
+                self.model.accuracy(DataView::new(&batch, self.num_classes)),
+            ),
+            InferenceMsg::GetModel => InferenceReply::Model(Box::new(self.model.clone())),
+            InferenceMsg::SetConfig(c) => {
+                self.config = c;
+                InferenceReply::ConfigSet
+            }
+            InferenceMsg::Stats => InferenceReply::Stats(self.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekya_actors::spawn;
+    use ekya_nn::mlp::MlpArch;
+
+    fn actor() -> InferenceActor {
+        InferenceActor::new(Mlp::new(MlpArch::edge(4, 3, 8), 1), 3)
+    }
+
+    #[test]
+    fn classify_and_stats() {
+        let h = spawn("inf", actor());
+        for _ in 0..5 {
+            let InferenceReply::Prediction(p) =
+                h.ask(InferenceMsg::Classify(vec![0.1; 4])).unwrap()
+            else {
+                panic!("wrong reply")
+            };
+            assert!(p < 3);
+        }
+        let InferenceReply::Stats(st) = h.ask(InferenceMsg::Stats).unwrap() else {
+            panic!("wrong reply")
+        };
+        assert_eq!(st.served, 5);
+        assert_eq!(st.swaps, 0);
+        h.stop();
+    }
+
+    #[test]
+    fn swap_changes_predictions_source() {
+        let h = spawn("inf", actor());
+        let other = Mlp::new(MlpArch::edge(4, 3, 8), 99);
+        let expected = {
+            let s = Sample::new(vec![0.5, -0.5, 0.3, 0.1], 0);
+            other.predict(std::slice::from_ref(&s))[0]
+        };
+        h.ask(InferenceMsg::SwapModel { model: Box::new(other), reload: Duration::ZERO })
+            .unwrap();
+        let InferenceReply::Prediction(p) =
+            h.ask(InferenceMsg::Classify(vec![0.5, -0.5, 0.3, 0.1])).unwrap()
+        else {
+            panic!("wrong reply")
+        };
+        assert_eq!(p, expected);
+        let InferenceReply::Stats(st) = h.ask(InferenceMsg::Stats).unwrap() else {
+            panic!("wrong reply")
+        };
+        assert_eq!(st.swaps, 1);
+        h.stop();
+    }
+
+    #[test]
+    fn get_model_roundtrip() {
+        let h = spawn("inf", actor());
+        let InferenceReply::Model(m) = h.ask(InferenceMsg::GetModel).unwrap() else {
+            panic!("wrong reply")
+        };
+        assert_eq!(m.arch().num_classes, 3);
+        h.stop();
+    }
+
+    #[test]
+    fn set_config() {
+        let h = spawn("inf", actor());
+        let c = InferenceConfig { frame_sampling: 0.25, resolution: 0.5 };
+        let InferenceReply::ConfigSet = h.ask(InferenceMsg::SetConfig(c)).unwrap() else {
+            panic!("wrong reply")
+        };
+        h.stop();
+    }
+}

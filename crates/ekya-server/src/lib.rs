@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # ekya-server — the wall-clock actor deployment
+//!
+//! The paper's evaluation has two halves: a real system implementation on
+//! Ray actors (§5) and a trace-driven simulator (§6.1). `ekya-sim` covers
+//! the simulator; this crate covers the deployment shape: per-stream
+//! **inference actors** that keep classifying live frames while
+//! **trainer actors** run real SGD on other threads, hot-swapping
+//! improved checkpoints into serving, with the micro-profiler and thief
+//! scheduler planning every window.
+//!
+//! Implemented: inference/trainer actors, checkpoint hot-swaps with
+//! reload-time queueing, end-to-end windowed operation, liveness metrics
+//! (frames served during retraining). Omitted: real GPU binding and
+//! fractional-share enforcement — wall-clock threads share CPU, so timing
+//! fidelity (retraining durations under fractional allocations) is the
+//! job of `ekya-sim`'s virtual-time runner. Use this crate to validate
+//! the architecture; use `ekya-sim` to evaluate scheduling policy.
+
+pub mod inference;
+pub mod server;
+pub mod trainer;
+
+pub use inference::{InferenceActor, InferenceMsg, InferenceReply, InferenceStats};
+pub use server::{EdgeServer, EdgeServerConfig, StreamWindowOutcome};
+pub use trainer::{TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply};

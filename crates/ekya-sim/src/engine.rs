@@ -1,0 +1,240 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! A binary-heap event queue keyed by `(time, sequence)` — the sequence
+//! number breaks ties in insertion order, so runs are bit-for-bit
+//! reproducible. Events carry a *generation* tag; bumping a generation
+//! lazily cancels all events scheduled under the old one (the standard
+//! DES idiom for rescheduling, used here when a GPU reallocation changes
+//! an in-flight epoch's finish time).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    generation: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Handle identifying a cancellable event family. Events scheduled with a
+/// [`Generation`] are dropped unexecuted once the generation is bumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Generation(u64);
+
+/// The event queue / clock.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    seq: u64,
+    current_generation: u64,
+    /// Generations still considered live. Index = generation id issued by
+    /// `new_generation`; value = live flag.
+    live: Vec<bool>,
+    executed: u64,
+}
+
+impl<E: Eq> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> Engine<E> {
+    /// Creates an empty engine at time zero with one live generation.
+    pub fn new() -> Self {
+        Self {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            current_generation: 0,
+            live: vec![true],
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still queued (including lazily cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Issues a fresh generation handle for cancellable events.
+    pub fn new_generation(&mut self) -> Generation {
+        self.live.push(true);
+        self.current_generation = self.live.len() as u64 - 1;
+        Generation(self.current_generation)
+    }
+
+    /// Cancels every event scheduled under `generation` (lazily — they
+    /// are skipped when popped).
+    pub fn cancel(&mut self, generation: Generation) {
+        if let Some(flag) = self.live.get_mut(generation.0 as usize) {
+            *flag = false;
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at` under `generation`.
+    /// Events scheduled in the past execute at the current time (next
+    /// pop), preserving order.
+    pub fn schedule_at(&mut self, at: SimTime, generation: Generation, payload: E) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            generation: generation.0,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after `delay_secs` under `generation`.
+    pub fn schedule_in(&mut self, delay_secs: f64, generation: Generation, payload: E) {
+        self.schedule_at(self.now.plus_secs(delay_secs), generation, payload);
+    }
+
+    /// Pops the next live event, advancing the clock. Returns `None` when
+    /// the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if !self.live.get(ev.generation as usize).copied().unwrap_or(false) {
+                continue; // lazily cancelled
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Pops the next live event only if it occurs at or before `deadline`;
+    /// otherwise leaves it queued and advances the clock to `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                self.now = self.now.max(deadline);
+                return None;
+            };
+            let head_generation = head.generation;
+            let head_at = head.at;
+            if !self.live.get(head_generation as usize).copied().unwrap_or(false) {
+                self.queue.pop();
+                continue;
+            }
+            if head_at > deadline {
+                self.now = self.now.max(deadline);
+                return None;
+            }
+            return self.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let g = e.new_generation();
+        e.schedule_in(3.0, g, 3);
+        e.schedule_in(1.0, g, 1);
+        e.schedule_in(2.0, g, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!((e.now().as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let g = e.new_generation();
+        for i in 0..5 {
+            e.schedule_at(SimTime::from_secs(1.0), g, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancelled_generations_are_skipped() {
+        let mut e: Engine<u32> = Engine::new();
+        let g1 = e.new_generation();
+        e.schedule_in(1.0, g1, 1);
+        let g2 = e.new_generation();
+        e.schedule_in(2.0, g2, 2);
+        e.cancel(g1);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![2]);
+        assert_eq!(e.executed(), 1);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        let g = e.new_generation();
+        e.schedule_in(1.0, g, 1);
+        e.schedule_in(5.0, g, 5);
+        let deadline = SimTime::from_secs(3.0);
+        assert_eq!(e.pop_until(deadline).map(|(_, p)| p), Some(1));
+        assert_eq!(e.pop_until(deadline), None);
+        // Clock advanced exactly to the deadline; later event still queued.
+        assert!((e.now().as_secs() - 3.0).abs() < 1e-9);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn pop_until_skips_cancelled_heads() {
+        let mut e: Engine<u32> = Engine::new();
+        let g1 = e.new_generation();
+        e.schedule_in(1.0, g1, 1);
+        let g2 = e.new_generation();
+        e.schedule_in(2.0, g2, 2);
+        e.cancel(g1);
+        assert_eq!(e.pop_until(SimTime::from_secs(10.0)).map(|(_, p)| p), Some(2));
+    }
+
+    #[test]
+    fn past_events_execute_at_current_time() {
+        let mut e: Engine<u32> = Engine::new();
+        let g = e.new_generation();
+        e.schedule_in(5.0, g, 1);
+        e.pop();
+        e.schedule_at(SimTime::from_secs(1.0), g, 2); // in the past
+        let (at, _) = e.pop().unwrap();
+        assert!((at.as_secs() - 5.0).abs() < 1e-9, "clamped to now");
+    }
+
+    #[test]
+    fn empty_engine_advances_to_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.pop_until(SimTime::from_secs(7.0)), None);
+        assert!((e.now().as_secs() - 7.0).abs() < 1e-9);
+    }
+}

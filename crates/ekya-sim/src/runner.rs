@@ -1,0 +1,771 @@
+//! End-to-end retraining-window execution.
+//!
+//! This is the testbed-equivalent of the paper's implementation (§5): for
+//! each retraining window it (1) labels the window's training pool with
+//! the golden model, (2) measures the drift-degraded serving accuracy,
+//! (3) micro-profiles retraining configurations (when the policy wants
+//! them), (4) asks the policy for configurations + GPU allocations, and
+//! (5) executes the window on the discrete-event engine — training jobs
+//! progress epoch by epoch at a rate set by their fractional GPU
+//! allocation, models are hot-swapped at checkpoints and on completion,
+//! estimates are corrected mid-window when observations diverge (§5), and
+//! the scheduler is re-invoked whenever a retraining job completes
+//! (§4.2).
+//!
+//! Every piece of accuracy accounting uses **measured** model accuracy on
+//! ground-truth validation data; the system's internal decisions only see
+//! teacher-labelled data, mirroring the deployment reality that ground
+//! truth does not exist on the edge.
+
+use crate::engine::{Engine, Generation};
+use crate::gpu::{pack, quantize_inv_pow2, MpsCosts, PlacementRequest};
+use crate::metrics::{RunReport, StreamWindowReport, Timeline, WindowReport};
+use crate::time::SimTime;
+use ekya_core::adapt::{needs_correction, refit_curve};
+use ekya_core::{
+    build_inference_profiles, default_inference_grid, default_retrain_grid, InProgressRetrain,
+    InferenceConfig, InferenceProfile, MicroProfiler, MicroProfilerParams, Policy, PolicyCtx,
+    PolicyStream, RetrainConfig, RetrainExecution, RetrainProfile, TrainHyper,
+};
+use ekya_nn::continual::ExemplarMemory;
+use ekya_nn::cost::CostModel;
+use ekya_nn::data::{DataView, Sample};
+use ekya_nn::fit::LearningCurve;
+use ekya_nn::golden::{distill_labels, OracleTeacher};
+use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_video::{StreamSet, VideoDataset};
+use serde::{Deserialize, Serialize};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Total GPUs on the edge server.
+    pub total_gpus: f64,
+    /// Golden-model label error rate (§6.1 verified golden labels are
+    /// near-human; 2% default).
+    pub teacher_error_rate: f64,
+    /// SGD hyperparameters shared by profiling and execution.
+    pub hyper: TrainHyper,
+    /// GPU cost model.
+    pub cost: CostModel,
+    /// Candidate retraining configurations Γ.
+    pub retrain_grid: Vec<RetrainConfig>,
+    /// Candidate inference configurations Λ.
+    pub inference_grid: Vec<InferenceConfig>,
+    /// Micro-profiler parameters.
+    pub profiler: MicroProfilerParams,
+    /// Checkpoint the in-flight model every `n` epochs and hot-swap it
+    /// into serving when better (§5). `None` disables checkpointing.
+    pub checkpoint_every_epochs: Option<u32>,
+    /// Serving disruption when a checkpoint is swapped in, seconds (§5's
+    /// "cost of the disruption").
+    pub checkpoint_swap_cost_secs: f64,
+    /// iCaRL exemplar memory capacity per class (0 disables).
+    pub exemplar_per_class: usize,
+    /// Charge micro-profiling GPU time by delaying training starts.
+    pub charge_profiling: bool,
+    /// Quantise allocations to inverse powers of two and pack onto
+    /// physical GPUs before execution (§5 placement).
+    pub quantize_placement: bool,
+    /// Enable mid-window estimate correction + rescheduling (§5).
+    pub adapt_estimates: bool,
+    /// MPS reallocation costs.
+    pub mps: MpsCosts,
+    /// Width of the edge model's last hidden layer at bootstrap.
+    pub initial_head_width: usize,
+    /// Failure injection: windows in which the golden model is
+    /// unavailable. No labels can be produced, so micro-profiling and
+    /// retraining are suppressed and the exemplar memory is not updated —
+    /// the system must coast on its stale models.
+    pub outage_windows: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            total_gpus: 1.0,
+            teacher_error_rate: 0.02,
+            hyper: TrainHyper::default(),
+            cost: CostModel::default(),
+            retrain_grid: default_retrain_grid(),
+            inference_grid: default_inference_grid(),
+            profiler: MicroProfilerParams::default(),
+            checkpoint_every_epochs: Some(5),
+            checkpoint_swap_cost_secs: 0.5,
+            exemplar_per_class: 20,
+            charge_profiling: true,
+            quantize_placement: false,
+            adapt_estimates: true,
+            mps: MpsCosts::default(),
+            initial_head_width: 16,
+            outage_windows: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// Persistent per-stream state across windows.
+struct StreamState {
+    model: Mlp,
+    memory: ExemplarMemory,
+    profiler: MicroProfiler,
+    teacher: OracleTeacher,
+}
+
+/// Per-window, per-stream prepared data.
+struct WindowPrep {
+    /// Teacher-labelled training pool (window data + exemplars).
+    pool: Vec<Sample>,
+    /// Teacher-labelled validation split (what the system can observe).
+    sys_val: Vec<Sample>,
+    /// Ground-truth validation split (what we measure with).
+    true_val: Vec<Sample>,
+    class_dist: Vec<f64>,
+    drift: f64,
+    serving_true: f64,
+    serving_sys: f64,
+    fps: f64,
+}
+
+/// An in-flight training job during window execution.
+struct ActiveTrain {
+    exec: RetrainExecution,
+    alloc: f64,
+    generation: Generation,
+    epoch_started: SimTime,
+    epoch_duration_secs: f64,
+    gpu_seconds_per_epoch: f64,
+    curve: LearningCurve,
+    observed: Vec<(f64, f64)>,
+    completed: bool,
+    /// Progress fraction of the in-flight epoch at the moment the job was
+    /// stalled (allocation dropped to zero), so a later revival resumes
+    /// from the right place instead of crediting progress for idle time.
+    stalled_frac: Option<f64>,
+}
+
+impl ActiveTrain {
+    fn epoch_wall_secs(&self) -> f64 {
+        if self.alloc <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.gpu_seconds_per_epoch / self.alloc
+        }
+    }
+
+    /// GPU-seconds of work remaining (full epochs + the unfinished part of
+    /// the current epoch at time `t`).
+    fn gpu_seconds_remaining(&self, t: SimTime) -> f64 {
+        let full = self.exec.epochs_remaining() as f64 * self.gpu_seconds_per_epoch;
+        if self.alloc <= 0.0 || !self.epoch_duration_secs.is_finite() {
+            return full;
+        }
+        let elapsed = t.secs_since(self.epoch_started);
+        let frac_done = (elapsed / self.epoch_duration_secs).clamp(0.0, 1.0);
+        // `epochs_remaining` counts the in-flight epoch, so subtract its
+        // completed part.
+        (full - frac_done * self.gpu_seconds_per_epoch).max(0.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    EpochDone(usize),
+}
+
+/// Runs `num_windows` retraining windows of `streams` under `policy`.
+///
+/// # Panics
+/// Panics when `streams` is empty or datasets have fewer than
+/// `num_windows` windows.
+pub fn run_windows<P: Policy + ?Sized>(
+    policy: &mut P,
+    streams: &StreamSet,
+    cfg: &RunnerConfig,
+    num_windows: usize,
+) -> RunReport {
+    assert!(!streams.is_empty(), "need at least one stream");
+    assert!(
+        streams.num_windows() >= num_windows,
+        "datasets have {} windows, {} requested",
+        streams.num_windows(),
+        num_windows
+    );
+    let datasets: Vec<&VideoDataset> = streams.iter().map(|(_, ds)| ds).collect();
+    let ids: Vec<_> = streams.ids();
+    let n = datasets.len();
+    let window_secs = datasets[0].spec.window_secs;
+
+    let mut states: Vec<StreamState> = (0..n)
+        .map(|s| {
+            let ds = datasets[s];
+            let seed = cfg.seed.wrapping_add(7919 * s as u64);
+            StreamState {
+                model: Mlp::new(
+                    MlpArch::edge(ds.feature_dim, ds.num_classes, cfg.initial_head_width),
+                    seed,
+                ),
+                memory: ExemplarMemory::new(ds.num_classes, cfg.exemplar_per_class),
+                profiler: MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00),
+                teacher: OracleTeacher::new(cfg.teacher_error_rate, ds.num_classes, seed ^ 0xC0),
+            }
+        })
+        .collect();
+
+    let mut windows = Vec::with_capacity(num_windows);
+    for w_idx in 0..num_windows {
+        let report = run_one_window(policy, &mut states, &datasets, &ids, cfg, w_idx, window_secs);
+        // Fold this window's labelled data into the exemplar memories
+        // (unless the teacher was down — no labels existed).
+        for (s, state) in states.iter_mut().enumerate() {
+            if cfg.exemplar_per_class > 0 && !cfg.outage_windows.contains(&w_idx) {
+                let w = datasets[s].window(w_idx);
+                let labelled = distill_labels(&mut state.teacher, &w.train_pool);
+                state.memory.update(&labelled);
+            }
+        }
+        windows.push(report);
+    }
+    RunReport { policy: policy.name(), windows }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_window<P: Policy + ?Sized>(
+    policy: &mut P,
+    states: &mut [StreamState],
+    datasets: &[&VideoDataset],
+    ids: &[ekya_video::StreamId],
+    cfg: &RunnerConfig,
+    w_idx: usize,
+    window_secs: f64,
+) -> WindowReport {
+    let n = states.len();
+
+    // ---- 1. Prepare window data (teacher labelling + accuracy probes). --
+    let preps: Vec<WindowPrep> = (0..n)
+        .map(|s| {
+            let ds = datasets[s];
+            let w = ds.window(w_idx);
+            let state = &mut states[s];
+            let fresh = distill_labels(&mut state.teacher, &w.train_pool);
+            let pool = state.memory.training_mix(&fresh);
+            let sys_val = distill_labels(&mut state.teacher, &w.val);
+            let true_val = w.val.clone();
+            let nc = ds.num_classes;
+            let serving_true = state.model.accuracy(DataView::new(&true_val, nc));
+            let serving_sys = state.model.accuracy(DataView::new(&sys_val, nc));
+            WindowPrep {
+                pool,
+                sys_val,
+                true_val,
+                class_dist: w.class_dist.clone(),
+                drift: w.drift_from_prev,
+                serving_true,
+                serving_sys,
+                fps: ds.spec.fps,
+            }
+        })
+        .collect();
+
+    // ---- 2. Micro-profile (when the policy wants profiles). ----
+    // A golden-model outage leaves no labelled data: nothing to profile,
+    // nothing to retrain on.
+    let outage = cfg.outage_windows.contains(&w_idx);
+    let mut profiling_cost = vec![0.0f64; n];
+    let mut retrain_profiles: Vec<Vec<RetrainProfile>> = vec![Vec::new(); n];
+    if policy.needs_profiles() && !outage {
+        for s in 0..n {
+            let ds = datasets[s];
+            let state = &mut states[s];
+            let out = state.profiler.profile(
+                &state.model,
+                &preps[s].pool,
+                &preps[s].sys_val,
+                &cfg.retrain_grid,
+                ds.num_classes,
+                cfg.seed.wrapping_add((w_idx as u64) << 16).wrapping_add(s as u64),
+            );
+            profiling_cost[s] = out.gpu_seconds_spent;
+            retrain_profiles[s] = out.profiles;
+        }
+    }
+    let infer_profiles: Vec<Vec<InferenceProfile>> = (0..n)
+        .map(|s| {
+            build_inference_profiles(
+                &cfg.cost,
+                cfg.cost.size_factor(&states[s].model),
+                preps[s].fps,
+                &cfg.inference_grid,
+            )
+        })
+        .collect();
+
+    // ---- 3. Ask the policy for the window plan. ----
+    // Micro-profiling occupies the GPUs before training can begin
+    // (§4.3: profiling "must share compute resources with all retraining
+    // and inference"), so the policy plans against the *remaining*
+    // horizon — otherwise retrainings that "just fit" the window would
+    // systematically miss it.
+    let profile_delay = if cfg.charge_profiling {
+        profiling_cost.iter().sum::<f64>() / cfg.total_gpus.max(1e-9)
+    } else {
+        0.0
+    };
+    let plan_horizon = (window_secs - profile_delay).max(1.0);
+    let build_ctx = |serving_sys: &[f64]| -> PolicyCtx<'_> {
+        PolicyCtx {
+            window_idx: w_idx,
+            window_secs: plan_horizon,
+            total_gpus: cfg.total_gpus,
+            streams: (0..n)
+                .map(|s| PolicyStream {
+                    id: ids[s],
+                    fps: preps[s].fps,
+                    serving_accuracy: serving_sys[s],
+                    class_dist: &preps[s].class_dist,
+                    drift_magnitude: preps[s].drift,
+                    retrain_profiles: &retrain_profiles[s],
+                    infer_profiles: &infer_profiles[s],
+                })
+                .collect(),
+        }
+    };
+    let mut serving_sys: Vec<f64> = preps.iter().map(|p| p.serving_sys).collect();
+    let mut serving_true: Vec<f64> = preps.iter().map(|p| p.serving_true).collect();
+    let plan = policy.plan_window(&build_ctx(&serving_sys));
+    assert_eq!(plan.streams.len(), n, "policy must plan every stream");
+
+    // ---- 4. Execute the window on the event engine. ----
+    let mut engine: Engine<Ev> = Engine::new();
+    let deadline = SimTime::from_secs(window_secs);
+
+    // Effective inference configuration: downgrade to the best feasible
+    // configuration if the planned one cannot keep up (defence against
+    // infeasible plans; contributes zero accuracy when nothing fits).
+    let effective_af = |s: usize, want: &InferenceConfig, gpus: f64| -> (InferenceConfig, f64) {
+        let profiles = &infer_profiles[s];
+        let wanted = profiles.iter().find(|p| {
+            (p.config.frame_sampling - want.frame_sampling).abs() < 1e-9
+                && (p.config.resolution - want.resolution).abs() < 1e-9
+        });
+        if let Some(p) = wanted {
+            if p.gpu_demand <= gpus + 1e-9 {
+                return (p.config, p.accuracy_factor);
+            }
+        }
+        profiles
+            .iter()
+            .filter(|p| p.gpu_demand <= gpus + 1e-9)
+            .max_by(|a, b| {
+                a.accuracy_factor
+                    .partial_cmp(&b.accuracy_factor)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|p| (p.config, p.accuracy_factor))
+            .unwrap_or((*want, 0.0))
+    };
+
+    let mut train_alloc: Vec<f64> = plan
+        .streams
+        .iter()
+        .map(|sp| sp.retrain.map(|r| r.gpus).unwrap_or(0.0))
+        .collect();
+    let mut infer_gpus: Vec<f64> = plan.streams.iter().map(|sp| sp.infer_gpus).collect();
+    if cfg.quantize_placement {
+        for a in train_alloc.iter_mut().chain(infer_gpus.iter_mut()) {
+            *a = quantize_inv_pow2(*a);
+        }
+        // Record fragmentation; execution uses the quantised shares.
+        let reqs: Vec<PlacementRequest> = train_alloc
+            .iter()
+            .chain(infer_gpus.iter())
+            .enumerate()
+            .map(|(i, &d)| PlacementRequest { job: i as u32, demand: d })
+            .collect();
+        let _ = pack(&reqs, cfg.total_gpus.ceil() as usize);
+    }
+
+    let mut af: Vec<f64> = Vec::with_capacity(n);
+    let mut infer_cfg_eff: Vec<InferenceConfig> = Vec::with_capacity(n);
+    for s in 0..n {
+        let (c, a) = effective_af(s, &plan.streams[s].infer_config, infer_gpus[s]);
+        infer_cfg_eff.push(c);
+        af.push(a);
+    }
+    let mut timelines: Vec<Timeline> =
+        (0..n).map(|s| Timeline::new(0.0, serving_true[s] * af[s])).collect();
+
+    let mut jobs: Vec<Option<ActiveTrain>> = (0..n)
+        .map(|s| {
+            if outage {
+                return None; // no labels — retraining cannot run
+            }
+            let planned = plan.streams[s].retrain?;
+            if train_alloc[s] <= 0.0 {
+                return None;
+            }
+            let ds = datasets[s];
+            let exec = RetrainExecution::new(
+                &states[s].model,
+                &preps[s].pool,
+                planned.config,
+                ds.num_classes,
+                cfg.hyper,
+                cfg.seed.wrapping_add((w_idx as u64) << 20).wrapping_add(s as u64),
+            );
+            let gpu_seconds_per_epoch = cfg.cost.train_epoch_gpu_seconds(
+                exec.model(),
+                exec.num_samples(),
+                planned.config.batch_size,
+            );
+            let curve = retrain_profiles[s]
+                .iter()
+                .find(|p| p.config == planned.config)
+                .map(|p| p.curve)
+                .unwrap_or_else(|| LearningCurve::flat(serving_sys[s]));
+            let generation = engine.new_generation();
+            let mut job = ActiveTrain {
+                exec,
+                alloc: train_alloc[s],
+                generation,
+                epoch_started: SimTime::from_secs(profile_delay),
+                epoch_duration_secs: 0.0,
+                gpu_seconds_per_epoch,
+                curve,
+                observed: Vec::new(),
+                completed: false,
+                stalled_frac: None,
+            };
+            job.epoch_duration_secs = job.epoch_wall_secs();
+            engine.schedule_at(
+                SimTime::from_secs(profile_delay + job.epoch_duration_secs),
+                generation,
+                Ev::EpochDone(s),
+            );
+            Some(job)
+        })
+        .collect();
+
+    // Event loop.
+    while let Some((t, Ev::EpochDone(s))) = engine.pop_until(deadline) {
+        let nc = datasets[s].num_classes;
+        let mut swapped = false;
+        let mut request_replan = false;
+        {
+            let job = jobs[s].as_mut().expect("event for missing job");
+            job.exec.step_epoch();
+            let k = job.exec.k_done();
+            let sys_acc = job.exec.accuracy(&preps[s].sys_val);
+            job.observed.push((k, sys_acc));
+
+            // §5: correct the estimate when observation diverges.
+            if cfg.adapt_estimates && needs_correction(&job.curve, k, sys_acc) {
+                job.curve = refit_curve(&job.curve, &job.observed);
+                request_replan = true;
+            }
+
+            let at_checkpoint = cfg
+                .checkpoint_every_epochs
+                .map(|ck| ck > 0 && job.exec.epochs_done() % ck == 0)
+                .unwrap_or(false);
+            if job.exec.is_complete() {
+                job.completed = true;
+                request_replan = true;
+                if sys_acc > serving_sys[s] {
+                    swapped = true;
+                }
+            } else if at_checkpoint && sys_acc > serving_sys[s] {
+                swapped = true;
+            }
+        }
+
+        // Adopt the improved model state *before* rescheduling (the
+        // policy should see the stream's new accuracy), but only write
+        // its timeline point after the replan — the swap takes effect at
+        // `t + swap_cost`, later than the replan's `t` updates.
+        let pre_swap_true = serving_true[s];
+        if swapped {
+            let (new_model, sys_acc) = {
+                let job = jobs[s].as_ref().unwrap();
+                (job.exec.model().clone(), *job.observed.last().map(|(_, a)| a).unwrap())
+            };
+            states[s].model = new_model;
+            states[s].model.set_layers_trained(usize::MAX);
+            serving_sys[s] = sys_acc;
+            serving_true[s] =
+                states[s].model.accuracy(DataView::new(&preps[s].true_val, nc));
+        }
+
+        // Mid-window rescheduling (on completion or estimate correction).
+        if request_replan {
+            let in_flight: Vec<Option<InProgressRetrain>> = (0..n)
+                .map(|i| {
+                    let job = jobs[i].as_ref()?;
+                    if job.completed {
+                        return None;
+                    }
+                    Some(InProgressRetrain {
+                        config: *job.exec.config(),
+                        curve: job.curve,
+                        k_done: job.exec.k_done(),
+                        gpu_seconds_remaining: job.gpu_seconds_remaining(t),
+                    })
+                })
+                .collect();
+            let remaining = window_secs - t.as_secs();
+            if remaining > 1.0 {
+                let ctx = build_ctx(&serving_sys);
+                if let Some(replan) = policy.replan(&ctx, &in_flight, remaining) {
+                    assert_eq!(replan.len(), n, "replan must cover every stream");
+                    for i in 0..n {
+                        // Inference side.
+                        let new_infer_gpus = if cfg.quantize_placement {
+                            quantize_inv_pow2(replan[i].infer_gpus)
+                        } else {
+                            replan[i].infer_gpus
+                        };
+                        let (c, a) =
+                            effective_af(i, &replan[i].infer_config, new_infer_gpus);
+                        if (a - af[i]).abs() > 1e-12 {
+                            af[i] = a;
+                            // Until `t + swap_cost`, the stream that just
+                            // completed still serves its pre-swap model.
+                            let model_acc = if i == s && swapped {
+                                pre_swap_true
+                            } else {
+                                serving_true[i]
+                            };
+                            timelines[i].set(t.as_secs(), model_acc * af[i]);
+                        }
+                        infer_cfg_eff[i] = c;
+                        infer_gpus[i] = new_infer_gpus;
+                        // Training side: retune in-flight jobs.
+                        let new_alloc = if cfg.quantize_placement {
+                            quantize_inv_pow2(replan[i].train_gpus)
+                        } else {
+                            replan[i].train_gpus
+                        };
+                        let Some(job) = jobs[i].as_mut() else { continue };
+                        if job.completed || (new_alloc - job.alloc).abs() < 1e-12 {
+                            continue;
+                        }
+                        // Reschedule the in-flight epoch at the new rate,
+                        // paying the MPS restart cost.
+                        engine.cancel(job.generation);
+                        job.generation = engine.new_generation();
+                        let frac_done = job.stalled_frac.take().unwrap_or_else(|| {
+                            if job.epoch_duration_secs.is_finite()
+                                && job.epoch_duration_secs > 0.0
+                            {
+                                (t.secs_since(job.epoch_started) / job.epoch_duration_secs)
+                                    .clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            }
+                        });
+                        job.alloc = new_alloc;
+                        train_alloc[i] = new_alloc;
+                        if new_alloc > 0.0 && i != s {
+                            let full = job.epoch_wall_secs();
+                            job.epoch_duration_secs = full;
+                            job.epoch_started = t.plus_secs(-(frac_done * full));
+                            let remaining_secs =
+                                (1.0 - frac_done) * full + cfg.mps.realloc_restart_secs;
+                            engine.schedule_in(remaining_secs, job.generation, Ev::EpochDone(i));
+                        } else if new_alloc <= 0.0 {
+                            // Stalled: remember partial progress; no event.
+                            job.stalled_frac = Some(frac_done);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The swap takes effect after its (brief) disruption window (§5).
+        if swapped {
+            let effective_t = (t.as_secs() + cfg.checkpoint_swap_cost_secs).min(window_secs);
+            timelines[s].set(effective_t, serving_true[s] * af[s]);
+        }
+
+        // Schedule stream `s`'s next epoch (after any reallocation).
+        let job = jobs[s].as_mut().unwrap();
+        if !job.completed && job.alloc > 0.0 {
+            job.epoch_started = t;
+            job.epoch_duration_secs = job.epoch_wall_secs();
+            engine.schedule_in(job.epoch_duration_secs, job.generation, Ev::EpochDone(s));
+        }
+    }
+
+    // ---- 5. Window report. ----
+    let streams_report = (0..n)
+        .map(|s| {
+            let avg = timelines[s].average(0.0, window_secs);
+            let min = timelines[s].min_over(0.0, window_secs);
+            let (retrained, config, completed, wasted) = match &jobs[s] {
+                Some(job) => {
+                    let wasted = if job.completed {
+                        0.0
+                    } else {
+                        job.exec.epochs_done() as f64 * job.gpu_seconds_per_epoch
+                    };
+                    (true, Some(*job.exec.config()), job.completed, wasted)
+                }
+                None => (false, None, false, 0.0),
+            };
+            StreamWindowReport {
+                id: ids[s],
+                avg_accuracy: avg,
+                min_accuracy: min,
+                start_model_accuracy: preps[s].serving_true,
+                end_model_accuracy: serving_true[s],
+                retrained,
+                retrain_config: config,
+                retrain_completed: completed,
+                train_gpus: plan.streams[s].retrain.map(|r| r.gpus).unwrap_or(0.0),
+                infer_gpus: plan.streams[s].infer_gpus,
+                infer_config: infer_cfg_eff[s],
+                profiling_gpu_seconds: profiling_cost[s],
+                wasted_gpu_seconds: wasted,
+                timeline: timelines[s].points().to_vec(),
+            }
+        })
+        .collect();
+    WindowReport { window_idx: w_idx, streams: streams_report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekya_core::{EkyaPolicy, SchedulerParams};
+    use ekya_video::DatasetKind;
+
+    fn small_config(gpus: f64) -> RunnerConfig {
+        RunnerConfig { total_gpus: gpus, seed: 11, ..RunnerConfig::default() }
+    }
+
+    #[test]
+    fn ekya_runs_end_to_end() {
+        let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 4, 5);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+        let report = run_windows(&mut policy, &streams, &small_config(2.0), 4);
+        assert_eq!(report.windows.len(), 4);
+        assert_eq!(report.policy, "Ekya");
+        for w in &report.windows {
+            assert_eq!(w.streams.len(), 2);
+            for s in &w.streams {
+                assert!(s.avg_accuracy >= 0.0 && s.avg_accuracy <= 1.0);
+            }
+        }
+        // A functioning system should be retraining at least sometimes and
+        // reaching useful accuracy after the bootstrap window.
+        assert!(report.retrain_rate() > 0.0, "Ekya should retrain");
+        let late: f64 = report.windows[1..]
+            .iter()
+            .map(|w| w.mean_accuracy())
+            .sum::<f64>()
+            / 3.0;
+        assert!(late > 0.4, "post-bootstrap accuracy too low: {late:.3}");
+    }
+
+    #[test]
+    fn accuracy_improves_over_bootstrap() {
+        // The first window starts from a random model; by later windows
+        // continuous retraining should have lifted accuracy substantially.
+        let streams = StreamSet::generate(DatasetKind::UrbanBuilding, 1, 5, 21);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+        let report = run_windows(&mut policy, &streams, &small_config(1.0), 5);
+        let first = report.windows[0].mean_accuracy();
+        let last = report.windows[4].mean_accuracy();
+        assert!(
+            last > first,
+            "continuous learning should improve accuracy: {first:.3} -> {last:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let streams = StreamSet::generate(DatasetKind::Waymo, 2, 3, 9);
+        let run = || {
+            let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+            run_windows(&mut policy, &streams, &small_config(1.0), 3)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_placement_still_works() {
+        let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 3, 13);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+        let cfg = RunnerConfig { quantize_placement: true, ..small_config(2.0) };
+        let report = run_windows(&mut policy, &streams, &cfg, 3);
+        assert_eq!(report.windows.len(), 3);
+        assert!(report.mean_accuracy() > 0.0);
+    }
+
+    #[test]
+    fn zero_exemplars_disables_memory() {
+        let streams = StreamSet::generate(DatasetKind::Waymo, 1, 3, 17);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+        let cfg = RunnerConfig { exemplar_per_class: 0, ..small_config(1.0) };
+        let report = run_windows(&mut policy, &streams, &cfg, 3);
+        assert_eq!(report.windows.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn empty_streams_panic() {
+        let streams = StreamSet::generate(DatasetKind::Waymo, 0, 3, 0);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+        run_windows(&mut policy, &streams, &small_config(1.0), 3);
+    }
+
+    #[test]
+    fn teacher_outage_suppresses_retraining() {
+        let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 4, 23);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+        let cfg = RunnerConfig {
+            outage_windows: vec![1, 2],
+            ..small_config(2.0)
+        };
+        let report = run_windows(&mut policy, &streams, &cfg, 4);
+        for w in &report.windows {
+            let any_retrained = w.streams.iter().any(|s| s.retrained);
+            if w.window_idx == 1 || w.window_idx == 2 {
+                assert!(!any_retrained, "window {} must not retrain", w.window_idx);
+            }
+        }
+        // Drift during the outage shows up as lower accuracy than a
+        // healthy run over the same windows.
+        let mut healthy_policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+        let healthy = run_windows(&mut healthy_policy, &streams, &small_config(2.0), 4);
+        let late = |r: &RunReport| r.windows[2..].iter().map(|w| w.mean_accuracy()).sum::<f64>();
+        assert!(
+            late(&healthy) >= late(&report) - 1e-9,
+            "outages should not help: healthy {:.3} vs outage {:.3}",
+            late(&healthy),
+            late(&report)
+        );
+    }
+
+    #[test]
+    fn system_recovers_after_outage() {
+        // Fast-drifting dashcams guarantee retraining is worth it again
+        // right after the outage.
+        let streams = StreamSet::generate(DatasetKind::Cityscapes, 1, 5, 29);
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+        let cfg = RunnerConfig { outage_windows: vec![2], ..small_config(1.0) };
+        let report = run_windows(&mut policy, &streams, &cfg, 5);
+        // Retraining resumes in some window after the outage.
+        let resumed = report
+            .windows
+            .iter()
+            .filter(|w| w.window_idx > 2)
+            .any(|w| w.streams.iter().any(|s| s.retrained));
+        assert!(resumed, "retraining should resume after the outage");
+    }
+}
+

@@ -1,0 +1,97 @@
+//! Simulation time: fixed-point microseconds.
+//!
+//! Discrete-event simulators must order events deterministically; floating
+//! point accumulates rounding that can reorder ties across platforms, so
+//! the engine's clock is an integer microsecond count with explicit
+//! conversions at the boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from (possibly fractional) seconds, saturating at
+    /// zero for negative inputs.
+    pub fn from_secs(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// The time as floating-point seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Adds a duration in seconds (saturating at zero for negative
+    /// results).
+    pub fn plus_secs(self, secs: f64) -> Self {
+        let delta = (secs * 1e6).round();
+        if delta >= 0.0 {
+            SimTime(self.0.saturating_add(delta as u64))
+        } else {
+            SimTime(self.0.saturating_sub((-delta) as u64))
+        }
+    }
+
+    /// Duration from `earlier` to `self`, in seconds (0 when `earlier` is
+    /// later).
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        self.0.saturating_sub(earlier.0) as f64 / 1e6
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs(12.345678);
+        assert!((t.as_secs() - 12.345678).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs(-5.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn plus_and_since() {
+        let t = SimTime::from_secs(10.0);
+        let u = t.plus_secs(2.5);
+        assert!((u.secs_since(t) - 2.5).abs() < 1e-9);
+        assert_eq!(t.secs_since(u), 0.0, "negative durations clamp to zero");
+        let v = u.plus_secs(-2.5);
+        assert_eq!(v, t);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(1.000001);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+    }
+}

@@ -1,0 +1,445 @@
+//! Data-drift processes.
+//!
+//! The paper identifies two components of drift that degrade edge models
+//! (§2.2–2.3): the **class mix** changes across retraining windows
+//! (Fig 2a — bicycles vanish in windows 6–7, the share of persons swings),
+//! and **object appearances** change within a class (Fig 2c/2d — clothing,
+//! angles, lighting). Both are modelled here as seeded stochastic
+//! processes evolving once per retraining window:
+//!
+//! * [`ClassMixDrift`] — a logit random walk with occasional regime jumps,
+//!   optionally modulated by a diurnal cycle (rush hours / daylight);
+//! * [`AppearanceDrift`] — per-class mixture modes in feature space whose
+//!   centroids random-walk, with a shared "lighting" offset following a
+//!   day/night sinusoid. Multi-modal classes are what create the capacity
+//!   gap between compressed and golden models (§2.2: limited weights can
+//!   only "memorize limited amount of object appearances").
+
+use crate::types::ObjectClass;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the class-mix drift process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMixParams {
+    /// Std-dev of the per-window logit random-walk step.
+    pub walk_step: f64,
+    /// Probability of a regime jump in a window (a class surging or
+    /// collapsing, like bicycles disappearing in Fig 2a).
+    pub jump_prob: f64,
+    /// Logit magnitude of a regime jump.
+    pub jump_scale: f64,
+    /// Amplitude of the diurnal modulation (0 disables it).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle, in windows.
+    pub diurnal_period: f64,
+}
+
+impl Default for ClassMixParams {
+    fn default() -> Self {
+        Self {
+            walk_step: 0.35,
+            jump_prob: 0.15,
+            jump_scale: 2.5,
+            diurnal_amplitude: 0.0,
+            diurnal_period: 432.0,
+        }
+    }
+}
+
+/// Evolving class distribution over retraining windows.
+#[derive(Debug, Clone)]
+pub struct ClassMixDrift {
+    params: ClassMixParams,
+    logits: Vec<f64>,
+    /// Per-class phase offset for the diurnal term (so rush-hour classes
+    /// peak at different times of day).
+    phases: Vec<f64>,
+    window: u64,
+    rng: StdRng,
+}
+
+impl ClassMixDrift {
+    /// Creates a drift process with the given initial logits (one per
+    /// class). Deterministic for a fixed seed.
+    pub fn new(params: ClassMixParams, initial_logits: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(initial_logits.len(), ObjectClass::COUNT, "need one logit per class");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases =
+            (0..ObjectClass::COUNT).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+        Self { params, logits: initial_logits, phases, window: 0, rng }
+    }
+
+    /// The class distribution for the current window (softmax of the
+    /// modulated logits).
+    pub fn distribution(&self) -> Vec<f64> {
+        let t = self.window as f64;
+        let omega = std::f64::consts::TAU / self.params.diurnal_period.max(1.0);
+        let modulated: Vec<f64> = self
+            .logits
+            .iter()
+            .zip(&self.phases)
+            .map(|(&l, &p)| l + self.params.diurnal_amplitude * (omega * t + p).sin())
+            .collect();
+        softmax(&modulated)
+    }
+
+    /// Advances to the next window: random-walk the logits, possibly jump.
+    pub fn advance(&mut self) {
+        let normal = Normal::new(0.0, self.params.walk_step).expect("valid std");
+        for l in self.logits.iter_mut() {
+            *l += normal.sample(&mut self.rng);
+            *l = l.clamp(-6.0, 6.0);
+        }
+        if self.rng.gen_bool(self.params.jump_prob.clamp(0.0, 1.0)) {
+            let c = self.rng.gen_range(0..self.logits.len());
+            let dir = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            self.logits[c] = (self.logits[c] + dir * self.params.jump_scale).clamp(-6.0, 6.0);
+        }
+        self.window += 1;
+    }
+
+    /// Index of the current window.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Parameters for the appearance drift process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppearanceParams {
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Appearance modes per class (clothing styles, vehicle types, ...).
+    pub modes_per_class: usize,
+    /// Radius of the sphere initial mode centroids are placed on.
+    pub centroid_radius: f64,
+    /// Per-window std-dev of each centroid's random-walk step.
+    pub walk_step: f64,
+    /// Per-sample feature noise std-dev (sets the Bayes accuracy floor).
+    pub sample_noise: f64,
+    /// Amplitude of the shared lighting offset.
+    pub lighting_amplitude: f64,
+    /// Period of the lighting sinusoid, in windows.
+    pub lighting_period: f64,
+    /// Probability of a *scene cut* per window (dashboard camera entering
+    /// a new neighbourhood): all centroids jump by `walk_step * 4`.
+    pub scene_cut_prob: f64,
+}
+
+impl Default for AppearanceParams {
+    fn default() -> Self {
+        Self {
+            feature_dim: 16,
+            modes_per_class: 3,
+            centroid_radius: 2.0,
+            walk_step: 0.22,
+            sample_noise: 0.45,
+            lighting_amplitude: 0.5,
+            lighting_period: 432.0,
+            scene_cut_prob: 0.0,
+        }
+    }
+}
+
+/// Evolving class-conditional feature distributions.
+#[derive(Debug, Clone)]
+pub struct AppearanceDrift {
+    params: AppearanceParams,
+    /// `centroids[class][mode]` — mean feature vector of one appearance
+    /// mode.
+    centroids: Vec<Vec<Vec<f64>>>,
+    /// Mode mixture logits per class.
+    mode_logits: Vec<Vec<f64>>,
+    window: u64,
+    rng: StdRng,
+}
+
+impl AppearanceDrift {
+    /// Creates the process with randomly placed mode centroids.
+    pub fn new(params: AppearanceParams, seed: u64) -> Self {
+        assert!(params.feature_dim >= 2, "feature_dim must be >= 2");
+        assert!(params.modes_per_class >= 1, "need at least one mode");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new(0.0, 1.0).expect("valid std");
+        let mut centroids = Vec::with_capacity(ObjectClass::COUNT);
+        for _ in 0..ObjectClass::COUNT {
+            let mut modes = Vec::with_capacity(params.modes_per_class);
+            for _ in 0..params.modes_per_class {
+                // Random direction scaled to the centroid radius.
+                let mut v: Vec<f64> =
+                    (0..params.feature_dim).map(|_| normal.sample(&mut rng)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+                for x in v.iter_mut() {
+                    *x = *x / norm * params.centroid_radius;
+                }
+                modes.push(v);
+            }
+            centroids.push(modes);
+        }
+        let mode_logits = (0..ObjectClass::COUNT)
+            .map(|_| (0..params.modes_per_class).map(|_| rng.gen_range(-0.5..0.5)).collect())
+            .collect();
+        Self { params, centroids, mode_logits, window: 0, rng }
+    }
+
+    /// Current shared lighting offset (applied to the first half of the
+    /// feature dimensions — a global shift all classes experience).
+    pub fn lighting_offset(&self) -> f64 {
+        let omega = std::f64::consts::TAU / self.params.lighting_period.max(1.0);
+        self.params.lighting_amplitude * (omega * self.window as f64).sin()
+    }
+
+    /// Samples one feature vector for `class` in the current window.
+    pub fn sample_feature(&mut self, class: ObjectClass, rng: &mut StdRng) -> Vec<f32> {
+        let c = class.index();
+        let weights = softmax(&self.mode_logits[c]);
+        let mode = sample_categorical(&weights, rng);
+        let lighting = self.lighting_offset();
+        let normal = Normal::new(0.0, self.params.sample_noise).expect("valid std");
+        let half = self.params.feature_dim / 2;
+        self.centroids[c][mode]
+            .iter()
+            .enumerate()
+            .map(|(i, &mu)| {
+                let light = if i < half { lighting } else { 0.0 };
+                (mu + light + normal.sample(rng)) as f32
+            })
+            .collect()
+    }
+
+    /// Advances to the next window: random-walk every mode centroid and
+    /// the mode mixture; occasionally cut to a new scene.
+    pub fn advance(&mut self) {
+        let cut = self.rng.gen_bool(self.params.scene_cut_prob.clamp(0.0, 1.0));
+        let step = if cut { self.params.walk_step * 4.0 } else { self.params.walk_step };
+        let normal = Normal::new(0.0, step).expect("valid std");
+        for modes in self.centroids.iter_mut() {
+            for mode in modes.iter_mut() {
+                for x in mode.iter_mut() {
+                    *x += normal.sample(&mut self.rng);
+                }
+            }
+        }
+        let mode_normal = Normal::new(0.0, 0.2).expect("valid std");
+        for logits in self.mode_logits.iter_mut() {
+            for l in logits.iter_mut() {
+                *l = (*l + mode_normal.sample(&mut self.rng)).clamp(-3.0, 3.0);
+            }
+        }
+        self.window += 1;
+    }
+
+    /// Mean L2 displacement of all mode centroids relative to a snapshot —
+    /// the drift-magnitude signal the scheduler can prioritise on.
+    pub fn displacement_from(&self, snapshot: &AppearanceSnapshot) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (modes, snap_modes) in self.centroids.iter().zip(&snapshot.centroids) {
+            for (mode, snap) in modes.iter().zip(snap_modes) {
+                let d: f64 =
+                    mode.iter().zip(snap).map(|(&a, &b)| (a - b).powi(2)).sum::<f64>().sqrt();
+                total += d;
+                count += 1;
+            }
+        }
+        let light = (self.lighting_offset() - snapshot.lighting).abs();
+        if count == 0 {
+            light
+        } else {
+            total / count as f64 + light
+        }
+    }
+
+    /// Captures the current appearance state for later drift measurement.
+    pub fn snapshot(&self) -> AppearanceSnapshot {
+        AppearanceSnapshot { centroids: self.centroids.clone(), lighting: self.lighting_offset() }
+    }
+
+    /// Index of the current window.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+/// A frozen copy of the appearance state (for drift measurement).
+#[derive(Debug, Clone)]
+pub struct AppearanceSnapshot {
+    centroids: Vec<Vec<Vec<f64>>>,
+    lighting: f64,
+}
+
+fn sample_categorical(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(seed: u64) -> ClassMixDrift {
+        ClassMixDrift::new(ClassMixParams::default(), vec![0.0; 6], seed)
+    }
+
+    #[test]
+    fn distribution_is_normalised() {
+        let mut d = mix(1);
+        for _ in 0..20 {
+            let dist = d.distribution();
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(dist.iter().all(|&p| p >= 0.0));
+            d.advance();
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let mut a = mix(7);
+        let mut b = mix(7);
+        for _ in 0..10 {
+            a.advance();
+            b.advance();
+        }
+        assert_eq!(a.distribution(), b.distribution());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = mix(1);
+        let mut b = mix(2);
+        for _ in 0..5 {
+            a.advance();
+            b.advance();
+        }
+        assert_ne!(a.distribution(), b.distribution());
+    }
+
+    #[test]
+    fn distributions_change_over_windows() {
+        let mut d = mix(3);
+        let first = d.distribution();
+        for _ in 0..10 {
+            d.advance();
+        }
+        let later = d.distribution();
+        let delta: f64 =
+            first.iter().zip(&later).map(|(a, b)| (a - b).abs()).sum();
+        assert!(delta > 0.05, "class mix should drift, delta = {delta}");
+    }
+
+    #[test]
+    fn diurnal_modulation_is_periodic() {
+        let params = ClassMixParams {
+            walk_step: 0.0,
+            jump_prob: 0.0,
+            diurnal_amplitude: 2.0,
+            diurnal_period: 8.0,
+            ..ClassMixParams::default()
+        };
+        let mut d = ClassMixDrift::new(params, vec![0.0; 6], 5);
+        let at0 = d.distribution();
+        for _ in 0..8 {
+            d.advance();
+        }
+        let at8 = d.distribution();
+        for (a, b) in at0.iter().zip(&at8) {
+            assert!((a - b).abs() < 1e-9, "period-8 cycle should repeat exactly");
+        }
+    }
+
+    #[test]
+    fn appearance_sampling_has_class_structure() {
+        let mut app = AppearanceDrift::new(AppearanceParams::default(), 11);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Mean of many samples of one class should be far from another
+        // class's mean relative to the sample noise.
+        let mean = |app: &mut AppearanceDrift, cls: ObjectClass, rng: &mut StdRng| -> Vec<f64> {
+            let n = 200;
+            let mut acc = vec![0.0f64; 16];
+            for _ in 0..n {
+                let x = app.sample_feature(cls, rng);
+                for (a, &v) in acc.iter_mut().zip(x.iter()) {
+                    *a += v as f64;
+                }
+            }
+            acc.into_iter().map(|v| v / n as f64).collect()
+        };
+        let m_car = mean(&mut app, ObjectClass::Car, &mut rng);
+        let m_person = mean(&mut app, ObjectClass::Person, &mut rng);
+        let dist: f64 =
+            m_car.iter().zip(&m_person).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        assert!(dist > 0.5, "class means should be separated, dist = {dist}");
+    }
+
+    #[test]
+    fn appearance_drifts_over_windows() {
+        let mut app = AppearanceDrift::new(AppearanceParams::default(), 13);
+        let snap = app.snapshot();
+        assert!(app.displacement_from(&snap) < 1e-9);
+        for _ in 0..5 {
+            app.advance();
+        }
+        let d = app.displacement_from(&snap);
+        assert!(d > 0.1, "centroids should have moved, displacement = {d}");
+    }
+
+    #[test]
+    fn scene_cut_accelerates_drift() {
+        let calm = AppearanceParams { scene_cut_prob: 0.0, ..AppearanceParams::default() };
+        let cuts = AppearanceParams { scene_cut_prob: 1.0, ..AppearanceParams::default() };
+        let mut a = AppearanceDrift::new(calm, 17);
+        let mut b = AppearanceDrift::new(cuts, 17);
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        for _ in 0..5 {
+            a.advance();
+            b.advance();
+        }
+        assert!(b.displacement_from(&sb) > a.displacement_from(&sa));
+    }
+
+    #[test]
+    fn lighting_cycles() {
+        let params = AppearanceParams {
+            lighting_amplitude: 1.0,
+            lighting_period: 4.0,
+            walk_step: 0.0,
+            ..AppearanceParams::default()
+        };
+        let mut app = AppearanceDrift::new(params, 19);
+        assert!(app.lighting_offset().abs() < 1e-9);
+        app.advance();
+        assert!((app.lighting_offset() - 1.0).abs() < 1e-9, "sin peak at quarter period");
+    }
+
+    #[test]
+    fn feature_dim_respected() {
+        let params = AppearanceParams { feature_dim: 24, ..AppearanceParams::default() };
+        let mut app = AppearanceDrift::new(params, 23);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = app.sample_feature(ObjectClass::Bus, &mut rng);
+        assert_eq!(x.len(), 24);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ekya-video — workload substrate for the Ekya reproduction
+//!
+//! Synthetic stand-ins for the paper's video workloads (§6.1): Cityscapes
+//! and Waymo dashcam streams plus the 24-hour Urban Building / Urban
+//! Traffic static cameras. The generators reproduce the two drift
+//! phenomena the paper builds on (§2.2–2.3):
+//!
+//! * **class-mix drift** across retraining windows (Fig 2a), via a logit
+//!   random walk with regime jumps and optional diurnal modulation;
+//! * **appearance drift** within classes (Fig 2c/2d), via multi-modal
+//!   class-conditional feature distributions whose mode centroids random
+//!   walk, plus a shared day/night lighting offset.
+//!
+//! Everything is deterministic for a fixed seed. Real video decoding,
+//! object detection, and pixel-level processing are intentionally out of
+//! scope — Ekya's scheduler consumes *labelled feature data per window*,
+//! which is exactly what this crate produces.
+
+pub mod dataset;
+pub mod drift;
+pub mod stats;
+pub mod stream;
+pub mod types;
+
+pub use dataset::{DatasetKind, DatasetSpec, VideoDataset, WindowData};
+pub use drift::{
+    AppearanceDrift, AppearanceParams, AppearanceSnapshot, ClassMixDrift, ClassMixParams,
+};
+pub use stream::StreamSet;
+pub use types::{ObjectClass, StreamId};

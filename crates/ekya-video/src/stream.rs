@@ -1,0 +1,143 @@
+//! Multi-camera stream sets.
+//!
+//! A typical edge server serves "tens of video streams, e.g., the cameras
+//! in a building, with customized analytics and models for each stream"
+//! (§2.1). A [`StreamSet`] bundles several independently drifting
+//! [`VideoDataset`]s, one per camera, each with its own seed so the
+//! cameras disagree about when drift happens — which is exactly what
+//! gives Ekya's scheduler room to prioritise (Fig 9).
+
+use crate::dataset::{DatasetKind, DatasetSpec, VideoDataset};
+use crate::types::StreamId;
+use serde::{Deserialize, Serialize};
+
+/// A set of concurrently analysed camera streams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamSet {
+    streams: Vec<(StreamId, VideoDataset)>,
+}
+
+impl StreamSet {
+    /// Generates `n` streams of the given kind. Stream `i` gets seed
+    /// `base_seed + 1000 * i` so streams are decorrelated but the whole
+    /// set is reproducible.
+    pub fn generate(kind: DatasetKind, n: usize, num_windows: usize, base_seed: u64) -> Self {
+        let streams = (0..n)
+            .map(|i| {
+                let spec =
+                    DatasetSpec::new(kind, num_windows, base_seed.wrapping_add(1000 * i as u64));
+                (StreamId(i as u32), VideoDataset::generate(spec))
+            })
+            .collect();
+        Self { streams }
+    }
+
+    /// Generates `n` streams from a base spec (e.g. with non-default
+    /// window lengths or label fractions); stream `i` gets seed
+    /// `base.seed + 1000 * i`.
+    pub fn generate_from_spec(base: DatasetSpec, n: usize) -> Self {
+        let streams = (0..n)
+            .map(|i| {
+                let spec = DatasetSpec {
+                    seed: base.seed.wrapping_add(1000 * i as u64),
+                    ..base
+                };
+                (StreamId(i as u32), VideoDataset::generate(spec))
+            })
+            .collect();
+        Self { streams }
+    }
+
+    /// Generates a mixed set: `counts[i]` streams of `kinds[i]`.
+    pub fn generate_mixed(kinds: &[(DatasetKind, usize)], num_windows: usize, base_seed: u64) -> Self {
+        let mut streams = Vec::new();
+        let mut id = 0u32;
+        for &(kind, count) in kinds {
+            for _ in 0..count {
+                let spec = DatasetSpec::new(
+                    kind,
+                    num_windows,
+                    base_seed.wrapping_add(1000 * id as u64),
+                );
+                streams.push((StreamId(id), VideoDataset::generate(spec)));
+                id += 1;
+            }
+        }
+        Self { streams }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the set holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Iterates `(id, dataset)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StreamId, &VideoDataset)> {
+        self.streams.iter().map(|(id, ds)| (*id, ds))
+    }
+
+    /// The dataset for a stream id, if present.
+    pub fn get(&self, id: StreamId) -> Option<&VideoDataset> {
+        self.streams.iter().find(|(sid, _)| *sid == id).map(|(_, ds)| ds)
+    }
+
+    /// All stream ids.
+    pub fn ids(&self) -> Vec<StreamId> {
+        self.streams.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Minimum number of windows across all streams (safe iteration bound).
+    pub fn num_windows(&self) -> usize {
+        self.streams.iter().map(|(_, ds)| ds.num_windows()).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let set = StreamSet::generate(DatasetKind::Cityscapes, 4, 3, 7);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.num_windows(), 3);
+        assert_eq!(set.ids(), vec![StreamId(0), StreamId(1), StreamId(2), StreamId(3)]);
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let set = StreamSet::generate(DatasetKind::Waymo, 2, 3, 9);
+        let a = set.get(StreamId(0)).unwrap();
+        let b = set.get(StreamId(1)).unwrap();
+        assert_ne!(a.windows[0].train_pool, b.windows[0].train_pool);
+    }
+
+    #[test]
+    fn mixed_set_assigns_sequential_ids() {
+        let set = StreamSet::generate_mixed(
+            &[(DatasetKind::UrbanBuilding, 2), (DatasetKind::UrbanTraffic, 1)],
+            2,
+            11,
+        );
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.get(StreamId(2)).unwrap().spec.kind, DatasetKind::UrbanTraffic);
+    }
+
+    #[test]
+    fn get_missing_stream_is_none() {
+        let set = StreamSet::generate(DatasetKind::Waymo, 1, 2, 0);
+        assert!(set.get(StreamId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = StreamSet::generate(DatasetKind::Waymo, 0, 2, 0);
+        assert!(set.is_empty());
+        assert_eq!(set.num_windows(), 0);
+    }
+}

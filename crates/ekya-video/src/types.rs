@@ -1,0 +1,110 @@
+//! Object classes and frame types for the synthetic video workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// The six object classes tracked in the paper's Cityscapes analysis
+/// (Fig 2a): bicycle, bus, car, motorcycle, person, truck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Bicycles (rare outside commute hours in the paper's traces).
+    Bicycle,
+    /// Buses.
+    Bus,
+    /// Cars (dominant in dashcam footage).
+    Car,
+    /// Motorcycles.
+    Motorcycle,
+    /// Pedestrians (their share "varies considerably", §2.3).
+    Person,
+    /// Trucks.
+    Truck,
+}
+
+impl ObjectClass {
+    /// All classes in label order.
+    pub const ALL: [ObjectClass; 6] = [
+        ObjectClass::Bicycle,
+        ObjectClass::Bus,
+        ObjectClass::Car,
+        ObjectClass::Motorcycle,
+        ObjectClass::Person,
+        ObjectClass::Truck,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 6;
+
+    /// Stable label index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            ObjectClass::Bicycle => 0,
+            ObjectClass::Bus => 1,
+            ObjectClass::Car => 2,
+            ObjectClass::Motorcycle => 3,
+            ObjectClass::Person => 4,
+            ObjectClass::Truck => 5,
+        }
+    }
+
+    /// Class from a label index.
+    ///
+    /// # Panics
+    /// Panics when `i >= COUNT`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Human-readable lowercase name, matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::Bicycle => "bicycle",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Car => "car",
+            ObjectClass::Motorcycle => "motorcycle",
+            ObjectClass::Person => "person",
+            ObjectClass::Truck => "truck",
+        }
+    }
+}
+
+/// Identifier for one camera / video stream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u32);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for c in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_index(c.index()), c);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ObjectClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ObjectClass::COUNT);
+    }
+
+    #[test]
+    fn count_matches_all() {
+        assert_eq!(ObjectClass::ALL.len(), ObjectClass::COUNT);
+    }
+
+    #[test]
+    fn stream_id_display() {
+        assert_eq!(StreamId(3).to_string(), "stream#3");
+    }
+}

@@ -1,0 +1,59 @@
+//! Dashcam-fleet scenario: mixed Waymo + Cityscapes dashboard cameras
+//! streaming to one edge server, compared across schedulers.
+//!
+//! Dashcams drift fast (scene cuts as the car changes neighbourhoods), so
+//! retraining pressure is high and scheduler quality matters most — the
+//! regime of the paper's Fig 6. The example runs Ekya, both uniform
+//! baselines, and the two Fig 8 ablations on the same fleet.
+//!
+//! Run with: `cargo run --release --example dashcam_fleet`
+
+use ekya::core::Policy;
+use ekya::prelude::*;
+
+fn main() {
+    let gpus = 2.0;
+    let windows = 5;
+    let streams = StreamSet::generate_mixed(
+        &[(DatasetKind::Waymo, 3), (DatasetKind::Cityscapes, 3)],
+        windows,
+        777,
+    );
+    let cfg = RunnerConfig { total_gpus: gpus, seed: 5, ..RunnerConfig::default() };
+    let (config1, config2) =
+        holdout_configs(DatasetKind::Waymo, &cfg.retrain_grid, &cfg.cost, 31337);
+
+    println!(
+        "Dashcam fleet: {} cameras ({} GPUs), hold-out configs: high={} low={}\n",
+        streams.len(),
+        gpus,
+        config1.label(),
+        config2.label()
+    );
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    let mut run = |policy: &mut dyn Policy| {
+        let report = run_windows(policy, &streams, &cfg, windows);
+        results.push((report.policy.clone(), report.mean_accuracy(), report.retrain_rate()));
+    };
+
+    run(&mut EkyaPolicy::new(SchedulerParams::new(gpus)));
+    run(&mut UniformPolicy::new(config1, 0.5, "Uniform (Config 1, 50%)"));
+    run(&mut UniformPolicy::new(config2, 0.9, "Uniform (Config 2, 90%)"));
+    run(&mut EkyaFixedRes::new(SchedulerParams::new(gpus), 0.5));
+    run(&mut EkyaFixedConfig::new(SchedulerParams::new(gpus), config2));
+
+    println!("{:<26} | accuracy | retrain rate", "scheduler");
+    println!("{:-<26}-+----------+-------------", "");
+    for (name, acc, rate) in &results {
+        println!("{name:<26} | {acc:>8.3} | {:>10.0}%", rate * 100.0);
+    }
+
+    let ekya_acc = results[0].1;
+    let best_baseline =
+        results[1..].iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    println!(
+        "\nEkya vs best alternative: {:+.1}% accuracy",
+        (ekya_acc - best_baseline) * 100.0
+    );
+}

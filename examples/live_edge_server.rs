@@ -1,0 +1,42 @@
+//! Live edge server: the full actor deployment (`ekya-server`).
+//!
+//! Boots one inference actor and one trainer actor per camera, then runs
+//! three retraining windows end to end in wall-clock time: the
+//! micro-profiler and thief scheduler plan each window, trainer actors
+//! run real SGD on their own threads, checkpoints hot-swap into serving,
+//! and — crucially — the inference actors never stop classifying frames
+//! while all of that happens.
+//!
+//! Run with: `cargo run --release --example live_edge_server`
+
+use ekya::prelude::*;
+
+fn main() {
+    let cameras = 3;
+    let windows = 3;
+    let streams = StreamSet::generate(DatasetKind::UrbanBuilding, cameras, windows, 99);
+    let mut server =
+        EdgeServer::new(streams, EdgeServerConfig { seed: 5, ..EdgeServerConfig::new(2.0) });
+
+    println!("edge server up: {cameras} cameras, 2 GPUs\n");
+    for w in 0..windows {
+        let outcomes = server.run_window();
+        println!("window {w}:");
+        for o in &outcomes {
+            println!(
+                "  {}: {:.3} -> {:.3}  {}  served {} frames during retraining ({} swaps)",
+                o.id,
+                o.start_accuracy,
+                o.end_accuracy,
+                match &o.config {
+                    Some(c) => format!("retrained with {}", c.label()),
+                    None => "no retraining".to_string(),
+                },
+                o.frames_served_during_training,
+                o.checkpoints_swapped,
+            );
+        }
+    }
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: continuous learning on one edge server.
+//!
+//! Generates two synthetic camera streams, runs Ekya (micro-profiler +
+//! thief scheduler) for five retraining windows on one GPU, and prints
+//! the per-window inference accuracy against a uniform baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ekya::prelude::*;
+
+fn main() {
+    let gpus = 1.0;
+    let windows = 5;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, windows, 42);
+    let cfg = RunnerConfig { total_gpus: gpus, seed: 7, ..RunnerConfig::default() };
+
+    // Ekya: micro-profiled configurations + thief scheduler.
+    let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
+    let ekya_report = run_windows(&mut ekya, &streams, &cfg, windows);
+
+    // Uniform baseline: fixed config (hold-out Pareto), static 50/50 split.
+    let (config1, _config2) =
+        holdout_configs(DatasetKind::Cityscapes, &cfg.retrain_grid, &cfg.cost, 999);
+    let mut uniform = UniformPolicy::new(config1, 0.5, "Uniform (Config 1, 50%)");
+    let uniform_report = run_windows(&mut uniform, &streams, &cfg, windows);
+
+    println!("window |   Ekya | Uniform");
+    println!("-------+--------+--------");
+    for w in 0..windows {
+        println!(
+            "{:>6} | {:>6.3} | {:>6.3}",
+            w,
+            ekya_report.windows[w].mean_accuracy(),
+            uniform_report.windows[w].mean_accuracy(),
+        );
+    }
+    println!("-------+--------+--------");
+    println!(
+        "  mean | {:>6.3} | {:>6.3}",
+        ekya_report.mean_accuracy(),
+        uniform_report.mean_accuracy()
+    );
+    println!(
+        "\nEkya retrained in {:.0}% of stream-windows; uniform in {:.0}%.",
+        100.0 * ekya_report.retrain_rate(),
+        100.0 * uniform_report.retrain_rate()
+    );
+}

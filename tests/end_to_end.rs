@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full Ekya pipeline against the
+//! paper's qualitative claims.
+
+use ekya::prelude::*;
+
+fn runner_cfg(gpus: f64, seed: u64) -> RunnerConfig {
+    RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() }
+}
+
+/// The headline claim, end to end: under contention, Ekya's accuracy
+/// beats every uniform-scheduler variant on the same workload.
+#[test]
+fn ekya_beats_uniform_variants_under_contention() {
+    let windows = 4;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 6, windows, 42);
+    let cfg = runner_cfg(1.0, 7);
+
+    let mut ekya = EkyaPolicy::new(SchedulerParams::new(1.0));
+    let ekya_acc = run_windows(&mut ekya, &streams, &cfg, windows).mean_accuracy();
+
+    let (c1, c2) = holdout_configs(DatasetKind::Cityscapes, &cfg.retrain_grid, &cfg.cost, 999);
+    for (config, share, label) in [
+        (c1, 0.5, "Uniform (C1, 50%)"),
+        (c2, 0.5, "Uniform (C2, 50%)"),
+        (c2, 0.9, "Uniform (C2, 90%)"),
+    ] {
+        let mut uniform = UniformPolicy::new(config, share, label);
+        let acc = run_windows(&mut uniform, &streams, &cfg, windows).mean_accuracy();
+        assert!(
+            ekya_acc > acc - 0.02,
+            "Ekya ({ekya_acc:.3}) should be at least competitive with {label} ({acc:.3})"
+        );
+    }
+}
+
+/// Continuous retraining keeps accuracy roughly steady under drift, while
+/// never retraining decays (§2.3's motivation, executed through the full
+/// runner).
+#[test]
+fn no_retraining_decays_under_drift() {
+    let windows = 5;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, windows, 21);
+    let cfg = runner_cfg(1.0, 3);
+
+    // "Never retrain": uniform with 100% inference share.
+    let grid = cfg.retrain_grid.clone();
+    let mut frozen = UniformPolicy::new(grid[0], 1.0, "No retraining");
+    let frozen_report = run_windows(&mut frozen, &streams, &cfg, windows);
+
+    let mut ekya = EkyaPolicy::new(SchedulerParams::new(1.0));
+    let ekya_report = run_windows(&mut ekya, &streams, &cfg, windows);
+
+    // After the bootstrap window the frozen model should fall behind.
+    let late = |r: &RunReport| {
+        r.windows[2..].iter().map(|w| w.mean_accuracy()).sum::<f64>() / (windows - 2) as f64
+    };
+    assert!(
+        late(&ekya_report) > late(&frozen_report) + 0.05,
+        "continuous retraining {:.3} must beat frozen {:.3}",
+        late(&ekya_report),
+        late(&frozen_report)
+    );
+}
+
+/// More GPUs never meaningfully hurt Ekya (Fig 7's monotone trend).
+#[test]
+fn ekya_scales_with_gpus() {
+    let windows = 3;
+    let streams = StreamSet::generate(DatasetKind::UrbanTraffic, 4, windows, 31);
+    let acc = |gpus: f64| {
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
+        run_windows(&mut policy, &streams, &runner_cfg(gpus, 3), windows).mean_accuracy()
+    };
+    let one = acc(1.0);
+    let four = acc(4.0);
+    assert!(four >= one - 0.03, "4 GPUs ({four:.3}) should not lose to 1 GPU ({one:.3})");
+}
+
+/// The trace-driven simulator agrees with the mechanistic runner on the
+/// ordering of schedulers (the paper "verified that it produced similar
+/// results as the implementation at small-scale", §6.2).
+#[test]
+fn trace_replay_preserves_scheduler_ordering() {
+    let windows = 4;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 4, windows, 51);
+    let cfg = runner_cfg(1.0, 9);
+    let (c1, _c2) = holdout_configs(DatasetKind::Cityscapes, &cfg.retrain_grid, &cfg.cost, 999);
+
+    // Mechanistic.
+    let mut ekya = EkyaPolicy::new(SchedulerParams::new(1.0));
+    let mech_ekya = run_windows(&mut ekya, &streams, &cfg, windows).mean_accuracy();
+    let mut uni = UniformPolicy::new(c1, 0.5, "Uniform (C1, 50%)");
+    let mech_uni = run_windows(&mut uni, &streams, &cfg, windows).mean_accuracy();
+
+    // Trace replay.
+    let trace = record_trace(&streams, &cfg, windows, 4);
+    let harness = ReplayPolicyHarness::new(1.0);
+    let mut ekya2 = EkyaPolicy::new(SchedulerParams::new(1.0));
+    let replay_ekya = harness.run(&mut ekya2, &trace).mean_accuracy();
+    let mut uni2 = UniformPolicy::new(c1, 0.5, "Uniform (C1, 50%)");
+    let replay_uni = harness.run(&mut uni2, &trace).mean_accuracy();
+
+    assert_eq!(
+        mech_ekya > mech_uni,
+        replay_ekya > replay_uni,
+        "replay must preserve ordering: mech ({mech_ekya:.3} vs {mech_uni:.3}), \
+         replay ({replay_ekya:.3} vs {replay_uni:.3})"
+    );
+}
+
+/// Cloud retraining on a congested cellular link loses to edge retraining
+/// (Table 4's shape) in the paper's 8-camera, 400-second setting.
+#[test]
+fn edge_beats_congested_cloud() {
+    use ekya::video::DatasetSpec;
+    let windows = 3;
+    let base = DatasetSpec {
+        window_secs: 400.0,
+        ..DatasetSpec::new(DatasetKind::Cityscapes, windows, 77)
+    };
+    let streams = StreamSet::generate_from_spec(base, 8);
+    let cfg = runner_cfg(4.0, 11);
+
+    let mut ekya = EkyaPolicy::new(SchedulerParams::new(4.0));
+    let edge = run_windows(&mut ekya, &streams, &cfg, windows).mean_accuracy();
+
+    let cloud = run_cloud_retraining(
+        &streams,
+        &CloudRunConfig::new(LinkModel::cellular(), cfg.clone()),
+        windows,
+    )
+    .mean_accuracy();
+    assert!(
+        edge > cloud,
+        "edge ({edge:.3}) must beat cloud over congested cellular ({cloud:.3})"
+    );
+}
+
+/// Determinism across the whole stack: same seeds, same report.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let streams = StreamSet::generate(DatasetKind::Waymo, 3, 3, 13);
+    let run = || {
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+        run_windows(&mut policy, &streams, &runner_cfg(2.0, 17), 3)
+    };
+    assert_eq!(run(), run());
+}

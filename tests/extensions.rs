@@ -1,0 +1,149 @@
+//! Integration tests for the extension features (DESIGN.md §5b): max-min
+//! scheduling, golden-model outages, per-class diagnostics, and the
+//! wall-clock actor deployment.
+
+use ekya::core::SchedulerObjective;
+use ekya::nn::data::DataView;
+use ekya::nn::ConfusionMatrix;
+use ekya::prelude::*;
+use ekya::server::{EdgeServer, EdgeServerConfig};
+use ekya::video::DatasetSpec;
+
+/// The max-min objective must not leave any stream far behind the mean
+/// objective's worst stream.
+#[test]
+fn maxmin_objective_end_to_end() {
+    let windows = 3;
+    let streams = StreamSet::generate(DatasetKind::Cityscapes, 4, windows, 42);
+    let cfg = RunnerConfig { total_gpus: 1.0, seed: 7, ..RunnerConfig::default() };
+
+    let run = |objective: SchedulerObjective| {
+        let params = ekya::core::SchedulerParams {
+            objective,
+            ..ekya::core::SchedulerParams::new(1.0)
+        };
+        let mut policy = EkyaPolicy::new(params);
+        run_windows(&mut policy, &streams, &cfg, windows)
+    };
+    let mean_run = run(SchedulerObjective::Mean);
+    let mm_run = run(SchedulerObjective::MaxMin);
+
+    // Worst-stream accuracy over the run (skip the bootstrap window).
+    let worst = |r: &RunReport| {
+        r.windows[1..]
+            .iter()
+            .flat_map(|w| w.streams.iter().map(|s| s.avg_accuracy))
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(
+        worst(&mm_run) >= worst(&mean_run) - 0.1,
+        "max-min should protect the worst stream: {:.3} vs {:.3}",
+        worst(&mm_run),
+        worst(&mean_run)
+    );
+    // And both objectives must produce functioning systems.
+    assert!(mm_run.mean_accuracy() > 0.3);
+}
+
+/// Per-class diagnostics: after drift, the model's weakest class recall is
+/// visibly below its overall accuracy — the signal the confusion matrix
+/// exists to expose.
+#[test]
+fn confusion_matrix_reveals_class_local_drift() {
+    use ekya::core::{RetrainConfig, RetrainExecution, TrainHyper};
+    use ekya::nn::golden::{distill_labels, OracleTeacher};
+    use ekya::nn::{Mlp, MlpArch};
+
+    let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 6, 77));
+    let mut teacher = OracleTeacher::new(0.02, ds.num_classes, 3);
+    let labelled = distill_labels(&mut teacher, &ds.window(0).train_pool);
+    let base = Mlp::new(MlpArch::edge(ds.feature_dim, ds.num_classes, 16), 5);
+    let mut exec = RetrainExecution::new(
+        &base,
+        &labelled,
+        RetrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            last_layer_neurons: 16,
+            layers_trained: 3,
+            data_fraction: 1.0,
+        },
+        ds.num_classes,
+        TrainHyper::default(),
+        9,
+    );
+    exec.run_to_completion();
+    let model = exec.model().clone();
+
+    // On drifted data several windows later, the worst class trails the
+    // overall accuracy.
+    let drifted = DataView::new(&ds.window(5).val, ds.num_classes);
+    let cm = ConfusionMatrix::compute(&model, drifted);
+    let overall = cm.accuracy();
+    let worst = cm.min_recall().expect("classes present");
+    assert!(
+        worst <= overall + 1e-9,
+        "worst class recall {worst:.3} cannot exceed overall {overall:.3}"
+    );
+    assert!(overall < 1.0, "drift should cost something");
+}
+
+/// Outage + recovery through the full pipeline, checked via report fields.
+#[test]
+fn outage_windows_reported_correctly() {
+    let windows = 4;
+    let streams = StreamSet::generate(DatasetKind::Waymo, 2, windows, 13);
+    let cfg = RunnerConfig {
+        total_gpus: 2.0,
+        seed: 3,
+        outage_windows: vec![1],
+        ..RunnerConfig::default()
+    };
+    let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
+    let report = run_windows(&mut policy, &streams, &cfg, windows);
+    let outage_window = &report.windows[1];
+    assert!(outage_window.streams.iter().all(|s| !s.retrained));
+    assert!(outage_window.streams.iter().all(|s| s.profiling_gpu_seconds == 0.0));
+    // Bootstrap window (0) retrains as usual.
+    assert!(report.windows[0].streams.iter().any(|s| s.retrained));
+}
+
+/// The wall-clock actor server agrees qualitatively with the virtual-time
+/// runner: continuous retraining lifts accuracy over the bootstrap state.
+#[test]
+fn actor_server_matches_runner_direction() {
+    let streams = StreamSet::generate(DatasetKind::UrbanTraffic, 2, 3, 31);
+    let mut server = EdgeServer::new(
+        streams.clone(),
+        EdgeServerConfig { seed: 11, ..EdgeServerConfig::new(2.0) },
+    );
+    let w0 = server.run_window();
+    let w1 = server.run_window();
+    server.shutdown();
+    let end0: f64 =
+        w0.iter().map(|o| o.end_accuracy).sum::<f64>() / w0.len() as f64;
+    let start0: f64 =
+        w0.iter().map(|o| o.start_accuracy).sum::<f64>() / w0.len() as f64;
+    assert!(end0 > start0, "bootstrap retraining must lift accuracy");
+    let end1: f64 =
+        w1.iter().map(|o| o.end_accuracy).sum::<f64>() / w1.len() as f64;
+    assert!(end1 > 0.4, "steady state should be useful: {end1:.3}");
+}
+
+/// Custom-spec stream sets honour overridden window lengths.
+#[test]
+fn generate_from_spec_respects_overrides() {
+    let base = DatasetSpec {
+        window_secs: 400.0,
+        label_fraction: 0.05,
+        ..DatasetSpec::new(DatasetKind::Cityscapes, 2, 5)
+    };
+    let set = StreamSet::generate_from_spec(base, 3);
+    assert_eq!(set.len(), 3);
+    for (_, ds) in set.iter() {
+        assert_eq!(ds.spec.window_secs, 400.0);
+        assert_eq!(ds.spec.label_fraction, 0.05);
+        // 400 s at 30 fps, 5% labelled -> 600 training samples.
+        assert_eq!(ds.window(0).train_pool.len(), 600);
+    }
+}
