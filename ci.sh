@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Ekya workspace. Run from the repo root.
+#
+# Mirrors what CI should run: formatting, lints, the release build, every
+# target (examples, benches, bins), and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+# Formatting is enforced on the workspace's own crates. Vendored shims in
+# vendor/ are also covered — they are first-party code here.
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo build --examples --benches --bins"
+cargo build --examples --benches --bins
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci.sh: all green"

@@ -249,8 +249,9 @@ mod tests {
         let h = spawn("counter", Counter { count: 0 });
         let sender = h.sender.clone();
         h.stop();
-        assert!(sender.send(Envelope::Tell(CounterMsg::Add(1))).is_err() || true);
-        // A fresh handle around the dead channel reports Stopped.
+        // `stop` joins the actor thread, which owns the receiver, so the
+        // channel is disconnected by the time `stop` returns.
+        assert!(sender.send(Envelope::Tell(CounterMsg::Add(1))).is_err());
     }
 
     #[test]
@@ -300,4 +301,3 @@ mod tests {
         h.stop();
     }
 }
-

@@ -74,9 +74,8 @@ where
                     match envelope {
                         Envelope::Stop => break 'supervise,
                         Envelope::Tell(msg) => {
-                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                actor.handle(msg)
-                            }));
+                            let result =
+                                std::panic::catch_unwind(AssertUnwindSafe(|| actor.handle(msg)));
                             match result {
                                 Ok(_) => thread_stats.lock().handled += 1,
                                 Err(_) => {
@@ -86,9 +85,8 @@ where
                             }
                         }
                         Envelope::Ask(msg, reply) => {
-                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                actor.handle(msg)
-                            }));
+                            let result =
+                                std::panic::catch_unwind(AssertUnwindSafe(|| actor.handle(msg)));
                             match result {
                                 Ok(out) => {
                                     thread_stats.lock().handled += 1;
@@ -106,10 +104,7 @@ where
             }
         })
         .expect("spawn supervised actor thread");
-    SupervisedHandle {
-        handle: ActorHandle { sender: tx, join: Some(join), name },
-        stats,
-    }
+    SupervisedHandle { handle: ActorHandle { sender: tx, join: Some(join), name }, stats }
 }
 
 #[cfg(test)]

@@ -36,10 +36,7 @@ impl<A: Actor> ActorSystem<A> {
     /// Panics on duplicate names — configuration bugs should fail fast.
     pub fn spawn(&mut self, name: impl Into<String>, actor: A) -> &ActorHandle<A> {
         let name = name.into();
-        assert!(
-            self.actors.iter().all(|(n, _)| *n != name),
-            "duplicate actor name: {name}"
-        );
+        assert!(self.actors.iter().all(|(n, _)| *n != name), "duplicate actor name: {name}");
         let handle = spawn(name.clone(), actor);
         self.actors.push((name, handle));
         &self.actors.last().expect("just pushed").1

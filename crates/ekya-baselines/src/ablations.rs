@@ -109,11 +109,7 @@ impl Policy for EkyaFixedConfig {
             .streams
             .iter()
             .map(|s| {
-                s.retrain_profiles
-                    .iter()
-                    .filter(|p| p.config == self.config)
-                    .cloned()
-                    .collect()
+                s.retrain_profiles.iter().filter(|p| p.config == self.config).cloned().collect()
             })
             .collect();
         let inputs: Vec<StreamInput<'_>> = ctx

@@ -83,7 +83,8 @@ pub fn run_cloud_retraining(
     // All GPUs to inference, split evenly.
     let infer_gpus = rc.total_gpus / n as f64;
 
-    let mut report = RunReport { policy: format!("Cloud ({})", cfg.link.name), windows: Vec::new() };
+    let mut report =
+        RunReport { policy: format!("Cloud ({})", cfg.link.name), windows: Vec::new() };
     for w_idx in 0..num_windows {
         // Network: all streams share the link each window.
         let upload_mbits =
@@ -221,8 +222,7 @@ mod tests {
                     // af <= 1, so avg >= end only if the new model served
                     // most of the window; "late" means avg is much closer
                     // to start than to end.
-                    let mid =
-                        0.5 * (s.start_model_accuracy + s.end_model_accuracy);
+                    let mid = 0.5 * (s.start_model_accuracy + s.end_model_accuracy);
                     if s.avg_accuracy < mid {
                         late += 1;
                     }
@@ -230,10 +230,7 @@ mod tests {
             }
         }
         assert!(improved > 0, "some retrained models should be better");
-        assert!(
-            late * 2 >= improved,
-            "most improved models should arrive late: {late}/{improved}"
-        );
+        assert!(late * 2 >= improved, "most improved models should arrive late: {late}/{improved}");
     }
 
     #[test]

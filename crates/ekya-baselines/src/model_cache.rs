@@ -90,17 +90,16 @@ pub fn run_model_cache(
                 ds.spec.fps,
                 &rc.inference_grid,
             );
-            let best = profiles
-                .iter()
-                .filter(|p| p.gpu_demand <= infer_gpus + 1e-9)
-                .max_by(|a, b| {
+            let best =
+                profiles.iter().filter(|p| p.gpu_demand <= infer_gpus + 1e-9).max_by(|a, b| {
                     a.accuracy_factor
                         .partial_cmp(&b.accuracy_factor)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-            let (af, infer_config) = best
-                .map(|p| (p.accuracy_factor, p.config))
-                .unwrap_or((0.0, ekya_core::InferenceConfig { frame_sampling: 0.05, resolution: 0.5 }));
+            let (af, infer_config) = best.map(|p| (p.accuracy_factor, p.config)).unwrap_or((
+                0.0,
+                ekya_core::InferenceConfig { frame_sampling: 0.05, resolution: 0.5 },
+            ));
 
             let timeline = Timeline::new(0.0, serving_true * af);
             stream_reports.push(StreamWindowReport {

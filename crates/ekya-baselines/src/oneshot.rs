@@ -35,9 +35,7 @@ impl Fig2bResult {
         self.windows
             .iter()
             .enumerate()
-            .map(|(i, _)| {
-                self.continuous[i] - self.once_first_half[i].max(self.other_streams[i])
-            })
+            .map(|(i, _)| self.continuous[i] - self.once_first_half[i].max(self.other_streams[i]))
             .fold(f64::MIN, f64::max)
     }
 
@@ -47,9 +45,7 @@ impl Fig2bResult {
         self.windows
             .iter()
             .enumerate()
-            .map(|(i, _)| {
-                self.continuous[i] - self.once_first_half[i].max(self.other_streams[i])
-            })
+            .map(|(i, _)| self.continuous[i] - self.once_first_half[i].max(self.other_streams[i]))
             .sum::<f64>()
             / n
     }
@@ -76,7 +72,12 @@ fn train_on(base: &Mlp, pool: &[Sample], num_classes: usize, seed: u64) -> Mlp {
 
 /// Runs the Fig 2b experiment on `num_windows` windows of one stream of
 /// `kind` (evaluating the second half).
-pub fn run_fig2b(kind: DatasetKind, num_windows: usize, seed: u64, _cost: &CostModel) -> Fig2bResult {
+pub fn run_fig2b(
+    kind: DatasetKind,
+    num_windows: usize,
+    seed: u64,
+    _cost: &CostModel,
+) -> Fig2bResult {
     assert!(num_windows >= 4, "need at least 4 windows");
     let ds = VideoDataset::generate(DatasetSpec::new(kind, num_windows, seed));
     let half = num_windows / 2;
@@ -86,8 +87,7 @@ pub fn run_fig2b(kind: DatasetKind, num_windows: usize, seed: u64, _cost: &CostM
     let base = Mlp::new(MlpArch::edge(ds.feature_dim, num_classes, 16), seed);
 
     // (2) Trained once on the stream's first half.
-    let first_half_pool =
-        distill_labels(&mut teacher, &ds.pooled_train_data(0..half));
+    let first_half_pool = distill_labels(&mut teacher, &ds.pooled_train_data(0..half));
     let once_model = train_on(&base, &first_half_pool, num_classes, seed ^ 1);
 
     // (3) Trained once on other streams ("other cities"): three other

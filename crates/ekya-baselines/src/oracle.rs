@@ -81,11 +81,8 @@ mod tests {
     #[test]
     fn oracle_runs_and_is_competitive_with_thief() {
         let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 3, 91);
-        let params = SchedulerParams {
-            granularity: 0.25,
-            delta: 0.25,
-            ..SchedulerParams::new(2.0)
-        };
+        let params =
+            SchedulerParams { granularity: 0.25, delta: 0.25, ..SchedulerParams::new(2.0) };
         let cfg = RunnerConfig { total_gpus: 2.0, seed: 6, ..RunnerConfig::default() };
 
         let mut oracle = OraclePolicy::new(params);

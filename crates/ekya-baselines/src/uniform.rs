@@ -31,7 +31,11 @@ pub struct UniformPolicy {
 
 impl UniformPolicy {
     /// Creates a uniform policy.
-    pub fn new(retrain_config: RetrainConfig, inference_share: f64, label: impl Into<String>) -> Self {
+    pub fn new(
+        retrain_config: RetrainConfig,
+        inference_share: f64,
+        label: impl Into<String>,
+    ) -> Self {
         Self {
             retrain_config,
             inference_share: inference_share.clamp(0.0, 1.0),
@@ -144,11 +148,7 @@ pub fn holdout_configs(
             RetrainProfile {
                 config,
                 curve: flat_at(acc, config.k_total()),
-                gpu_seconds_per_epoch: cost.train_epoch_gpu_seconds(
-                    &variant,
-                    n,
-                    config.batch_size,
-                ),
+                gpu_seconds_per_epoch: cost.train_epoch_gpu_seconds(&variant, n, config.batch_size),
             }
         })
         .collect();
@@ -229,10 +229,7 @@ mod tests {
         // Config 1 must cost at least as much as Config 2 (it is the
         // high-resource point).
         let cost_of = |c: &RetrainConfig| c.epochs as f64 * c.data_fraction;
-        assert!(
-            cost_of(&c1) >= cost_of(&c2),
-            "config1 {c1:?} should out-cost config2 {c2:?}"
-        );
+        assert!(cost_of(&c1) >= cost_of(&c2), "config1 {c1:?} should out-cost config2 {c2:?}");
         assert!(grid.contains(&c1));
         assert!(grid.contains(&c2));
     }

@@ -3,9 +3,7 @@
 //! reallocate-on-completion vs static windows, and end-to-end window cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ekya_core::{
-    estimate_window, EstimateParams, InferenceConfig, InferenceProfile, RetrainWork,
-};
+use ekya_core::{estimate_window, EstimateParams, InferenceConfig, InferenceProfile, RetrainWork};
 use ekya_nn::fit::LearningCurve;
 use ekya_sim::{quantize_inv_pow2, run_windows, RunnerConfig};
 use ekya_video::{DatasetKind, StreamSet};
@@ -13,12 +11,8 @@ use std::hint::black_box;
 
 fn bench_estimator(c: &mut Criterion) {
     let curve = LearningCurve { a: 1.0, b: 2.0, c: 0.9 };
-    let work = RetrainWork {
-        curve: &curve,
-        k_total: 10.0,
-        k_done: 0.0,
-        gpu_seconds_remaining: 60.0,
-    };
+    let work =
+        RetrainWork { curve: &curve, k_total: 10.0, k_done: 0.0, gpu_seconds_remaining: 60.0 };
     let infer = InferenceProfile {
         config: InferenceConfig { frame_sampling: 0.5, resolution: 1.0 },
         accuracy_factor: 0.9,
@@ -30,31 +24,13 @@ fn bench_estimator(c: &mut Criterion) {
     c.bench_function("estimate_plain", |b| {
         let params = EstimateParams { a_min: 0.4, checkpoint_every_k: None };
         b.iter(|| {
-            black_box(estimate_window(
-                Some(&work),
-                0.5,
-                &infer,
-                None,
-                0.5,
-                0.5,
-                200.0,
-                &params,
-            ))
+            black_box(estimate_window(Some(&work), 0.5, &infer, None, 0.5, 0.5, 200.0, &params))
         })
     });
     c.bench_function("estimate_checkpointed", |b| {
         let params = EstimateParams { a_min: 0.4, checkpoint_every_k: Some(1.0) };
         b.iter(|| {
-            black_box(estimate_window(
-                Some(&work),
-                0.5,
-                &infer,
-                None,
-                0.5,
-                0.5,
-                200.0,
-                &params,
-            ))
+            black_box(estimate_window(Some(&work), 0.5, &infer, None, 0.5, 0.5, 200.0, &params))
         })
     });
 
@@ -78,8 +54,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ekya_window_2streams", |b| {
         b.iter(|| {
-            let mut policy =
-                ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
+            let mut policy = ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
             let cfg = RunnerConfig { total_gpus: 1.0, seed: 5, ..RunnerConfig::default() };
             black_box(run_windows(&mut policy, &streams, &cfg, 1))
         })
@@ -88,8 +63,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     // mid-window adaptation machinery entirely.
     group.bench_function("ekya_window_no_adapt", |b| {
         b.iter(|| {
-            let mut policy =
-                ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
+            let mut policy = ekya_core::EkyaPolicy::new(ekya_core::SchedulerParams::new(1.0));
             let cfg = RunnerConfig {
                 total_gpus: 1.0,
                 seed: 5,

@@ -48,8 +48,12 @@ fn retrain_profiles(seed: u64) -> Vec<RetrainProfile> {
 }
 
 fn bench_thief(c: &mut Criterion) {
-    let infer =
-        ekya_core::build_inference_profiles(&CostModel::default(), 1.0, 30.0, &default_inference_grid());
+    let infer = ekya_core::build_inference_profiles(
+        &CostModel::default(),
+        1.0,
+        30.0,
+        &default_inference_grid(),
+    );
 
     let mut group = c.benchmark_group("thief_scheduler");
     for &(streams, gpus) in &[(2usize, 1.0f64), (4, 2.0), (10, 8.0), (20, 8.0)] {

@@ -76,10 +76,7 @@ fn bench_engine(c: &mut Criterion) {
 
     c.bench_function("gpu_pack_20jobs", |b| {
         let reqs: Vec<PlacementRequest> = (0..20)
-            .map(|i| PlacementRequest {
-                job: i,
-                demand: [1.0, 0.5, 0.25, 0.125][i as usize % 4],
-            })
+            .map(|i| PlacementRequest { job: i, demand: [1.0, 0.5, 0.25, 0.125][i as usize % 4] })
             .collect();
         b.iter(|| black_box(pack(&reqs, 8)))
     });

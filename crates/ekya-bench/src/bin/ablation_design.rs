@@ -42,18 +42,12 @@ fn main() {
 
     let full = run(base.clone());
     let variants: Vec<(&str, RunnerConfig)> = vec![
-        (
-            "no checkpoint hot-swaps",
-            RunnerConfig { checkpoint_every_epochs: None, ..base.clone() },
-        ),
+        ("no checkpoint hot-swaps", RunnerConfig { checkpoint_every_epochs: None, ..base.clone() }),
         (
             "no mid-window estimate correction",
             RunnerConfig { adapt_estimates: false, ..base.clone() },
         ),
-        (
-            "no exemplar memory (iCaRL off)",
-            RunnerConfig { exemplar_per_class: 0, ..base.clone() },
-        ),
+        ("no exemplar memory (iCaRL off)", RunnerConfig { exemplar_per_class: 0, ..base.clone() }),
         (
             "quantised MPS placement (inverse powers of two)",
             RunnerConfig { quantize_placement: true, ..base.clone() },

@@ -59,16 +59,8 @@ fn main() {
     model.set_layers_trained(usize::MAX);
 
     let measure = |configs: &[RetrainConfig]| -> Vec<(RetrainConfig, f64, f64)> {
-        let (accs, _) = exhaustive_profile(
-            &model,
-            &w1,
-            &val,
-            configs,
-            nc,
-            TrainHyper::default(),
-            &cost,
-            seed,
-        );
+        let (accs, _) =
+            exhaustive_profile(&model, &w1, &val, configs, nc, TrainHyper::default(), &cost, seed);
         configs
             .iter()
             .zip(&accs)
@@ -138,12 +130,7 @@ fn main() {
     let mut json_points = Vec::new();
     for (i, (c, gpu_s, acc)) in points_b.iter().enumerate() {
         let on = frontier.contains(&i);
-        tb.row(vec![
-            c.label(),
-            f1(*gpu_s),
-            f3(*acc),
-            if on { "*".into() } else { "".into() },
-        ]);
+        tb.row(vec![c.label(), f1(*gpu_s), f3(*acc), if on { "*".into() } else { "".into() }]);
         json_points.push(ConfigPoint {
             label: c.label(),
             gpu_seconds: *gpu_s,

@@ -37,12 +37,7 @@ fn main() {
     for kind in datasets {
         let cfg0 = RunnerConfig::default();
         let (c1, c2) = holdout_configs(kind, &cfg0.retrain_grid, &cfg0.cost, seed ^ 0xF00D);
-        println!(
-            "{}: hold-out configs high={} low={}",
-            kind.name(),
-            c1.label(),
-            c2.label()
-        );
+        println!("{}: hold-out configs high={} low={}", kind.name(), c1.label(), c2.label());
         for &gpus in &gpu_counts {
             for &n in &stream_counts {
                 let streams = StreamSet::generate(kind, n, windows, seed);

@@ -41,7 +41,12 @@ fn main() {
 
     let mut points: Vec<Point> = Vec::new();
     for kind in &datasets {
-        eprintln!("[recording trace for {} — {} streams x {} windows]", kind.name(), num_streams, windows);
+        eprintln!(
+            "[recording trace for {} — {} streams x {} windows]",
+            kind.name(),
+            num_streams,
+            windows
+        );
         let streams = StreamSet::generate(*kind, num_streams, windows, seed);
         let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
         let trace = record_trace(&streams, &cfg, windows, 6);
@@ -113,10 +118,7 @@ fn main() {
                 .fold(f64::MIN, f64::max)
         };
         if let Some(ekya4) = ekya_at(4.0) {
-            let needed = gpu_grid
-                .iter()
-                .find(|&&g| best_uniform_at(g) >= ekya4)
-                .copied();
+            let needed = gpu_grid.iter().find(|&&g| best_uniform_at(g) >= ekya4).copied();
             match needed {
                 Some(g) => println!(
                     "{}: best uniform needs {}x the GPUs to match Ekya@4 GPUs (paper: 4x)",

@@ -70,12 +70,8 @@ fn main() {
         mean(0),
         mean(1)
     );
-    let skipped: usize = report
-        .windows
-        .iter()
-        .flat_map(|w| &w.streams)
-        .filter(|s| !s.retrained)
-        .count();
+    let skipped: usize =
+        report.windows.iter().flat_map(|w| &w.streams).filter(|s| !s.retrained).count();
     println!(
         "Windows where a stream's retraining was skipped: {skipped} \
          (the uniform baseline always retrains — Ekya adapts per stream)"

@@ -13,9 +13,7 @@
 //! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 10).
 
 use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
-use ekya_core::{
-    thief_schedule, EkyaPolicy, MicroProfiler, SchedulerParams, StreamInput,
-};
+use ekya_core::{thief_schedule, EkyaPolicy, MicroProfiler, SchedulerParams, StreamInput};
 use ekya_nn::data::DataView;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
 use ekya_nn::mlp::{Mlp, MlpArch};
@@ -50,9 +48,8 @@ fn main() {
     let sys_val = distill_labels(&mut teacher, &w.val);
     let model = Mlp::new(MlpArch::edge(ds0.feature_dim, ds0.num_classes, 16), seed);
     let mut profiler = MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00);
-    let profiles = profiler
-        .profile(&model, &pool, &sys_val, &cfg.retrain_grid, ds0.num_classes, 1)
-        .profiles;
+    let profiles =
+        profiler.profile(&model, &pool, &sys_val, &cfg.retrain_grid, ds0.num_classes, 1).profiles;
     let serving = model.accuracy(DataView::new(&sys_val, ds0.num_classes));
     let infer_profiles =
         ekya_core::build_inference_profiles(&cfg.cost, 1.0, 30.0, &cfg.inference_grid);

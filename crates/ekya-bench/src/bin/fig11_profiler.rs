@@ -55,10 +55,8 @@ fn main() {
     let median = stats::median_abs(&errors);
     let mean = stats::mean(&errors);
 
-    let mut ha = Table::new(
-        "Fig 11a — micro-profiler estimation-error distribution",
-        &["bucket", "count"],
-    );
+    let mut ha =
+        Table::new("Fig 11a — micro-profiler estimation-error distribution", &["bucket", "count"]);
     let buckets = [-0.3f64, -0.2, -0.1, -0.05, 0.0, 0.05, 0.1, 0.2, 0.3];
     for pair in buckets.windows(2) {
         let (lo, hi) = (pair[0], pair[1]);

@@ -104,7 +104,14 @@ fn main() {
 
     let mut t = Table::new(
         "§6.3 — thief scheduler decision latency",
-        &["streams", "GPUs", "configs", "PickConfigs evals", "runtime (ms)", "fraction of 200 s window"],
+        &[
+            "streams",
+            "GPUs",
+            "configs",
+            "PickConfigs evals",
+            "runtime (ms)",
+            "fraction of 200 s window",
+        ],
     );
     for r in &rows {
         t.row(vec![

@@ -37,11 +37,9 @@ fn main() {
 
     // capacity[scheduler][gpu] = max streams with accuracy >= threshold.
     let mut rows: Vec<CapacityRow> = Vec::new();
-    let schedulers: Vec<(String, Box<dyn Fn(f64) -> Box<dyn Policy>>)> = vec![
-        (
-            "Ekya".into(),
-            Box::new(|g: f64| Box::new(EkyaPolicy::new(SchedulerParams::new(g)))),
-        ),
+    type PolicyFactory = Box<dyn Fn(f64) -> Box<dyn Policy>>;
+    let schedulers: Vec<(String, PolicyFactory)> = vec![
+        ("Ekya".into(), Box::new(|g: f64| Box::new(EkyaPolicy::new(SchedulerParams::new(g))))),
         (
             "Uniform (Config 1, 50%)".into(),
             Box::new(move |_| Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Config 1, 50%)"))),

@@ -45,23 +45,16 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for link in LinkModel::table4_presets() {
-        let acc = run_cloud_retraining(
-            &streams,
-            &CloudRunConfig::new(link, cfg.clone()),
-            windows,
-        )
-        .mean_accuracy();
+        let acc = run_cloud_retraining(&streams, &CloudRunConfig::new(link, cfg.clone()), windows)
+            .mean_accuracy();
 
         // How much fatter must this link get to match Ekya?
         let mut factor_needed = None;
         for f in [1.0f64, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
             let scaled = link.scaled(f);
-            let scaled_acc = run_cloud_retraining(
-                &streams,
-                &CloudRunConfig::new(scaled, cfg.clone()),
-                windows,
-            )
-            .mean_accuracy();
+            let scaled_acc =
+                run_cloud_retraining(&streams, &CloudRunConfig::new(scaled, cfg.clone()), windows)
+                    .mean_accuracy();
             if scaled_acc >= ekya_acc {
                 factor_needed = Some(f);
                 break;

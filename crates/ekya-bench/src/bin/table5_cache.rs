@@ -42,11 +42,9 @@ fn main() {
     // Ekya over the same evaluation windows.
     let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
     let ekya_report = run_windows(&mut ekya, &streams, &cfg, windows);
-    let ekya_acc: f64 = ekya_report.windows[pretrain..]
-        .iter()
-        .map(|w| w.mean_accuracy())
-        .sum::<f64>()
-        / (windows - pretrain) as f64;
+    let ekya_acc: f64 =
+        ekya_report.windows[pretrain..].iter().map(|w| w.mean_accuracy()).sum::<f64>()
+            / (windows - pretrain) as f64;
 
     let mut t = Table::new(
         format!(

@@ -71,11 +71,8 @@ impl Table {
             }
         }
         let print_row = |cells: &[String], widths: &[usize]| {
-            let line: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = *w))
-                .collect();
+            let line: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = *w)).collect();
             println!("| {} |", line.join(" | "));
         };
         print_row(&self.headers, &widths);

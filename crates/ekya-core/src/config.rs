@@ -49,7 +49,10 @@ impl RetrainConfig {
     pub fn label(&self) -> String {
         format!(
             "e{}-b{}-n{}-l{}-f{:.2}",
-            self.epochs, self.batch_size, self.last_layer_neurons, self.layers_trained,
+            self.epochs,
+            self.batch_size,
+            self.last_layer_neurons,
+            self.layers_trained,
             self.data_fraction
         )
     }
@@ -127,8 +130,7 @@ impl InferenceConfig {
     /// moderate subsampling with modest accuracy loss (Chameleon \[36\]):
     /// half-rate sampling costs ~10% accuracy, native/4 sampling ~19%.
     pub fn accuracy_factor(&self) -> f64 {
-        self.frame_sampling.clamp(0.0, 1.0).powf(0.15)
-            * self.resolution.clamp(0.0, 1.0).powf(0.2)
+        self.frame_sampling.clamp(0.0, 1.0).powf(0.15) * self.resolution.clamp(0.0, 1.0).powf(0.2)
     }
 
     /// Compact human-readable label.

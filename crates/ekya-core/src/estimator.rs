@@ -124,6 +124,7 @@ pub fn pick_best_infer(
 /// the training job's GPUs to inference, so the post-retraining phase can
 /// run a richer configuration. Pass `None` to keep `infer` throughout
 /// (e.g. when there is no retraining).
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's parameter list
 pub fn estimate_window(
     work: Option<&RetrainWork<'_>>,
     serving_accuracy: f64,
@@ -142,9 +143,7 @@ pub fn estimate_window(
     // The post-completion configuration may use the reclaimed training
     // GPUs; it must keep up under the combined allocation.
     let af_after = match infer_after {
-        Some(p) if p.gpu_demand <= infer_alloc + train_alloc + EPS => {
-            p.accuracy_factor.max(af)
-        }
+        Some(p) if p.gpu_demand <= infer_alloc + train_alloc + EPS => p.accuracy_factor.max(af),
         _ => af,
     };
     let horizon = horizon_secs.max(EPS);
@@ -334,10 +333,8 @@ mod tests {
             RetrainWork { curve: &c, k_total: 10.0, k_done: 0.0, gpu_seconds_remaining: 80.0 };
         let p = infer_profile(0.1, 1.0);
         let params = EstimateParams::default();
-        let slow =
-            estimate_window(Some(&work), 0.5, &p, None, 0.5, 0.5, 200.0, &params).unwrap();
-        let fast =
-            estimate_window(Some(&work), 0.5, &p, None, 1.0, 0.5, 200.0, &params).unwrap();
+        let slow = estimate_window(Some(&work), 0.5, &p, None, 0.5, 0.5, 200.0, &params).unwrap();
+        let fast = estimate_window(Some(&work), 0.5, &p, None, 1.0, 0.5, 200.0, &params).unwrap();
         assert!(fast.avg_accuracy > slow.avg_accuracy);
         assert!(fast.retrain_duration_secs < slow.retrain_duration_secs);
     }
@@ -345,12 +342,8 @@ mod tests {
     #[test]
     fn overlong_retraining_marked_incomplete() {
         let c = curve();
-        let work = RetrainWork {
-            curve: &c,
-            k_total: 10.0,
-            k_done: 0.0,
-            gpu_seconds_remaining: 500.0,
-        };
+        let work =
+            RetrainWork { curve: &c, k_total: 10.0, k_done: 0.0, gpu_seconds_remaining: 500.0 };
         let est = estimate_window(
             Some(&work),
             0.5,
@@ -391,12 +384,8 @@ mod tests {
     #[test]
     fn checkpointing_improves_average() {
         let c = curve();
-        let work = RetrainWork {
-            curve: &c,
-            k_total: 10.0,
-            k_done: 0.0,
-            gpu_seconds_remaining: 100.0,
-        };
+        let work =
+            RetrainWork { curve: &c, k_total: 10.0, k_done: 0.0, gpu_seconds_remaining: 100.0 };
         let p = infer_profile(0.1, 1.0);
         let without = estimate_window(
             Some(&work),

@@ -13,9 +13,7 @@
 //! online setting (which is why Ekya uses the thief heuristic).
 
 use crate::estimator::{estimate_window, RetrainWork};
-use crate::scheduler::{
-    RetrainChoice, Schedule, SchedulerParams, StreamDecision, StreamInput,
-};
+use crate::scheduler::{RetrainChoice, Schedule, SchedulerParams, StreamDecision, StreamInput};
 
 /// Best achievable value for one stream at a given `(infer_units,
 /// train_units)` split, together with the choices that achieve it.
@@ -38,6 +36,9 @@ fn best_for_split(
 ) -> SplitEval {
     let infer_alloc = infer_units as f64 * gran;
     let train_alloc = train_units as f64 * gran;
+    // Same objective as the thief: average over the lookahead-extended
+    // horizon, completion constrained to the real window.
+    let eval_horizon = crate::scheduler::eval_horizon_secs(horizon, params.lookahead_windows);
     let mut best = SplitEval {
         value: 0.0,
         retrain: RetrainChoice::Skip,
@@ -69,7 +70,7 @@ fn best_for_split(
             None,
             0.0,
             infer_alloc,
-            horizon,
+            eval_horizon,
             &params.estimate,
         ) {
             if est.avg_accuracy > best.value {
@@ -95,10 +96,12 @@ fn best_for_split(
                 infer_after,
                 train_alloc,
                 infer_alloc,
-                horizon,
+                eval_horizon,
                 &params.estimate,
             );
-            let Some(est) = est.filter(|e| e.completes) else { continue };
+            let Some(est) = est.filter(|e| crate::scheduler::completes_within(e, horizon)) else {
+                continue;
+            };
             if est.avg_accuracy > best.value {
                 best = SplitEval {
                     value: est.avg_accuracy,
@@ -140,14 +143,8 @@ pub fn optimal_schedule(
             let mut best: Option<(SplitEval, (i64, i64))> = None;
             for infer_units in 0..=w {
                 let train_units = w - infer_units;
-                let eval = best_for_split(
-                    stream,
-                    infer_units,
-                    train_units,
-                    gran,
-                    horizon_secs,
-                    params,
-                );
+                let eval =
+                    best_for_split(stream, infer_units, train_units, gran, horizon_secs, params);
                 evaluations += 1;
                 let better = best.as_ref().map(|(b, _)| eval.value > b.value).unwrap_or(true);
                 if better {
@@ -296,7 +293,8 @@ mod tests {
                 in_progress: None,
             },
         ];
-        let params = SchedulerParams { granularity: 0.25, delta: 0.25, ..SchedulerParams::new(2.0) };
+        let params =
+            SchedulerParams { granularity: 0.25, delta: 0.25, ..SchedulerParams::new(2.0) };
         let optimal = optimal_schedule(&streams, 120.0, &params);
         let thief = thief_schedule(&streams, 120.0, &params);
         assert!(

@@ -33,22 +33,19 @@ pub mod profile;
 pub mod scheduler;
 
 pub use config::{
-    default_inference_grid, default_retrain_grid, extended_retrain_grid, CurveKey,
-    InferenceConfig, RetrainConfig,
+    default_inference_grid, default_retrain_grid, extended_retrain_grid, CurveKey, InferenceConfig,
+    RetrainConfig,
 };
 pub use estimator::{estimate_window, AccuracyEstimate, EstimateParams, RetrainWork};
 pub use exec::{build_variant, RetrainExecution, TrainHyper};
 pub use knapsack::optimal_schedule;
-pub use microprofiler::{
-    exhaustive_profile, MicroProfiler, MicroProfilerParams, ProfileOutput,
-};
+pub use microprofiler::{exhaustive_profile, MicroProfiler, MicroProfilerParams, ProfileOutput};
 pub use policy::{
     EkyaPolicy, InFlight, PlannedRetrain, Policy, PolicyCtx, PolicyStream, ReplanStream,
     StreamPlan, WindowPlan,
 };
 pub use profile::{
-    build_inference_profiles, pareto_distance, pareto_frontier, InferenceProfile,
-    RetrainProfile,
+    build_inference_profiles, pareto_distance, pareto_frontier, InferenceProfile, RetrainProfile,
 };
 pub use scheduler::{
     pick_configs_fixed, thief_schedule, InProgressRetrain, RetrainChoice, Schedule,

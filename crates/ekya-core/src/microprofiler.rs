@@ -28,26 +28,12 @@ use crate::profile::{pareto_distance, RetrainProfile};
 use ekya_nn::cost::CostModel;
 use ekya_nn::data::{subsample, DataView, Sample};
 use ekya_nn::fit::LearningCurve;
+use ekya_nn::gauss::sample_gaussian;
 use ekya_nn::mlp::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rand_distr_free_normal::sample_gaussian;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-
-/// Minimal seeded Gaussian sampling (Box-Muller) so this crate does not
-/// need `rand_distr`.
-mod rand_distr_free_normal {
-    use rand::rngs::StdRng;
-    use rand::Rng;
-
-    /// One sample from `N(0, std^2)`.
-    pub fn sample_gaussian(rng: &mut StdRng, std: f64) -> f64 {
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * std
-    }
-}
 
 /// Micro-profiler parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,7 +71,7 @@ impl Default for MicroProfilerParams {
             prune: true,
             prune_keep: 12,
             noise_std: 0.0,
-            max_headroom: 0.25,
+            max_headroom: 0.45,
         }
     }
 }
@@ -147,8 +133,7 @@ impl MicroProfiler {
             if curves.contains_key(&key) {
                 continue;
             }
-            let (curve, cost) =
-                self.micro_train(model, train_pool, val, config, num_classes, seed);
+            let (curve, cost) = self.micro_train(model, train_pool, val, config, num_classes, seed);
             gpu_seconds_spent += cost;
             curves.insert(key, curve);
         }
@@ -164,8 +149,7 @@ impl MicroProfiler {
                     let eps = sample_gaussian(&mut self.rng, self.params.noise_std);
                     curve.c = (curve.c + eps).clamp(0.05, 1.0);
                 }
-                let n_train =
-                    ((pool_len as f64) * config.data_fraction).round().max(1.0) as usize;
+                let n_train = ((pool_len as f64) * config.data_fraction).round().max(1.0) as usize;
                 let variant = build_variant(model, &config, seed.wrapping_add(17));
                 RetrainProfile {
                     config,
@@ -202,7 +186,8 @@ impl MicroProfiler {
         let val_view = DataView::new(val, num_classes);
         let sample_view = DataView::new(&sample, num_classes);
 
-        let mut points: Vec<(f64, f64)> = Vec::with_capacity(self.params.profile_epochs as usize + 1);
+        let mut points: Vec<(f64, f64)> =
+            Vec::with_capacity(self.params.profile_epochs as usize + 1);
         points.push((0.0, variant.accuracy(val_view)));
         let mut opt = Sgd::new(&variant, self.params.hyper.lr, self.params.hyper.momentum);
         for e in 0..self.params.profile_epochs {
@@ -217,8 +202,7 @@ impl MicroProfiler {
             points.push(((e + 1) as f64 * frac, variant.accuracy(val_view)));
         }
         let best_observed = points.iter().map(|p| p.1).fold(0.0, f64::max);
-        let curve =
-            LearningCurve::fit_capped(&points, best_observed + self.params.max_headroom);
+        let curve = LearningCurve::fit_capped(&points, best_observed + self.params.max_headroom);
         let gpu_seconds = self.params.profile_epochs as f64
             * self.cost.train_epoch_gpu_seconds(&variant, sample.len(), config.batch_size);
         (curve, gpu_seconds)
@@ -273,6 +257,7 @@ impl MicroProfiler {
 /// ~100x claim).
 ///
 /// Returns `(final_accuracies, gpu_seconds_spent)` aligned with `configs`.
+#[allow(clippy::too_many_arguments)] // mirrors the micro-profiler's profiling interface
 pub fn exhaustive_profile(
     model: &Mlp,
     train_pool: &[Sample],
@@ -314,10 +299,7 @@ mod tests {
             val_samples: 200,
             ..DatasetSpec::new(DatasetKind::Cityscapes, 3, 77)
         });
-        let model = Mlp::new(
-            ekya_nn::mlp::MlpArch::edge(ds.feature_dim, ds.num_classes, 16),
-            5,
-        );
+        let model = Mlp::new(ekya_nn::mlp::MlpArch::edge(ds.feature_dim, ds.num_classes, 16), 5);
         (model, ds)
     }
 
@@ -334,14 +316,8 @@ mod tests {
         let (model, ds) = setup();
         let w = ds.window(0);
         let grid = default_retrain_grid();
-        let out = profiler(0.0, false).profile(
-            &model,
-            &w.train_pool,
-            &w.val,
-            &grid,
-            ds.num_classes,
-            1,
-        );
+        let out =
+            profiler(0.0, false).profile(&model, &w.train_pool, &w.val, &grid, ds.num_classes, 1);
         assert_eq!(out.profiles.len(), grid.len());
         assert_eq!(out.pruned, 0);
         assert!(out.gpu_seconds_spent > 0.0);
@@ -448,22 +424,10 @@ mod tests {
         let (model, ds) = setup();
         let w = ds.window(0);
         let grid = &default_retrain_grid()[..4];
-        let clean = profiler(0.0, false).profile(
-            &model,
-            &w.train_pool,
-            &w.val,
-            grid,
-            ds.num_classes,
-            5,
-        );
-        let noisy = profiler(0.2, false).profile(
-            &model,
-            &w.train_pool,
-            &w.val,
-            grid,
-            ds.num_classes,
-            5,
-        );
+        let clean =
+            profiler(0.0, false).profile(&model, &w.train_pool, &w.val, grid, ds.num_classes, 5);
+        let noisy =
+            profiler(0.2, false).profile(&model, &w.train_pool, &w.val, grid, ds.num_classes, 5);
         let diff: f64 = clean
             .profiles
             .iter()

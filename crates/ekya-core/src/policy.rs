@@ -79,10 +79,7 @@ pub struct WindowPlan {
 impl WindowPlan {
     /// Total GPUs the plan allocates.
     pub fn total_gpus(&self) -> f64 {
-        self.streams
-            .iter()
-            .map(|s| s.infer_gpus + s.retrain.map(|r| r.gpus).unwrap_or(0.0))
-            .sum()
+        self.streams.iter().map(|s| s.infer_gpus + s.retrain.map(|r| r.gpus).unwrap_or(0.0)).sum()
     }
 }
 
@@ -214,7 +211,18 @@ impl Policy for EkyaPolicy {
         remaining_secs: f64,
     ) -> Option<Vec<ReplanStream>> {
         let inputs = Self::to_stream_inputs(ctx, Some(in_flight));
-        let schedule = thief_schedule(&inputs, remaining_secs, &self.params);
+        // `lookahead_windows` is in full-window units, but the scheduler
+        // scales it by whatever horizon it is handed. Mid-window the
+        // horizon is the (shrinking) remainder, so compensate to keep the
+        // post-retraining credit at `lookahead * window` — otherwise a
+        // near-complete retrain gets almost no credit late in the window,
+        // the exact myopia the lookahead exists to prevent.
+        let mut params = self.params;
+        if remaining_secs > 1e-9 {
+            params.lookahead_windows =
+                self.params.lookahead_windows * ctx.window_secs / remaining_secs;
+        }
+        let schedule = thief_schedule(&inputs, remaining_secs, &params);
         Some(
             schedule
                 .decisions

@@ -175,11 +175,8 @@ mod tests {
         // (dominated by p0). p2: most expensive but best accuracy (on
         // frontier). Note post_accuracy evaluates the curve at k = epochs,
         // so accuracies are checked via the profiles themselves.
-        let profiles = vec![
-            mk_profile(5, 1.0, 0.80),
-            mk_profile(20, 1.0, 0.60),
-            mk_profile(30, 1.0, 0.95),
-        ];
+        let profiles =
+            vec![mk_profile(5, 1.0, 0.80), mk_profile(20, 1.0, 0.60), mk_profile(30, 1.0, 0.95)];
         assert!(profiles[1].post_accuracy() < profiles[0].post_accuracy());
         assert!(profiles[1].total_gpu_seconds() > profiles[0].total_gpu_seconds());
         let frontier = pareto_frontier(&profiles);
@@ -197,11 +194,8 @@ mod tests {
 
     #[test]
     fn pareto_distance_positive_off_frontier() {
-        let profiles = vec![
-            mk_profile(5, 1.0, 0.80),
-            mk_profile(25, 1.0, 0.60),
-            mk_profile(30, 1.0, 0.95),
-        ];
+        let profiles =
+            vec![mk_profile(5, 1.0, 0.80), mk_profile(25, 1.0, 0.60), mk_profile(30, 1.0, 0.95)];
         assert!(pareto_distance(&profiles, 1) > 0.0);
     }
 
@@ -214,8 +208,10 @@ mod tests {
         // Full quality config demands the most GPU.
         let full = profiles
             .iter()
-            .find(|p| (p.config.frame_sampling - 1.0).abs() < 1e-9
-                && (p.config.resolution - 1.0).abs() < 1e-9)
+            .find(|p| {
+                (p.config.frame_sampling - 1.0).abs() < 1e-9
+                    && (p.config.resolution - 1.0).abs() < 1e-9
+            })
             .unwrap();
         for p in &profiles {
             assert!(p.gpu_demand <= full.gpu_demand + 1e-12);

@@ -72,11 +72,22 @@ pub struct SchedulerParams {
     pub estimate: EstimateParams,
     /// Cross-stream aggregate to optimise.
     pub objective: SchedulerObjective,
+    /// Extra windows of serving credited to the post-retraining model
+    /// when comparing configurations (an extension beyond Eq. 1, which
+    /// scores the current window only). A retrained model keeps serving
+    /// *after* its window ends, so a configuration that spends most of
+    /// the window training to a strong model is worth more than Eq. 1's
+    /// within-window average admits; pure per-window greedy reliably
+    /// picks throwaway cheap configurations and loses to a static
+    /// baseline over multi-window runs. Retraining must still *complete*
+    /// within the real window (Eq. 1 constraint 1) — only the averaging
+    /// horizon is extended. 0 restores the paper's myopic objective.
+    pub lookahead_windows: f64,
 }
 
 impl SchedulerParams {
     /// Paper-default parameters for a given GPU count: δ = Δ = 0.1 GPU,
-    /// `a_MIN` = 0.4, mean objective.
+    /// `a_MIN` = 0.4, mean objective, one window of lookahead.
     pub fn new(total_gpus: f64) -> Self {
         Self {
             total_gpus,
@@ -84,6 +95,7 @@ impl SchedulerParams {
             delta: 0.1,
             estimate: EstimateParams::default(),
             objective: SchedulerObjective::Mean,
+            lookahead_windows: 1.0,
         }
     }
 }
@@ -180,15 +192,35 @@ struct StreamEval {
     estimate: AccuracyEstimate,
 }
 
+/// The accuracy-averaging horizon for one evaluation: the (remaining)
+/// window stretched by the lookahead credit. Shared by the thief and the
+/// knapsack oracle so both optimise the *same* objective — the tests
+/// bound one against the other.
+pub(crate) fn eval_horizon_secs(horizon_secs: f64, lookahead_windows: f64) -> f64 {
+    horizon_secs * (1.0 + lookahead_windows.max(0.0))
+}
+
+/// Eq. 1 constraint 1: retraining must finish within the *real*
+/// (remaining) window — the lookahead extends the averaging horizon only.
+pub(crate) fn completes_within(estimate: &AccuracyEstimate, horizon_secs: f64) -> bool {
+    estimate.retrain_duration_secs <= horizon_secs + 1e-9
+}
+
 /// Runs Algorithm 2 for a single stream under the given allocations.
+///
+/// Estimates average over [`eval_horizon_secs`] (the post-retraining
+/// model keeps serving beyond the window), while retraining must still
+/// complete within the real `horizon_secs` ([`completes_within`]).
 fn pick_configs_for_stream(
     stream: &StreamInput<'_>,
     train_alloc: f64,
     infer_alloc: f64,
     horizon_secs: f64,
+    lookahead_windows: f64,
     params: &EstimateParams,
 ) -> StreamEval {
     const EPS: f64 = 1e-9;
+    let eval_horizon = eval_horizon_secs(horizon_secs, lookahead_windows);
     let zero_estimate = AccuracyEstimate {
         avg_accuracy: 0.0,
         min_accuracy: 0.0,
@@ -255,7 +287,7 @@ fn pick_configs_for_stream(
                 infer_after,
                 train_alloc,
                 infer_alloc,
-                horizon_secs,
+                eval_horizon,
                 params,
             ),
         );
@@ -270,7 +302,7 @@ fn pick_configs_for_stream(
                 None,
                 0.0,
                 infer_alloc,
-                horizon_secs,
+                eval_horizon,
                 params,
             ),
         );
@@ -288,12 +320,12 @@ fn pick_configs_for_stream(
                 infer_after,
                 train_alloc,
                 infer_alloc,
-                horizon_secs,
+                eval_horizon,
                 params,
             );
             // Reject configurations whose retraining cannot finish within
-            // the window at this allocation (Eq. 1 constraint 1).
-            let est = est.filter(|e| e.completes);
+            // the *real* window at this allocation (Eq. 1 constraint 1).
+            let est = est.filter(|e| completes_within(e, horizon_secs));
             consider(RetrainChoice::Start { profile_idx: idx }, est);
         }
     }
@@ -314,7 +346,9 @@ fn pick_configs_for_stream(
 ///
 /// `horizon_secs` is the (remaining) window duration ‖T‖. Returns the
 /// per-stream allocations, configuration choices, and the estimated
-/// window-averaged accuracy.
+/// accuracy averaged over the lookahead-extended horizon (exactly the
+/// window average when `lookahead_windows` is 0 — see
+/// [`SchedulerParams::lookahead_windows`]).
 pub fn thief_schedule(
     streams: &[StreamInput<'_>],
     horizon_secs: f64,
@@ -354,33 +388,35 @@ pub fn thief_schedule(
     let gran = MILLI;
     // `evaluate` returns (per-stream evals, objective score, mean
     // accuracy); the thief compares scores, the schedule reports the mean.
-    let evaluate =
-        |alloc: &[i64], cache: &mut HashMap<(usize, i64, i64), StreamEval>, evals: &mut usize|
-         -> (Vec<StreamEval>, f64, f64) {
-            let mut evals_out = Vec::with_capacity(n);
-            let mut per_stream = Vec::with_capacity(n);
-            for (s, stream) in streams.iter().enumerate() {
-                let iu = alloc[2 * s];
-                let tu = alloc[2 * s + 1];
-                let eval = cache
-                    .entry((s, iu, tu))
-                    .or_insert_with(|| {
-                        *evals += 1;
-                        pick_configs_for_stream(
-                            stream,
-                            tu as f64 * gran,
-                            iu as f64 * gran,
-                            horizon_secs,
-                            &params.estimate,
-                        )
-                    })
-                    .clone();
-                per_stream.push(eval.estimate.avg_accuracy);
-                evals_out.push(eval);
-            }
-            let mean = per_stream.iter().sum::<f64>() / n as f64;
-            (evals_out, params.objective.score(&per_stream), mean)
-        };
+    let evaluate = |alloc: &[i64],
+                    cache: &mut HashMap<(usize, i64, i64), StreamEval>,
+                    evals: &mut usize|
+     -> (Vec<StreamEval>, f64, f64) {
+        let mut evals_out = Vec::with_capacity(n);
+        let mut per_stream = Vec::with_capacity(n);
+        for (s, stream) in streams.iter().enumerate() {
+            let iu = alloc[2 * s];
+            let tu = alloc[2 * s + 1];
+            let eval = cache
+                .entry((s, iu, tu))
+                .or_insert_with(|| {
+                    *evals += 1;
+                    pick_configs_for_stream(
+                        stream,
+                        tu as f64 * gran,
+                        iu as f64 * gran,
+                        horizon_secs,
+                        params.lookahead_windows,
+                        &params.estimate,
+                    )
+                })
+                .clone();
+            per_stream.push(eval.estimate.avg_accuracy);
+            evals_out.push(eval);
+        }
+        let mean = per_stream.iter().sum::<f64>() / n as f64;
+        (evals_out, params.objective.score(&per_stream), mean)
+    };
 
     let (mut best_evals, mut best_score, mut best_mean) =
         evaluate(&alloc, &mut cache, &mut evaluations);
@@ -394,11 +430,19 @@ pub fn thief_schedule(
             }
             let mut temp = best_alloc.clone();
             loop {
-                temp[victim] -= delta_units;
-                temp[thief] += delta_units;
-                if temp[victim] < 0 {
+                // Steal a partial quantum when the victim holds less than
+                // Δ: under contention the fair share starts *below* Δ
+                // (e.g. 10 streams on 1 GPU ⇒ 0.05/job), and refusing
+                // sub-Δ steals would freeze Algorithm 1 at the fair
+                // allocation — unable to ever pause one stream's
+                // retraining to let another's complete, which is the
+                // scheduler's entire job in that regime.
+                let steal = delta_units.min(temp[victim]);
+                if steal <= 0 {
                     break;
                 }
+                temp[victim] -= steal;
+                temp[thief] += steal;
                 let (evals, score, mean) = evaluate(&temp, &mut cache, &mut evaluations);
                 if score > best_score + 1e-12 {
                     best_alloc = temp.clone();
@@ -447,6 +491,7 @@ pub fn pick_configs_fixed(
             train_gpus,
             infer_gpus,
             horizon_secs,
+            params.lookahead_windows,
             &params.estimate,
         );
         total += eval.estimate.avg_accuracy;
@@ -460,11 +505,7 @@ pub fn pick_configs_fixed(
         });
     }
     let n = streams.len().max(1);
-    Schedule {
-        decisions,
-        avg_accuracy: total / n as f64,
-        evaluations: streams.len(),
-    }
+    Schedule { decisions, avg_accuracy: total / n as f64, evaluations: streams.len() }
 }
 
 #[cfg(test)]
@@ -526,8 +567,7 @@ mod tests {
     fn allocation_never_exceeds_total() {
         let infer = infer_profiles();
         let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
-        let streams: Vec<StreamInput> =
-            (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let streams: Vec<StreamInput> = (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
         let params = SchedulerParams::new(2.0);
         let s = thief_schedule(&streams, 200.0, &params);
         assert!(s.total_allocated() <= params.total_gpus + 1e-9);
@@ -570,17 +610,12 @@ mod tests {
         let infer = infer_profiles();
         let small_gain = vec![retrain_profile(10, 1.0, 8.0, 0.70, 0.75)];
         let large_gain = vec![retrain_profile(10, 1.0, 8.0, 0.45, 0.90)];
-        let streams = vec![
-            stream(0, 0.70, &small_gain, &infer),
-            stream(1, 0.45, &large_gain, &infer),
-        ];
+        let streams =
+            vec![stream(0, 0.70, &small_gain, &infer), stream(1, 0.45, &large_gain, &infer)];
         let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(2.0));
         let d0 = &s.decisions[0];
         let d1 = &s.decisions[1];
-        assert!(
-            matches!(d1.retrain, RetrainChoice::Start { .. }),
-            "high-gain stream must retrain"
-        );
+        assert!(matches!(d1.retrain, RetrainChoice::Start { .. }), "high-gain stream must retrain");
         if matches!(d0.retrain, RetrainChoice::Start { .. }) {
             assert!(
                 d1.train_gpus >= d0.train_gpus,
@@ -601,8 +636,7 @@ mod tests {
             retrain_profile(30, 1.0, 12.0, 0.5, 0.95), // 360 GPU-s: too slow
             retrain_profile(5, 0.3, 2.0, 0.5, 0.85),   // 10 GPU-s: quick win
         ];
-        let streams: Vec<StreamInput> =
-            (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let streams: Vec<StreamInput> = (0..4).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
         let s = thief_schedule(&streams, 200.0, &SchedulerParams::new(1.0));
         let picked_cheap = s
             .decisions
@@ -620,12 +654,7 @@ mod tests {
             vec![stream(0, 0.65, &retrain_a, &infer), stream(1, 0.40, &retrain_b, &infer)];
         let params = SchedulerParams::new(3.0);
         let thief = thief_schedule(&streams, 120.0, &params);
-        let fair = pick_configs_fixed(
-            &streams,
-            &[(0.75, 0.75), (0.75, 0.75)],
-            120.0,
-            &params,
-        );
+        let fair = pick_configs_fixed(&streams, &[(0.75, 0.75), (0.75, 0.75)], 120.0, &params);
         assert!(
             thief.avg_accuracy >= fair.avg_accuracy - 1e-9,
             "thief {:.4} must be >= fair {:.4}",
@@ -676,12 +705,9 @@ mod tests {
         // reachable from the same start, so accuracy should not degrade
         // meaningfully (Fig 10's premise).
         let infer = infer_profiles();
-        let retrain = vec![
-            retrain_profile(10, 1.0, 6.0, 0.5, 0.9),
-            retrain_profile(5, 0.3, 2.0, 0.5, 0.8),
-        ];
-        let streams: Vec<StreamInput> =
-            (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let retrain =
+            vec![retrain_profile(10, 1.0, 6.0, 0.5, 0.9), retrain_profile(5, 0.3, 2.0, 0.5, 0.8)];
+        let streams: Vec<StreamInput> = (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
         let coarse = thief_schedule(
             &streams,
             200.0,
@@ -700,8 +726,7 @@ mod tests {
     fn schedule_is_deterministic() {
         let infer = infer_profiles();
         let retrain = vec![retrain_profile(10, 1.0, 5.0, 0.5, 0.9)];
-        let streams: Vec<StreamInput> =
-            (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
+        let streams: Vec<StreamInput> = (0..3).map(|i| stream(i, 0.5, &retrain, &infer)).collect();
         let params = SchedulerParams::new(2.0);
         let a = thief_schedule(&streams, 200.0, &params);
         let b = thief_schedule(&streams, 200.0, &params);
@@ -740,22 +765,15 @@ mod tests {
         let infer = infer_profiles();
         let big_gain = vec![retrain_profile(10, 1.0, 6.0, 0.30, 0.95)];
         let small_gain = vec![retrain_profile(10, 1.0, 6.0, 0.55, 0.70)];
-        let streams = vec![
-            stream(0, 0.30, &big_gain, &infer),
-            stream(1, 0.55, &small_gain, &infer),
-        ];
+        let streams =
+            vec![stream(0, 0.30, &big_gain, &infer), stream(1, 0.55, &small_gain, &infer)];
         let mean_params = SchedulerParams::new(2.0);
-        let mm_params = SchedulerParams {
-            objective: SchedulerObjective::MaxMin,
-            ..SchedulerParams::new(2.0)
-        };
+        let mm_params =
+            SchedulerParams { objective: SchedulerObjective::MaxMin, ..SchedulerParams::new(2.0) };
         let mean_sched = thief_schedule(&streams, 200.0, &mean_params);
         let mm_sched = thief_schedule(&streams, 200.0, &mm_params);
         let min_of = |s: &Schedule| {
-            s.decisions
-                .iter()
-                .map(|d| d.estimate.avg_accuracy)
-                .fold(f64::INFINITY, f64::min)
+            s.decisions.iter().map(|d| d.estimate.avg_accuracy).fold(f64::INFINITY, f64::min)
         };
         assert!(
             min_of(&mm_sched) >= min_of(&mean_sched) - 1e-9,
@@ -775,14 +793,10 @@ mod tests {
         let mm_sched = thief_schedule(
             &streams,
             200.0,
-            &SchedulerParams {
-                objective: SchedulerObjective::MaxMin,
-                ..SchedulerParams::new(2.0)
-            },
+            &SchedulerParams { objective: SchedulerObjective::MaxMin, ..SchedulerParams::new(2.0) },
         );
         // The mean objective is by definition at least as good on mean
         // accuracy (both searched from the same start).
         assert!(mean_sched.avg_accuracy >= mm_sched.avg_accuracy - 0.02);
     }
 }
-

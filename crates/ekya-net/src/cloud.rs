@@ -100,12 +100,7 @@ pub fn simulate_cloud_window(
 /// Window-average accuracy for one stream under cloud retraining: the
 /// stale model (`serving`) serves until the new model arrives at
 /// `arrival_secs`, after which the retrained model (`post`) serves.
-pub fn cloud_window_accuracy(
-    serving: f64,
-    post: f64,
-    arrival_secs: f64,
-    window_secs: f64,
-) -> f64 {
+pub fn cloud_window_accuracy(serving: f64, post: f64, arrival_secs: f64, window_secs: f64) -> f64 {
     if !arrival_secs.is_finite() || arrival_secs >= window_secs {
         return serving;
     }

@@ -226,10 +226,7 @@ mod tests {
         let up = link.transfer_secs(160.0, Direction::Uplink);
         let down = link.transfer_secs(398.0, Direction::Downlink);
         let total_8 = 8.0 * (up + down);
-        assert!(
-            total_8 > 400.0,
-            "8 cameras must exceed the 400 s window: {total_8:.0}s"
-        );
+        assert!(total_8 > 400.0, "8 cameras must exceed the 400 s window: {total_8:.0}s");
         // Single camera upload ~31s.
         assert!((up - (160.0 / 5.1 + 0.05)).abs() < 1e-9);
     }

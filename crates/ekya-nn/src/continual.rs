@@ -76,12 +76,8 @@ impl ExemplarMemory {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    let d: f64 = s
-                        .x
-                        .iter()
-                        .zip(mean.iter())
-                        .map(|(&v, &m)| (v as f64 - m).powi(2))
-                        .sum();
+                    let d: f64 =
+                        s.x.iter().zip(mean.iter()).map(|(&v, &m)| (v as f64 - m).powi(2)).sum();
                     (d, i)
                 })
                 .collect();

@@ -109,10 +109,7 @@ mod tests {
             .map(|_| {
                 let y = rng.gen_range(0..3usize);
                 let c = y as f32 * 2.0 - 2.0;
-                Sample::new(
-                    vec![c + rng.gen_range(-0.3..0.3), -c + rng.gen_range(-0.3..0.3)],
-                    y,
-                )
+                Sample::new(vec![c + rng.gen_range(-0.3..0.3), -c + rng.gen_range(-0.3..0.3)], y)
             })
             .collect()
     }
@@ -164,8 +161,7 @@ mod tests {
 
     #[test]
     fn absent_class_has_no_recall() {
-        let data: Vec<Sample> =
-            (0..10).map(|i| Sample::new(vec![i as f32, 0.0], 0)).collect();
+        let data: Vec<Sample> = (0..10).map(|i| Sample::new(vec![i as f32, 0.0], 0)).collect();
         let model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4], num_classes: 3 }, 2);
         let cm = ConfusionMatrix::compute(&model, DataView::new(&data, 3));
         assert!(cm.recall(1).is_none());

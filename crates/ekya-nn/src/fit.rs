@@ -46,10 +46,11 @@ pub fn solve_linear(m: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
             return None;
         }
         a.swap(col, pivot_row);
-        for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..=n {
-                a[row][k] -= factor * a[col][k];
+        let pivot: Vec<f64> = a[col].clone();
+        for below in a.iter_mut().take(n).skip(col + 1) {
+            let factor = below[col] / pivot[col];
+            for (v, p) in below[col..=n].iter_mut().zip(&pivot[col..=n]) {
+                *v -= factor * p;
             }
         }
     }
@@ -86,8 +87,9 @@ pub fn lstsq(a: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
         }
     }
     for i in 0..n {
-        for j in 0..i {
-            ata[i][j] = ata[j][i];
+        let (above, below) = ata.split_at_mut(i);
+        for (j, upper_row) in above.iter().enumerate() {
+            below[0][j] = upper_row[i]; // symmetric fill
         }
     }
     solve_linear(&ata, &aty)
@@ -294,8 +296,7 @@ impl LearningCurve {
             let sol = nnls(&a_mat, &yv);
             let (a, b) = (sol[0], sol[1].max(1e-9));
             let curve = LearningCurve { a, b, c };
-            let err: f64 =
-                pts.iter().map(|&(k, acc)| (curve.predict(k) - acc).powi(2)).sum();
+            let err: f64 = pts.iter().map(|&(k, acc)| (curve.predict(k) - acc).powi(2)).sum();
             if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
                 best = Some((err, curve));
             }
@@ -312,8 +313,7 @@ impl LearningCurve {
         if points.is_empty() {
             return 0.0;
         }
-        let sq: f64 =
-            points.iter().map(|&(k, acc)| (self.predict(k) - acc).powi(2)).sum();
+        let sq: f64 = points.iter().map(|&(k, acc)| (self.predict(k) - acc).powi(2)).sum();
         (sq / points.len() as f64).sqrt()
     }
 }
@@ -390,9 +390,8 @@ mod tests {
         for _ in 0..50 {
             let rows = rng.gen_range(3..12);
             let cols = rng.gen_range(1..4);
-            let a: Vec<Vec<f64>> = (0..rows)
-                .map(|_| (0..cols).map(|_| rng.gen_range(-2.0..2.0)).collect())
-                .collect();
+            let a: Vec<Vec<f64>> =
+                (0..rows).map(|_| (0..cols).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
             let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let x = nnls(&a, &y);
             assert_eq!(x.len(), cols);
@@ -411,8 +410,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(777);
         for _ in 0..30 {
             let rows = rng.gen_range(4..10);
-            let a: Vec<Vec<f64>> =
-                (0..rows).map(|_| vec![rng.gen_range(0.0..2.0), 1.0]).collect();
+            let a: Vec<Vec<f64>> = (0..rows).map(|_| vec![rng.gen_range(0.0..2.0), 1.0]).collect();
             let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..3.0)).collect();
             let x = nnls(&a, &y);
             let res = |xv: &[f64]| -> f64 {

@@ -101,10 +101,7 @@ impl Teacher for ModelTeacher {
 /// training samples whose `y` is the *teacher's* label (the student never
 /// sees ground truth — §2.2).
 pub fn distill_labels<T: Teacher>(teacher: &mut T, frames: &[Sample]) -> Vec<Sample> {
-    frames
-        .iter()
-        .map(|f| Sample::new(f.x.clone(), teacher.label(&f.x, f.y)))
-        .collect()
+    frames.iter().map(|f| Sample::new(f.x.clone(), teacher.label(&f.x, f.y))).collect()
 }
 
 #[cfg(test)]

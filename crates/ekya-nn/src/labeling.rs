@@ -72,10 +72,8 @@ pub fn label_with_budget<T: Teacher>(
         }
         LabelStrategy::ClassBalanced => {
             // Teacher labels everything, then we keep a balanced subset.
-            let labelled: Vec<Sample> = pool
-                .iter()
-                .map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y)))
-                .collect();
+            let labelled: Vec<Sample> =
+                pool.iter().map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y))).collect();
             let num_classes = labelled.iter().map(|s| s.y).max().map_or(0, |m| m + 1);
             let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
             for (i, s) in labelled.iter().enumerate() {
@@ -112,10 +110,8 @@ pub fn label_with_budget<T: Teacher>(
         }
         LabelStrategy::Disagreement => {
             let model = edge_model.expect("Disagreement strategy needs the edge model");
-            let labelled: Vec<Sample> = pool
-                .iter()
-                .map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y)))
-                .collect();
+            let labelled: Vec<Sample> =
+                pool.iter().map(|s| Sample::new(s.x.clone(), teacher.label(&s.x, s.y))).collect();
             let preds = model.predict(&labelled);
             let mut disagree: Vec<usize> = Vec::new();
             let mut agree: Vec<usize> = Vec::new();
@@ -165,8 +161,7 @@ mod tests {
     fn uniform_respects_budget_and_cost() {
         let pool = skewed_pool(200, 1);
         let mut teacher = OracleTeacher::new(0.0, 3, 2);
-        let out =
-            label_with_budget(&mut teacher, &pool, 50, LabelStrategy::Uniform, None, 3);
+        let out = label_with_budget(&mut teacher, &pool, 50, LabelStrategy::Uniform, None, 3);
         assert_eq!(out.samples.len(), 50);
         assert_eq!(out.teacher_inspections, 50, "uniform only inspects what it labels");
     }
@@ -175,8 +170,7 @@ mod tests {
     fn class_balanced_lifts_rare_classes() {
         let pool = skewed_pool(300, 4);
         let mut teacher = OracleTeacher::new(0.0, 3, 5);
-        let uniform =
-            label_with_budget(&mut teacher, &pool, 60, LabelStrategy::Uniform, None, 6);
+        let uniform = label_with_budget(&mut teacher, &pool, 60, LabelStrategy::Uniform, None, 6);
         let mut teacher2 = OracleTeacher::new(0.0, 3, 5);
         let balanced =
             label_with_budget(&mut teacher2, &pool, 60, LabelStrategy::ClassBalanced, None, 6);
@@ -207,8 +201,7 @@ mod tests {
         );
         assert_eq!(out.samples.len(), 30);
         let preds = model.predict(&out.samples);
-        let disagreements =
-            out.samples.iter().zip(&preds).filter(|(s, &p)| p != s.y).count();
+        let disagreements = out.samples.iter().zip(&preds).filter(|(s, &p)| p != s.y).count();
         // The untrained model is wrong on most frames, so the selected 30
         // should be dominated by disagreements.
         assert!(disagreements >= 20, "got {disagreements} disagreements of 30");
@@ -218,8 +211,7 @@ mod tests {
     fn budget_larger_than_pool_is_clamped() {
         let pool = skewed_pool(10, 11);
         let mut teacher = OracleTeacher::new(0.0, 3, 12);
-        let out =
-            label_with_budget(&mut teacher, &pool, 100, LabelStrategy::Uniform, None, 13);
+        let out = label_with_budget(&mut teacher, &pool, 100, LabelStrategy::Uniform, None, 13);
         assert_eq!(out.samples.len(), 10);
     }
 
@@ -241,8 +233,7 @@ mod tests {
         let mut teacher = OracleTeacher::new(0.02, 3, 18);
         let out =
             label_with_budget(&mut teacher, &pool, 120, LabelStrategy::ClassBalanced, None, 19);
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 3 }, 20);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 3 }, 20);
         let view = DataView::new(&out.samples, 3);
         let mut opt = crate::mlp::Sgd::new(&model, 0.1, 0.9);
         for e in 0..25 {

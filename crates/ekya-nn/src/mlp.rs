@@ -22,7 +22,6 @@
 use crate::data::{DataView, Sample};
 use crate::tensor::{relu_inplace, softmax_rows, Matrix};
 use rand::rngs::StdRng;
-use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -39,13 +38,9 @@ impl Dense {
     /// He-initialised layer (suits ReLU activations).
     pub fn he_init(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let std = (2.0 / in_dim as f32).sqrt();
-        // Box-Muller from two uniforms; avoids needing rand_distr here.
-        let mut gauss = || {
-            let u1: f32 = rng.gen_range(1e-7..1.0f32);
-            let u2: f32 = rng.gen_range(0.0..1.0f32);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-        };
-        let w = Matrix::from_fn(in_dim, out_dim, |_, _| gauss() * std);
+        let w = Matrix::from_fn(in_dim, out_dim, |_, _| {
+            crate::gauss::sample_gaussian(rng, 1.0) as f32 * std
+        });
         Self { w, b: vec![0.0; out_dim] }
     }
 
@@ -283,11 +278,8 @@ impl Mlp {
         }
         delta.scale(1.0 / batch as f32);
 
-        let mut gw: Vec<Matrix> = self
-            .layers
-            .iter()
-            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
-            .collect();
+        let mut gw: Vec<Matrix> =
+            self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
         let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
         for i in (0..n_layers).rev() {
@@ -342,8 +334,7 @@ impl Mlp {
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(batch_size) {
-            let samples: Vec<Sample> =
-                chunk.iter().map(|&i| data.samples[i].clone()).collect();
+            let samples: Vec<Sample> = chunk.iter().map(|&i| data.samples[i].clone()).collect();
             let labels: Vec<usize> = samples.iter().map(|s| s.y).collect();
             let x = batch_features(&samples, self.arch.input_dim);
             let (acts, masks, probs) = self.forward_full(&x);
@@ -411,10 +402,8 @@ impl Sgd {
             self.vel_w[i].scale(self.momentum);
             self.vel_w[i].add_scaled(&grads.w[i], 1.0);
             model.layers[i].w.add_scaled(&self.vel_w[i], -self.lr);
-            for ((v, &g), b) in self.vel_b[i]
-                .iter_mut()
-                .zip(grads.b[i].iter())
-                .zip(model.layers[i].b.iter_mut())
+            for ((v, &g), b) in
+                self.vel_b[i].iter_mut().zip(grads.b[i].iter()).zip(model.layers[i].b.iter_mut())
             {
                 *v = *v * self.momentum + g;
                 *b -= self.lr * *v;
@@ -427,6 +416,7 @@ impl Sgd {
 mod tests {
     use super::*;
     use crate::data::Sample;
+    use rand::Rng;
 
     /// A linearly separable 2-class toy problem.
     fn toy_data(n: usize, seed: u64) -> Vec<Sample> {
@@ -435,10 +425,7 @@ mod tests {
             .map(|_| {
                 let y = rng.gen_range(0..2usize);
                 let cx = if y == 0 { -1.0 } else { 1.0 };
-                let x = vec![
-                    cx + rng.gen_range(-0.3..0.3),
-                    -cx + rng.gen_range(-0.3..0.3),
-                ];
+                let x = vec![cx + rng.gen_range(-0.3..0.3), -cx + rng.gen_range(-0.3..0.3)];
                 Sample::new(x, y)
             })
             .collect()
@@ -483,8 +470,7 @@ mod tests {
     fn frozen_layers_do_not_change() {
         let data = toy_data(50, 3);
         let view = DataView::new(&data, 2);
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 8], num_classes: 2 }, 11);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 8], num_classes: 2 }, 11);
         model.set_layers_trained(1); // only the output layer trains
         let frozen_before = model.layers[0].w.clone();
         let head_before = model.layers[2].w.clone();
@@ -496,8 +482,7 @@ mod tests {
 
     #[test]
     fn layers_trained_clamps() {
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 2, hidden: vec![4, 4], num_classes: 2 }, 0);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![4, 4], num_classes: 2 }, 0);
         model.set_layers_trained(100);
         assert_eq!(model.layers_trained(), 3);
         model.set_layers_trained(0);
@@ -506,8 +491,7 @@ mod tests {
 
     #[test]
     fn trainable_param_fraction_reflects_freezing() {
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 8, hidden: vec![16, 8], num_classes: 4 }, 0);
+        let mut model = Mlp::new(MlpArch { input_dim: 8, hidden: vec![16, 8], num_classes: 4 }, 0);
         assert!((model.trainable_param_fraction() - 1.0).abs() < 1e-9);
         model.set_layers_trained(1);
         let frac = model.trainable_param_fraction();
@@ -516,8 +500,7 @@ mod tests {
 
     #[test]
     fn resize_last_hidden_changes_width_and_keeps_trunk() {
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 4, hidden: vec![8, 8], num_classes: 3 }, 5);
+        let mut model = Mlp::new(MlpArch { input_dim: 4, hidden: vec![8, 8], num_classes: 3 }, 5);
         let trunk = model.layers[0].w.clone();
         model.resize_last_hidden(16, 42);
         assert_eq!(model.arch().hidden, vec![8, 16]);
@@ -533,8 +516,7 @@ mod tests {
     fn training_works_after_resize() {
         let data = toy_data(150, 4);
         let view = DataView::new(&data, 2);
-        let mut model =
-            Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 4], num_classes: 2 }, 5);
+        let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8, 4], num_classes: 2 }, 5);
         model.resize_last_hidden(12, 6);
         let mut opt = Sgd::new(&model, 0.1, 0.9);
         for e in 0..20 {

@@ -161,8 +161,7 @@ mod tests {
             let s = Sample::new(vec![0.5, -0.5, 0.3, 0.1], 0);
             other.predict(std::slice::from_ref(&s))[0]
         };
-        h.ask(InferenceMsg::SwapModel { model: Box::new(other), reload: Duration::ZERO })
-            .unwrap();
+        h.ask(InferenceMsg::SwapModel { model: Box::new(other), reload: Duration::ZERO }).unwrap();
         let InferenceReply::Prediction(p) =
             h.ask(InferenceMsg::Classify(vec![0.5, -0.5, 0.3, 0.1])).unwrap()
         else {

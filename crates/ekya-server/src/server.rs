@@ -131,7 +131,11 @@ impl EdgeServer {
                         InferenceActor::new(model, ds.num_classes),
                     ),
                     trainer: spawn(format!("trainer-{id}"), TrainerActor),
-                    teacher: OracleTeacher::new(cfg.teacher_error_rate, ds.num_classes, seed ^ 0xC0),
+                    teacher: OracleTeacher::new(
+                        cfg.teacher_error_rate,
+                        ds.num_classes,
+                        seed ^ 0xC0,
+                    ),
                     memory: ExemplarMemory::new(ds.num_classes, cfg.exemplar_per_class),
                     profiler: MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00),
                 }
@@ -174,10 +178,8 @@ impl EdgeServer {
             let pool = rt.memory.training_mix(&fresh);
             let sys_val = distill_labels(&mut rt.teacher, &w.val);
 
-            let InferenceReply::Model(model) = rt
-                .infer
-                .ask(InferenceMsg::GetModel)
-                .expect("inference actor alive")
+            let InferenceReply::Model(model) =
+                rt.infer.ask(InferenceMsg::GetModel).expect("inference actor alive")
             else {
                 unreachable!("GetModel answers Model")
             };
@@ -304,8 +306,7 @@ impl EdgeServer {
         for (s, rt) in self.runtimes.iter().enumerate() {
             let ds = datasets[s];
             let w = ds.window(w_idx);
-            let InferenceReply::Model(model) = rt.infer.ask(InferenceMsg::GetModel).unwrap()
-            else {
+            let InferenceReply::Model(model) = rt.infer.ask(InferenceMsg::GetModel).unwrap() else {
                 unreachable!()
             };
             let end_accuracy = model.accuracy(DataView::new(&w.val, ds.num_classes));
@@ -387,11 +388,7 @@ mod tests {
         let streams = StreamSet::generate(DatasetKind::Waymo, 1, 2, 71);
         let mut server = EdgeServer::new(
             streams,
-            EdgeServerConfig {
-                seed: 9,
-                checkpoint_every: Some(3),
-                ..EdgeServerConfig::new(1.0)
-            },
+            EdgeServerConfig { seed: 9, checkpoint_every: Some(3), ..EdgeServerConfig::new(1.0) },
         );
         let outcomes = server.run_window();
         // The bootstrap retraining improves monotonically, so at least one

@@ -93,7 +93,7 @@ impl Actor for TrainerActor {
             exec.step_epoch();
             let at_checkpoint = spec
                 .checkpoint_every
-                .map(|ck| ck > 0 && exec.epochs_done() % ck == 0)
+                .map(|ck| ck > 0 && exec.epochs_done().is_multiple_of(ck))
                 .unwrap_or(false);
             let last = exec.is_complete();
             if at_checkpoint || last {
@@ -192,8 +192,7 @@ mod tests {
         assert!(out.checkpoints_swapped >= 1, "at least the final swap should land");
         // The inference actor now serves a model at least as good as the
         // trainer's last-swapped checkpoint bar.
-        let InferenceReply::Accuracy(acc) = infer.ask(InferenceMsg::Evaluate(val)).unwrap()
-        else {
+        let InferenceReply::Accuracy(acc) = infer.ask(InferenceMsg::Evaluate(val)).unwrap() else {
             panic!("wrong reply")
         };
         assert!(acc > 0.85, "serving accuracy after swaps: {acc}");

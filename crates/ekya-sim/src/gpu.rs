@@ -73,8 +73,7 @@ pub fn pack(requests: &[PlacementRequest], num_gpus: usize) -> Placement {
 
     // Descending demand (paper: "descending order of demands to reduce
     // fragmentation"); stable tie-break on job id for determinism.
-    let mut order: Vec<&PlacementRequest> =
-        requests.iter().filter(|r| r.demand > 0.0).collect();
+    let mut order: Vec<&PlacementRequest> = requests.iter().filter(|r| r.demand > 0.0).collect();
     order.sort_by(|a, b| {
         b.demand
             .partial_cmp(&a.demand)
@@ -235,9 +234,8 @@ mod tests {
 
     #[test]
     fn packing_is_deterministic() {
-        let reqs: Vec<PlacementRequest> = (0..8)
-            .map(|i| PlacementRequest { job: i, demand: 0.25 })
-            .collect();
+        let reqs: Vec<PlacementRequest> =
+            (0..8).map(|i| PlacementRequest { job: i, demand: 0.25 }).collect();
         assert_eq!(pack(&reqs, 2), pack(&reqs, 2));
     }
 }

@@ -30,9 +30,10 @@ impl Timeline {
     /// happens when a clamped-to-window-end event is followed by an
     /// earlier-timestamped update).
     pub fn set(&mut self, t: f64, v: f64) {
-        match self.points.binary_search_by(|p| {
-            p.0.partial_cmp(&t).unwrap_or(std::cmp::Ordering::Less)
-        }) {
+        match self
+            .points
+            .binary_search_by(|p| p.0.partial_cmp(&t).unwrap_or(std::cmp::Ordering::Less))
+        {
             Ok(i) => self.points[i].1 = v,
             Err(i) => {
                 // Overwrite near-identical timestamps instead of stacking.

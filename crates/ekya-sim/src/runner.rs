@@ -367,11 +367,8 @@ fn run_one_window<P: Policy + ?Sized>(
             .unwrap_or((*want, 0.0))
     };
 
-    let mut train_alloc: Vec<f64> = plan
-        .streams
-        .iter()
-        .map(|sp| sp.retrain.map(|r| r.gpus).unwrap_or(0.0))
-        .collect();
+    let mut train_alloc: Vec<f64> =
+        plan.streams.iter().map(|sp| sp.retrain.map(|r| r.gpus).unwrap_or(0.0)).collect();
     let mut infer_gpus: Vec<f64> = plan.streams.iter().map(|sp| sp.infer_gpus).collect();
     if cfg.quantize_placement {
         for a in train_alloc.iter_mut().chain(infer_gpus.iter_mut()) {
@@ -389,8 +386,8 @@ fn run_one_window<P: Policy + ?Sized>(
 
     let mut af: Vec<f64> = Vec::with_capacity(n);
     let mut infer_cfg_eff: Vec<InferenceConfig> = Vec::with_capacity(n);
-    for s in 0..n {
-        let (c, a) = effective_af(s, &plan.streams[s].infer_config, infer_gpus[s]);
+    for (s, stream_plan) in plan.streams.iter().enumerate().take(n) {
+        let (c, a) = effective_af(s, &stream_plan.infer_config, infer_gpus[s]);
         infer_cfg_eff.push(c);
         af.push(a);
     }
@@ -468,7 +465,7 @@ fn run_one_window<P: Policy + ?Sized>(
 
             let at_checkpoint = cfg
                 .checkpoint_every_epochs
-                .map(|ck| ck > 0 && job.exec.epochs_done() % ck == 0)
+                .map(|ck| ck > 0 && job.exec.epochs_done().is_multiple_of(ck))
                 .unwrap_or(false);
             if job.exec.is_complete() {
                 job.completed = true;
@@ -494,8 +491,7 @@ fn run_one_window<P: Policy + ?Sized>(
             states[s].model = new_model;
             states[s].model.set_layers_trained(usize::MAX);
             serving_sys[s] = sys_acc;
-            serving_true[s] =
-                states[s].model.accuracy(DataView::new(&preps[s].true_val, nc));
+            serving_true[s] = states[s].model.accuracy(DataView::new(&preps[s].true_val, nc));
         }
 
         // Mid-window rescheduling (on completion or estimate correction).
@@ -526,17 +522,13 @@ fn run_one_window<P: Policy + ?Sized>(
                         } else {
                             replan[i].infer_gpus
                         };
-                        let (c, a) =
-                            effective_af(i, &replan[i].infer_config, new_infer_gpus);
+                        let (c, a) = effective_af(i, &replan[i].infer_config, new_infer_gpus);
                         if (a - af[i]).abs() > 1e-12 {
                             af[i] = a;
                             // Until `t + swap_cost`, the stream that just
                             // completed still serves its pre-swap model.
-                            let model_acc = if i == s && swapped {
-                                pre_swap_true
-                            } else {
-                                serving_true[i]
-                            };
+                            let model_acc =
+                                if i == s && swapped { pre_swap_true } else { serving_true[i] };
                             timelines[i].set(t.as_secs(), model_acc * af[i]);
                         }
                         infer_cfg_eff[i] = c;
@@ -556,8 +548,7 @@ fn run_one_window<P: Policy + ?Sized>(
                         engine.cancel(job.generation);
                         job.generation = engine.new_generation();
                         let frac_done = job.stalled_frac.take().unwrap_or_else(|| {
-                            if job.epoch_duration_secs.is_finite()
-                                && job.epoch_duration_secs > 0.0
+                            if job.epoch_duration_secs.is_finite() && job.epoch_duration_secs > 0.0
                             {
                                 (t.secs_since(job.epoch_started) / job.epoch_duration_secs)
                                     .clamp(0.0, 1.0)
@@ -661,11 +652,7 @@ mod tests {
         // A functioning system should be retraining at least sometimes and
         // reaching useful accuracy after the bootstrap window.
         assert!(report.retrain_rate() > 0.0, "Ekya should retrain");
-        let late: f64 = report.windows[1..]
-            .iter()
-            .map(|w| w.mean_accuracy())
-            .sum::<f64>()
-            / 3.0;
+        let late: f64 = report.windows[1..].iter().map(|w| w.mean_accuracy()).sum::<f64>() / 3.0;
         assert!(late > 0.4, "post-bootstrap accuracy too low: {late:.3}");
     }
 
@@ -727,10 +714,7 @@ mod tests {
     fn teacher_outage_suppresses_retraining() {
         let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 4, 23);
         let mut policy = EkyaPolicy::new(SchedulerParams::new(2.0));
-        let cfg = RunnerConfig {
-            outage_windows: vec![1, 2],
-            ..small_config(2.0)
-        };
+        let cfg = RunnerConfig { outage_windows: vec![1, 2], ..small_config(2.0) };
         let report = run_windows(&mut policy, &streams, &cfg, 4);
         for w in &report.windows {
             let any_retrained = w.streams.iter().any(|s| s.retrained);
@@ -768,4 +752,3 @@ mod tests {
         assert!(resumed, "retraining should resume after the outage");
     }
 }
-

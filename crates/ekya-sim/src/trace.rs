@@ -154,15 +154,14 @@ pub fn record_trace(
     for (s, (id, ds)) in datasets.iter().enumerate() {
         let seed = cfg.seed.wrapping_add(7919 * s as u64);
         let mut teacher = OracleTeacher::new(cfg.teacher_error_rate, num_classes, seed ^ 0xC0);
-        let mut profiler =
-            MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00);
+        let mut profiler = MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00);
         let mut model =
             Mlp::new(MlpArch::edge(ds.feature_dim, num_classes, cfg.initial_head_width), seed);
         // Snapshots of the reference model after each window's retraining;
         // snapshots[0] is the untrained bootstrap model.
         let mut snapshots: Vec<Mlp> = vec![model.clone()];
 
-        for w_idx in 0..num_windows {
+        for (w_idx, window) in windows.iter_mut().enumerate() {
             let w = ds.window(w_idx);
             let fresh = distill_labels(&mut teacher, &w.train_pool);
             let sys_val = distill_labels(&mut teacher, &w.val);
@@ -212,7 +211,7 @@ pub fn record_trace(
                 }
             }
 
-            windows[w_idx].streams.push(StreamWindowTrace {
+            window.streams.push(StreamWindowTrace {
                 stream: *id,
                 class_dist: w.class_dist.clone(),
                 drift: w.drift_from_prev,
@@ -343,13 +342,10 @@ impl ReplayPolicyHarness {
                 let mut wasted = 0.0;
                 match sp.retrain {
                     Some(planned) if planned.gpus > 0.0 => {
-                        let est = wt.streams[s]
-                            .est_profiles
-                            .iter()
-                            .find(|p| p.config == planned.config);
-                        let gpu_seconds = est
-                            .map(RetrainProfile::total_gpu_seconds)
-                            .unwrap_or(f64::INFINITY);
+                        let est =
+                            wt.streams[s].est_profiles.iter().find(|p| p.config == planned.config);
+                        let gpu_seconds =
+                            est.map(RetrainProfile::total_gpu_seconds).unwrap_or(f64::INFINITY);
                         let duration = profile_delay + gpu_seconds / planned.gpus;
                         let truth = st
                             .true_curve(planned.config.curve_key())
@@ -359,8 +355,7 @@ impl ReplayPolicyHarness {
                         if duration <= trace.window_secs {
                             completed = true;
                             end_model = post;
-                            avg = (duration * serving[s]
-                                + (trace.window_secs - duration) * post)
+                            avg = (duration * serving[s] + (trace.window_secs - duration) * post)
                                 / trace.window_secs;
                         } else {
                             wasted = trace.window_secs * planned.gpus;
@@ -465,10 +460,7 @@ mod tests {
         };
         let small = run(0.5);
         let large = run(4.0);
-        assert!(
-            large >= small - 0.02,
-            "more GPUs should not hurt: {small:.3} -> {large:.3}"
-        );
+        assert!(large >= small - 0.02, "more GPUs should not hurt: {small:.3} -> {large:.3}");
     }
 
     #[test]

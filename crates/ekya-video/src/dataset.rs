@@ -255,12 +255,7 @@ impl VideoDataset {
             mix.advance();
             app.advance();
         }
-        Self {
-            spec,
-            windows,
-            feature_dim: app_params.feature_dim,
-            num_classes: ObjectClass::COUNT,
-        }
+        Self { spec, windows, feature_dim: app_params.feature_dim, num_classes: ObjectClass::COUNT }
     }
 
     /// Returns the window at `index`.

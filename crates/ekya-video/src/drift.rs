@@ -16,10 +16,10 @@
 //!   only "memorize limited amount of object appearances").
 
 use crate::types::ObjectClass;
+use ekya_nn::gauss::sample_gaussian;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for the class-mix drift process.
@@ -89,9 +89,8 @@ impl ClassMixDrift {
 
     /// Advances to the next window: random-walk the logits, possibly jump.
     pub fn advance(&mut self) {
-        let normal = Normal::new(0.0, self.params.walk_step).expect("valid std");
         for l in self.logits.iter_mut() {
-            *l += normal.sample(&mut self.rng);
+            *l += sample_gaussian(&mut self.rng, self.params.walk_step);
             *l = l.clamp(-6.0, 6.0);
         }
         if self.rng.gen_bool(self.params.jump_prob.clamp(0.0, 1.0)) {
@@ -171,14 +170,13 @@ impl AppearanceDrift {
         assert!(params.feature_dim >= 2, "feature_dim must be >= 2");
         assert!(params.modes_per_class >= 1, "need at least one mode");
         let mut rng = StdRng::seed_from_u64(seed);
-        let normal = Normal::new(0.0, 1.0).expect("valid std");
         let mut centroids = Vec::with_capacity(ObjectClass::COUNT);
         for _ in 0..ObjectClass::COUNT {
             let mut modes = Vec::with_capacity(params.modes_per_class);
             for _ in 0..params.modes_per_class {
                 // Random direction scaled to the centroid radius.
                 let mut v: Vec<f64> =
-                    (0..params.feature_dim).map(|_| normal.sample(&mut rng)).collect();
+                    (0..params.feature_dim).map(|_| sample_gaussian(&mut rng, 1.0)).collect();
                 let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
                 for x in v.iter_mut() {
                     *x = *x / norm * params.centroid_radius;
@@ -206,14 +204,13 @@ impl AppearanceDrift {
         let weights = softmax(&self.mode_logits[c]);
         let mode = sample_categorical(&weights, rng);
         let lighting = self.lighting_offset();
-        let normal = Normal::new(0.0, self.params.sample_noise).expect("valid std");
         let half = self.params.feature_dim / 2;
         self.centroids[c][mode]
             .iter()
             .enumerate()
             .map(|(i, &mu)| {
                 let light = if i < half { lighting } else { 0.0 };
-                (mu + light + normal.sample(rng)) as f32
+                (mu + light + sample_gaussian(rng, self.params.sample_noise)) as f32
             })
             .collect()
     }
@@ -223,18 +220,16 @@ impl AppearanceDrift {
     pub fn advance(&mut self) {
         let cut = self.rng.gen_bool(self.params.scene_cut_prob.clamp(0.0, 1.0));
         let step = if cut { self.params.walk_step * 4.0 } else { self.params.walk_step };
-        let normal = Normal::new(0.0, step).expect("valid std");
         for modes in self.centroids.iter_mut() {
             for mode in modes.iter_mut() {
                 for x in mode.iter_mut() {
-                    *x += normal.sample(&mut self.rng);
+                    *x += sample_gaussian(&mut self.rng, step);
                 }
             }
         }
-        let mode_normal = Normal::new(0.0, 0.2).expect("valid std");
         for logits in self.mode_logits.iter_mut() {
             for l in logits.iter_mut() {
-                *l = (*l + mode_normal.sample(&mut self.rng)).clamp(-3.0, 3.0);
+                *l = (*l + sample_gaussian(&mut self.rng, 0.2)).clamp(-3.0, 3.0);
             }
         }
         self.window += 1;
@@ -344,8 +339,7 @@ mod tests {
             d.advance();
         }
         let later = d.distribution();
-        let delta: f64 =
-            first.iter().zip(&later).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = first.iter().zip(&later).map(|(a, b)| (a - b).abs()).sum();
         assert!(delta > 0.05, "class mix should drift, delta = {delta}");
     }
 

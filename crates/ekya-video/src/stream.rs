@@ -38,10 +38,7 @@ impl StreamSet {
     pub fn generate_from_spec(base: DatasetSpec, n: usize) -> Self {
         let streams = (0..n)
             .map(|i| {
-                let spec = DatasetSpec {
-                    seed: base.seed.wrapping_add(1000 * i as u64),
-                    ..base
-                };
+                let spec = DatasetSpec { seed: base.seed.wrapping_add(1000 * i as u64), ..base };
                 (StreamId(i as u32), VideoDataset::generate(spec))
             })
             .collect();
@@ -49,16 +46,17 @@ impl StreamSet {
     }
 
     /// Generates a mixed set: `counts[i]` streams of `kinds[i]`.
-    pub fn generate_mixed(kinds: &[(DatasetKind, usize)], num_windows: usize, base_seed: u64) -> Self {
+    pub fn generate_mixed(
+        kinds: &[(DatasetKind, usize)],
+        num_windows: usize,
+        base_seed: u64,
+    ) -> Self {
         let mut streams = Vec::new();
         let mut id = 0u32;
         for &(kind, count) in kinds {
             for _ in 0..count {
-                let spec = DatasetSpec::new(
-                    kind,
-                    num_windows,
-                    base_seed.wrapping_add(1000 * id as u64),
-                );
+                let spec =
+                    DatasetSpec::new(kind, num_windows, base_seed.wrapping_add(1000 * id as u64));
                 streams.push((StreamId(id), VideoDataset::generate(spec)));
                 id += 1;
             }

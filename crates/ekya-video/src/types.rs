@@ -68,9 +68,7 @@ impl ObjectClass {
 }
 
 /// Identifier for one camera / video stream.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct StreamId(pub u32);
 
 impl std::fmt::Display for StreamId {

@@ -14,7 +14,10 @@ fn train(model: &mut Mlp, data: DataView<'_>, epochs: u32, lr: f32, seed: u64) {
 }
 
 fn dataset(kind: DatasetKind, windows: usize, seed: u64) -> VideoDataset {
-    VideoDataset::generate(DatasetSpec { val_samples: 300, ..DatasetSpec::new(kind, windows, seed) })
+    VideoDataset::generate(DatasetSpec {
+        val_samples: 300,
+        ..DatasetSpec::new(kind, windows, seed)
+    })
 }
 
 /// An edge model trained on a window's data must reach useful accuracy on
@@ -73,10 +76,7 @@ fn continuous_retraining_beats_stale_model() {
     }
     stale_acc /= 6.0;
     cont_acc /= 6.0;
-    assert!(
-        cont_acc > stale_acc + 0.05,
-        "continuous {cont_acc:.3} must beat stale {stale_acc:.3}"
-    );
+    assert!(cont_acc > stale_acc + 0.05, "continuous {cont_acc:.3} must beat stale {stale_acc:.3}");
 }
 
 /// The golden (high-capacity) model trained on the same data must beat the
@@ -100,10 +100,7 @@ fn golden_architecture_outperforms_edge_on_same_data() {
     let test = &ds.window(4).val;
     let edge_acc = edge.accuracy(DataView::new(test, ds.num_classes));
     let golden_acc = golden.accuracy(DataView::new(test, ds.num_classes));
-    assert!(
-        golden_acc >= edge_acc,
-        "golden {golden_acc:.3} should be at least edge {edge_acc:.3}"
-    );
+    assert!(golden_acc >= edge_acc, "golden {golden_acc:.3} should be at least edge {edge_acc:.3}");
 }
 
 /// More epochs must (weakly) improve accuracy with diminishing returns —

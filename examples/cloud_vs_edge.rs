@@ -30,23 +30,15 @@ fn main() {
     println!("{} cameras, {} GPUs, {} windows of 400 s\n", streams.len(), gpus, windows);
     println!("{:<22} | accuracy | models arriving in-window", "design");
     println!("{:-<22}-+----------+---------------------------", "");
-    println!(
-        "{:<22} | {:>8.3} | (retrains locally)",
-        "Ekya (edge)",
-        ekya_report.mean_accuracy()
-    );
+    println!("{:<22} | {:>8.3} | (retrains locally)", "Ekya (edge)", ekya_report.mean_accuracy());
 
     for link in LinkModel::table4_presets() {
         let mut cloud_cfg = CloudRunConfig::new(link, cfg.clone());
         cloud_cfg.upload_sampling = 0.1;
         let report = run_cloud_retraining(&streams, &cloud_cfg, windows);
         let total: usize = report.windows.iter().map(|w| w.streams.len()).sum();
-        let on_time: usize = report
-            .windows
-            .iter()
-            .flat_map(|w| &w.streams)
-            .filter(|s| s.retrain_completed)
-            .count();
+        let on_time: usize =
+            report.windows.iter().flat_map(|w| &w.streams).filter(|s| s.retrain_completed).count();
         println!(
             "{:<22} | {:>8.3} | {}/{}",
             format!("Cloud ({})", link.name),

@@ -50,10 +50,6 @@ fn main() {
     }
 
     let ekya_acc = results[0].1;
-    let best_baseline =
-        results[1..].iter().map(|r| r.1).fold(f64::MIN, f64::max);
-    println!(
-        "\nEkya vs best alternative: {:+.1}% accuracy",
-        (ekya_acc - best_baseline) * 100.0
-    );
+    let best_baseline = results[1..].iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    println!("\nEkya vs best alternative: {:+.1}% accuracy", (ekya_acc - best_baseline) * 100.0);
 }

@@ -132,8 +132,7 @@ fn main() {
     // Hot-swap the retrained weights; queued requests drain afterwards.
     let retrained = trainer.join().expect("trainer finished");
     infer.ask(InferMsg::SwapModel(Box::new(retrained))).unwrap();
-    let InferReply::Accuracy(after) = infer.ask(InferMsg::Evaluate(w1.val.clone())).unwrap()
-    else {
+    let InferReply::Accuracy(after) = infer.ask(InferMsg::Evaluate(w1.val.clone())).unwrap() else {
         unreachable!()
     };
     println!("serving accuracy after hot-swap:    {after:.3}");

@@ -51,8 +51,11 @@ fn main() {
             cameras
         );
     }
-    println!("\nOverall: {:.3} mean accuracy, {:.0}% of camera-windows retrained",
-        report.mean_accuracy(), 100.0 * report.retrain_rate());
+    println!(
+        "\nOverall: {:.3} mean accuracy, {:.0}% of camera-windows retrained",
+        report.mean_accuracy(),
+        100.0 * report.retrain_rate()
+    );
 
     // The load-bearing observation of Fig 9: allocations differ across
     // cameras because drift differs — show the spread.

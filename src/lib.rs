@@ -43,8 +43,8 @@ pub mod prelude {
         EkyaFixedConfig, EkyaFixedRes, OraclePolicy, UniformPolicy,
     };
     pub use ekya_core::{
-        default_inference_grid, default_retrain_grid, EkyaPolicy, InferenceConfig,
-        MicroProfiler, MicroProfilerParams, Policy, RetrainConfig, SchedulerParams,
+        default_inference_grid, default_retrain_grid, EkyaPolicy, InferenceConfig, MicroProfiler,
+        MicroProfilerParams, Policy, RetrainConfig, SchedulerParams,
     };
     pub use ekya_net::LinkModel;
     pub use ekya_nn::{CostModel, LearningCurve, Mlp, MlpArch};

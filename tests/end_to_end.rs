@@ -130,10 +130,7 @@ fn edge_beats_congested_cloud() {
         windows,
     )
     .mean_accuracy();
-    assert!(
-        edge > cloud,
-        "edge ({edge:.3}) must beat cloud over congested cellular ({cloud:.3})"
-    );
+    assert!(edge > cloud, "edge ({edge:.3}) must beat cloud over congested cellular ({cloud:.3})");
 }
 
 /// Determinism across the whole stack: same seeds, same report.

@@ -18,10 +18,8 @@ fn maxmin_objective_end_to_end() {
     let cfg = RunnerConfig { total_gpus: 1.0, seed: 7, ..RunnerConfig::default() };
 
     let run = |objective: SchedulerObjective| {
-        let params = ekya::core::SchedulerParams {
-            objective,
-            ..ekya::core::SchedulerParams::new(1.0)
-        };
+        let params =
+            ekya::core::SchedulerParams { objective, ..ekya::core::SchedulerParams::new(1.0) };
         let mut policy = EkyaPolicy::new(params);
         run_windows(&mut policy, &streams, &cfg, windows)
     };
@@ -120,13 +118,10 @@ fn actor_server_matches_runner_direction() {
     let w0 = server.run_window();
     let w1 = server.run_window();
     server.shutdown();
-    let end0: f64 =
-        w0.iter().map(|o| o.end_accuracy).sum::<f64>() / w0.len() as f64;
-    let start0: f64 =
-        w0.iter().map(|o| o.start_accuracy).sum::<f64>() / w0.len() as f64;
+    let end0: f64 = w0.iter().map(|o| o.end_accuracy).sum::<f64>() / w0.len() as f64;
+    let start0: f64 = w0.iter().map(|o| o.start_accuracy).sum::<f64>() / w0.len() as f64;
     assert!(end0 > start0, "bootstrap retraining must lift accuracy");
-    let end1: f64 =
-        w1.iter().map(|o| o.end_accuracy).sum::<f64>() / w1.len() as f64;
+    let end1: f64 = w1.iter().map(|o| o.end_accuracy).sum::<f64>() / w1.len() as f64;
     assert!(end1 > 0.4, "steady state should be useful: {end1:.3}");
 }
 

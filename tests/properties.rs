@@ -10,8 +10,7 @@ use ekya::video::StreamId;
 use proptest::prelude::*;
 
 fn arb_curve() -> impl Strategy<Value = LearningCurve> {
-    (0.01f64..5.0, 0.5f64..10.0, 0.2f64..1.0)
-        .prop_map(|(a, b, c)| LearningCurve { a, b, c })
+    (0.01f64..5.0, 0.5f64..10.0, 0.2f64..1.0).prop_map(|(a, b, c)| LearningCurve { a, b, c })
 }
 
 proptest! {

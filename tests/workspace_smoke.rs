@@ -1,0 +1,111 @@
+//! Workspace wiring smoke tests: every prelude symbol is importable and
+//! every integration suite in `tests/` is registered with cargo (i.e.
+//! compiled into this very test run, not silently skipped).
+
+#![allow(unused_imports)]
+
+use ekya::prelude::*;
+
+/// Every symbol `ekya::prelude` promises, referenced by name so a broken
+/// re-export fails compilation of this suite (not just the docs).
+#[test]
+fn prelude_symbols_importable() {
+    // ekya-baselines
+    let _: fn(
+        ekya::video::DatasetKind,
+        &[RetrainConfig],
+        &ekya::nn::CostModel,
+        u64,
+    ) -> (RetrainConfig, RetrainConfig) = holdout_configs;
+    let _ = std::any::type_name::<CloudRunConfig>();
+    let _ = std::any::type_name::<EkyaFixedConfig>();
+    let _ = std::any::type_name::<EkyaFixedRes>();
+    let _ = std::any::type_name::<OraclePolicy>();
+    let _ = std::any::type_name::<UniformPolicy>();
+    let _ = run_cloud_retraining as *const ();
+    let _ = run_fig2b as *const ();
+    let _ = run_model_cache as *const ();
+
+    // ekya-core
+    let _ = default_inference_grid as fn() -> Vec<InferenceConfig>;
+    let _ = default_retrain_grid as fn() -> Vec<RetrainConfig>;
+    let _ = std::any::type_name::<EkyaPolicy>();
+    let _ = std::any::type_name::<MicroProfiler>();
+    let _ = std::any::type_name::<MicroProfilerParams>();
+    let _ = std::any::type_name::<SchedulerParams>();
+    fn _policy_is_object_safe(_: &dyn Policy) {}
+
+    // ekya-net / ekya-nn
+    let _ = std::any::type_name::<LinkModel>();
+    let _ = std::any::type_name::<CostModel>();
+    let _ = std::any::type_name::<LearningCurve>();
+    let _ = std::any::type_name::<Mlp>();
+    let _ = std::any::type_name::<MlpArch>();
+
+    // ekya-server
+    let _ = std::any::type_name::<EdgeServer>();
+    let _ = std::any::type_name::<EdgeServerConfig>();
+
+    // ekya-sim
+    let _ = record_trace as *const ();
+    let _ = run_windows::<EkyaPolicy> as *const ();
+    let _ = std::any::type_name::<ReplayPolicyHarness>();
+    let _ = std::any::type_name::<RunReport>();
+    let _ = std::any::type_name::<RunnerConfig>();
+    let _ = std::any::type_name::<Trace>();
+
+    // ekya-video
+    let _ = std::any::type_name::<DatasetKind>();
+    let _ = std::any::type_name::<DatasetSpec>();
+    let _ = std::any::type_name::<StreamSet>();
+    let _ = std::any::type_name::<VideoDataset>();
+}
+
+/// The facade re-exports all eight sub-crates as modules.
+#[test]
+fn facade_modules_present() {
+    let _ = std::any::type_name::<ekya::actors::ActorSystem<DummyActor>>();
+    let _ = std::any::type_name::<ekya::baselines::uniform::UniformPolicy>();
+    let _ = std::any::type_name::<ekya::core::Schedule>();
+    let _ = std::any::type_name::<ekya::net::Direction>();
+    let _ = std::any::type_name::<ekya::nn::Matrix>();
+    let _ = std::any::type_name::<ekya::server::TrainOutcome>();
+    let _ = std::any::type_name::<ekya::sim::SimTime>();
+    let _ = std::any::type_name::<ekya::video::ObjectClass>();
+}
+
+struct DummyActor;
+
+impl ekya::actors::Actor for DummyActor {
+    type Msg = ();
+    type Reply = ();
+
+    fn handle(&mut self, _msg: ()) {}
+}
+
+/// All integration suites exist where cargo auto-discovers them. Each
+/// `tests/*.rs` file is its own test target, so presence in this
+/// directory == registration; a deleted or moved suite fails here
+/// instead of silently dropping out of CI.
+#[test]
+fn integration_suites_registered() {
+    let tests_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    for suite in ["end_to_end.rs", "extensions.rs", "properties.rs"] {
+        let path = tests_dir.join(suite);
+        assert!(path.is_file(), "integration suite {suite} missing from tests/");
+        let src = std::fs::read_to_string(&path).expect("suite readable");
+        assert!(src.contains("#[test]"), "integration suite {suite} contains no #[test] functions");
+    }
+}
+
+/// The quickstart pipeline from the crate docs runs end to end (the same
+/// flow as the `src/lib.rs` doctest, kept here as a plain test so it is
+/// exercised even under `--tests`-only runs).
+#[test]
+fn quickstart_pipeline_runs() {
+    let streams = StreamSet::generate(DatasetKind::UrbanTraffic, 2, 3, 42);
+    let mut policy = EkyaPolicy::new(SchedulerParams::new(1.0));
+    let cfg = RunnerConfig { total_gpus: 1.0, ..RunnerConfig::default() };
+    let report = run_windows(&mut policy, &streams, &cfg, 3);
+    assert!(report.mean_accuracy() > 0.0);
+}

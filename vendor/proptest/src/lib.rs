@@ -1,0 +1,267 @@
+//! Vendored API-subset shim of `proptest`.
+//!
+//! Provides the [`Strategy`] trait (ranges, tuples, `prop_map`,
+//! `prop::collection::vec`) and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros. Each property runs a fixed number of
+//! deterministic random cases (seeded from the test name), with no
+//! shrinking — a failing case panics with the standard assert message,
+//! so reproduction is re-running the same deterministic test.
+
+use rand::rngs::StdRng;
+
+/// RNG driving case generation (re-exported for the macros).
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+pub mod strategy {
+    //! The [`Strategy`] abstraction.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    impl Strategy for bool {
+        type Value = bool;
+
+        /// `bool` as a strategy: a fair coin (upstream spells this
+        /// `any::<bool>()`; the workspace only needs the coin).
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    );
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`]: a fixed size or a range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions that run a property over [`CASES`]
+/// deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            // Seed derived from the test name: deterministic, distinct
+            // per property.
+            let mut seed: u64 = 0xcbf29ce484222325;
+            for byte in stringify!($name).bytes() {
+                seed = (seed ^ byte as u64).wrapping_mul(0x100000001b3);
+            }
+            for case in 0..$crate::CASES {
+                let mut rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                    seed ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics on failure, like
+/// `assert!` — the shim does no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges produce in-bounds values; cases are deterministic.
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Tuples, prop_map, and nested collections compose.
+        #[test]
+        fn composition_works(
+            pair in (0.0f64..1.0, 1u32..5).prop_map(|(a, b)| a * b as f64),
+            rows in prop::collection::vec((prop::collection::vec(0.0f64..1.0, 2), 0u32..3), 1..4),
+        ) {
+            prop_assert!((0.0..5.0).contains(&pair));
+            prop_assert!(!rows.is_empty() && rows.len() < 4);
+            for (row, n) in &rows {
+                prop_assert_eq!(row.len(), 2);
+                prop_assert!(*n < 3);
+            }
+        }
+
+        /// Fixed-size vec strategies honour the exact size.
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(0i32..100, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+}

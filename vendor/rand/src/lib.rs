@@ -1,0 +1,308 @@
+//! Vendored API-subset shim of the `rand` crate (0.8 surface).
+//!
+//! This build environment has no registry access, so the workspace ships
+//! the slice of `rand` it actually uses: [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64 — *not* the upstream ChaCha12, so seeded
+//! streams differ from real `rand`), [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and
+//! [`seq::SliceRandom::shuffle`]. Everything is deterministic for a
+//! fixed seed. Swap for the real crate by editing the workspace
+//! dependency table.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Uniform f64 in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform u64 in `[0, span)` via 128-bit multiply-shift.
+#[inline]
+fn below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand` 0.8).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with uniform sampling over ranges. The single blanket
+/// [`SampleRange`] impl below (mirroring upstream `rand`) is what lets
+/// type inference unify an unsuffixed range literal with the element
+/// type demanded by the surrounding expression.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty gen_range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + below_u64(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below_u64(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let u = unit_f64(rng) as $t;
+                let v = lo + u * (hi - lo);
+                // `u as f32` (and f64 rounding near 1) can land exactly on
+                // `hi`; the half-open contract excludes it.
+                if v >= hi {
+                    hi.next_down().max(lo)
+                } else {
+                    v
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // Includes the endpoint by scaling the 53-bit grid up one ulp.
+                let u = ((rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (always available, unlike the
+    /// upstream byte-array `from_seed`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ with SplitMix64
+    /// seeding. Statistically solid and fast; deterministic per seed.
+    /// (Upstream `StdRng` is ChaCha12 — streams differ.)
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{below_u64, RngCore};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly permutes the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below_u64(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = r.gen_range(-2.0f64..4.0);
+            assert!((-2.0..4.0).contains(&f));
+            let g = r.gen_range(0.0f32..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+            let n = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn float_half_open_excludes_endpoint() {
+        // f32's 24-bit mantissa rounds u near 1 up to exactly 1.0 about
+        // once per 2^25 draws; 100k draws make that likely enough to
+        // catch a regression while staying fast.
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..100_000 {
+            let x = r.gen_range(-0.3f32..0.3);
+            assert!(x < 0.3, "half-open range returned its endpoint");
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn unit_float_mean_near_half() {
+        let mut r = StdRng::seed_from_u64(3);
+        let total: f64 = (0..10_000).map(|_| r.gen_range(0.0f64..1.0)).sum();
+        let mean = total / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn rng_usable_through_mut_ref() {
+        fn takes_generic<R: super::RngCore>(rng: &mut R) -> u64 {
+            rng.gen_range(0u64..10)
+        }
+        let mut r = StdRng::seed_from_u64(5);
+        let _ = takes_generic(&mut r);
+        let rr: &mut StdRng = &mut r;
+        let _ = takes_generic(rr);
+    }
+}

@@ -1,0 +1,384 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! `serde` shim.
+//!
+//! Hand-rolled over `proc_macro` token trees (no `syn`/`quote` in this
+//! offline build). Supports exactly the shapes this workspace uses:
+//! non-generic named-field structs, unit/newtype/tuple structs, and
+//! enums with unit or named-field variants. `#[serde(...)]` attributes
+//! are not supported (none exist in-tree); anything unrecognised becomes
+//! a `compile_error!` rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed enum variant: its name, plus field names for brace variants
+/// (`None` for unit variants).
+type Variant = (String, Option<Vec<String>>);
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (shim) for supported type shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim) for supported type shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Shape) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(shape) => generate(&shape),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// -------------------------------------------------------------------
+// Parsing
+// -------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kw = expect_ident(&tokens, &mut i)?;
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde shim derive: unsupported item `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut i)?;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` not supported; add a manual impl"
+        ));
+    }
+
+    if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace)?;
+        let variants = parse_variants(&body)?;
+        return Ok(Shape::Enum { name, variants });
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Shape::NamedStruct { name, fields: parse_named_fields(&body)? })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Shape::TupleStruct { name, arity: count_tuple_fields(&body) })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+        other => Err(format!("serde shim derive: unexpected token after `{name}`: {other:?}")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(_)) => *i += 1,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    delim: Delimiter,
+) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected {delim:?} group, got {other:?}")),
+    }
+}
+
+/// Advances past tokens until a comma at angle-bracket depth 0 (the
+/// field/variant separator), consuming the comma.
+fn skip_to_field_sep(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        skip_to_field_sep(tokens, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_to_field_sep(tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push((name, Some(parse_named_fields(&body)?)));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive: tuple enum variant `{name}` not supported"
+                ));
+            }
+            _ => variants.push((name, None)),
+        }
+        skip_to_field_sep(tokens, &mut i);
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------------
+// Code generation
+// -------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[String], accessor: fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({f:?}.to_string(), ::serde::Serialize::to_value({access}))",
+                access = accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_map(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get({f:?}) \
+                 .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?"
+            )
+        })
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let body = named_fields_to_map(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Seq(vec![{}]) }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!("Self::{v} => ::serde::Value::Str({v:?}.to_string()),"),
+                    Some(fields) => {
+                        let pattern = fields.join(", ");
+                        let inner = named_fields_to_map(fields, |f| f.to_string());
+                        format!(
+                            "Self::{v} {{ {pattern} }} => ::serde::Value::Map(vec![\
+                             ({v:?}.to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let sig = "fn from_value(v: &::serde::Value) -> \
+               ::core::result::Result<Self, ::serde::Error>";
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let body = named_fields_from_map(fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     {sig} {{ Ok(Self {body}) }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 {sig} {{ Ok(Self(::serde::Deserialize::from_value(v)?)) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|idx| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({idx}) \
+                         .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     {sig} {{\n\
+                         match v {{\n\
+                             ::serde::Value::Seq(items) => Ok(Self({items})),\n\
+                             other => Err(::serde::Error::type_mismatch(\"sequence\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 {sig} {{\n\
+                     match v {{\n\
+                         ::serde::Value::Null => Ok(Self),\n\
+                         other => Err(::serde::Error::type_mismatch(\"null\", other)),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("{v:?} => Ok(Self::{v}),"))
+                .collect();
+            let data_checks: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let body = named_fields_from_map(fields, "inner");
+                    format!("if let Some(inner) = v.get({v:?}) {{ return Ok(Self::{v} {body}); }}")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     {sig} {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {units}\n\
+                                 other => Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(_) => {{\n\
+                                 {data}\n\
+                                 Err(::serde::Error::custom(\"unknown enum variant map\"))\n\
+                             }}\n\
+                             other => Err(::serde::Error::type_mismatch(\"string or map\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                data = data_checks.join("\n"),
+            )
+        }
+    }
+}
