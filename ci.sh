@@ -1,26 +1,78 @@
 #!/usr/bin/env bash
-# Tier-1 verification for the Ekya workspace. Run from the repo root.
+# Tiered verification for the Ekya workspace. Run from the repo root.
 #
-# Mirrors what CI should run: formatting, lints, the release build, every
-# target (examples, benches, bins), and the full test suite.
+#   ./ci.sh quick   — fmt + clippy + a quick-mode harness smoke across
+#                     several bins + the harness perf gate. Minutes, not
+#                     tens of minutes; what the CI quick job runs.
+#   ./ci.sh full    — the complete sweep: formatting, lints, the release
+#                     build, every target (examples, benches, bins), and
+#                     the full test suite. The default.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-# Formatting is enforced on the workspace's own crates. Vendored shims in
-# vendor/ are also covered — they are first-party code here.
-cargo fmt --all --check
+MODE="${1:-full}"
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+lint() {
+  echo "==> cargo fmt --check"
+  # Formatting is enforced on the workspace's own crates. Vendored shims in
+  # vendor/ are also covered — they are first-party code here.
+  cargo fmt --all --check
 
-echo "==> cargo build --release"
-cargo build --release
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo build --examples --benches --bins"
-cargo build --examples --benches --bins
+case "$MODE" in
+  quick)
+    lint
 
-echo "==> cargo test -q"
-cargo test -q
+    echo "==> cargo build --release -p ekya-bench (harness bins)"
+    cargo build --release -p ekya-bench --bins
 
-echo "ci.sh: all green"
+    # Quick-mode grid smoke across several bins: the declarative grids
+    # shrink under EKYA_QUICK=1 and the harness fans them out across
+    # EKYA_WORKERS threads. harness_bench additionally asserts that the
+    # parallel run is byte-identical to the serial run and writes
+    # results/BENCH_harness.json for the perf gate.
+    echo "==> harness smoke: fig06_streams (quick grid)"
+    EKYA_QUICK=1 EKYA_WINDOWS=2 cargo run --release -q -p ekya-bench --bin fig06_streams
+
+    echo "==> harness smoke: fig08_factors (quick replay grid)"
+    EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \
+      cargo run --release -q -p ekya-bench --bin fig08_factors
+
+    echo "==> harness smoke: harness_bench (serial ≡ parallel + throughput)"
+    EKYA_WINDOWS=2 cargo run --release -q -p ekya-bench --bin harness_bench
+
+    echo "==> perf gate"
+    # Throughput is machine-dependent, so the quick tier gates against a
+    # baseline recorded on *this* machine (self-seeded on the first run,
+    # gitignored under target/). Hosted CI overrides EKYA_BENCH_BASELINE
+    # with a runner-cached path; pass ci/bench_baseline.json explicitly
+    # to compare against the committed reference record instead.
+    EKYA_BENCH_BASELINE="${EKYA_BENCH_BASELINE:-target/perf_baseline.json}" \
+      ./ci/check_bench.sh
+
+    echo "ci.sh quick: all green"
+    ;;
+
+  full)
+    lint
+
+    echo "==> cargo build --release"
+    cargo build --release
+
+    echo "==> cargo build --examples --benches --bins"
+    cargo build --examples --benches --bins
+
+    echo "==> cargo test -q"
+    cargo test -q
+
+    echo "ci.sh full: all green"
+    ;;
+
+  *)
+    echo "usage: $0 [quick|full]" >&2
+    exit 2
+    ;;
+esac

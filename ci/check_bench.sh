@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Harness perf-regression gate.
+#
+# Compares the freshly-measured results/BENCH_harness.json (written by
+# the harness_bench bin) against a baseline and fails on a >25%
+# cells/sec regression (tolerance via EKYA_BENCH_TOLERANCE, e.g. 0.25).
+#
+# The baseline path defaults to the committed ci/bench_baseline.json
+# and can be overridden with EKYA_BENCH_BASELINE. Throughput is
+# machine-dependent, so hosted CI points EKYA_BENCH_BASELINE at a
+# runner-cached file instead of the committed one: the first run on a
+# fresh cache seeds the baseline from its own measurement (and passes),
+# later runs on the same runner class gate for real.
+#
+# Usage:
+#   ./ci/check_bench.sh            # gate (exit nonzero on regression)
+#   ./ci/check_bench.sh --update   # rebase the baseline
+#
+# After an intentional perf change on a dev machine, re-measure and
+# commit:
+#   EKYA_WINDOWS=2 cargo run --release -p ekya-bench --bin harness_bench
+#   ./ci/check_bench.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${EKYA_BENCH_BASELINE:-ci/bench_baseline.json}"
+
+if [ "${1:-}" != "--update" ] && [ ! -f "$BASELINE" ]; then
+  echo "check_bench: no baseline at $BASELINE — seeding it from the current measurement"
+  mkdir -p "$(dirname "$BASELINE")"
+  exec cargo run --release -q -p ekya-bench --bin perf_gate -- --update "$BASELINE"
+fi
+
+cargo run --release -q -p ekya-bench --bin perf_gate -- "$@" "$BASELINE"

@@ -15,13 +15,16 @@
 //! * [`oneshot`] — the one-shot training options of the motivation
 //!   experiment (Fig 2b);
 //! * [`oracle`] — the exact accuracy-optimal scheduler (Fig 4) via the
-//!   knapsack DP.
+//!   knapsack DP;
+//! * [`registry`] — declarative `PolicySpec` constructors building
+//!   `Box<dyn Policy + Send>` for the parallel experiment harness.
 
 pub mod ablations;
 pub mod cloud;
 pub mod model_cache;
 pub mod oneshot;
 pub mod oracle;
+pub mod registry;
 pub mod uniform;
 
 pub use ablations::{EkyaFixedConfig, EkyaFixedRes};
@@ -29,4 +32,5 @@ pub use cloud::{run_cloud_retraining, CloudRunConfig};
 pub use model_cache::run_model_cache;
 pub use oneshot::{run_fig2b, Fig2bResult};
 pub use oracle::OraclePolicy;
+pub use registry::{standard_policies, HoldoutPick, PolicyBuildCtx, PolicySpec};
 pub use uniform::{holdout_configs, UniformPolicy};

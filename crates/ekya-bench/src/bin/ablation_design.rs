@@ -11,10 +11,12 @@
 //!   GPUs");
 //! * charging micro-profiling GPU time (§4.3).
 //!
+//! The variants are independent cells, fanned out on the harness pool.
 //! Run: `cargo run --release -p ekya-bench --bin ablation_design`
-//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 6).
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 6),
+//!        EKYA_WORKERS.
 
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
 use ekya_core::{EkyaPolicy, SchedulerParams};
 use ekya_sim::{run_windows, RunnerConfig};
 use ekya_video::{DatasetKind, StreamSet};
@@ -28,20 +30,16 @@ struct Row {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let num_streams = env_usize("EKYA_STREAMS", 6);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(4);
+    let num_streams = knobs.streams(6);
+    let seed = knobs.seed();
     let gpus = 2.0;
     let streams = StreamSet::generate(DatasetKind::Cityscapes, num_streams, windows, seed);
 
     let base = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-    let run = |cfg: RunnerConfig| -> f64 {
-        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
-        run_windows(&mut policy, &streams, &cfg, windows).mean_accuracy()
-    };
-
-    let full = run(base.clone());
     let variants: Vec<(&str, RunnerConfig)> = vec![
+        ("full Ekya", base.clone()),
         ("no checkpoint hot-swaps", RunnerConfig { checkpoint_every_epochs: None, ..base.clone() }),
         (
             "no mid-window estimate correction",
@@ -58,16 +56,24 @@ fn main() {
         ),
     ];
 
+    eprintln!("[ablations: {} cells across {} workers]", variants.len(), knobs.workers());
+    let streams_ref = &streams;
+    let results = run_parallel(variants, knobs.workers(), move |_, (name, cfg)| {
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
+        (name, run_windows(&mut policy, streams_ref, &cfg, windows).mean_accuracy())
+    });
+    let accs: Vec<(&str, f64)> = results.into_iter().map(|r| r.expect("variant cell")).collect();
+    let full = accs[0].1;
+
     let mut t = Table::new(
         format!("Design ablations ({num_streams} streams, {gpus} GPUs, Cityscapes)"),
         &["variant", "accuracy", "delta vs full Ekya"],
     );
-    t.row(vec!["full Ekya".into(), f3(full), "-".into()]);
-    let mut rows = vec![Row { variant: "full Ekya".into(), accuracy: full, delta_vs_full: 0.0 }];
-    for (name, cfg) in variants {
-        let acc = run(cfg);
-        t.row(vec![name.into(), f3(acc), format!("{:+.3}", acc - full)]);
-        rows.push(Row { variant: name.into(), accuracy: acc, delta_vs_full: acc - full });
+    let mut rows = Vec::new();
+    for (i, (name, acc)) in accs.iter().enumerate() {
+        let delta = if i == 0 { "-".into() } else { format!("{:+.3}", acc - full) };
+        t.row(vec![(*name).into(), f3(*acc), delta]);
+        rows.push(Row { variant: (*name).into(), accuracy: *acc, delta_vs_full: acc - full });
     }
     t.print();
     println!(

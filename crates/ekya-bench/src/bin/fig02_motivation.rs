@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p ekya-bench --bin fig02_motivation`
 
 use ekya_baselines::run_fig2b;
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_bench::{f3, save_json, Knobs, Table};
 use ekya_nn::cost::CostModel;
 use ekya_video::{DatasetKind, DatasetSpec, ObjectClass, VideoDataset};
 use serde::Serialize;
@@ -28,8 +28,9 @@ struct Fig02Output {
 }
 
 fn main() {
-    let num_windows = env_usize("EKYA_WINDOWS", 10);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let num_windows = knobs.windows(10);
+    let seed = knobs.seed();
 
     // ---- (a) class distribution over windows ----
     let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, num_windows, seed));

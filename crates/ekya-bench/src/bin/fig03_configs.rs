@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig03_configs`
 
-use ekya_bench::{env_u64, f1, f3, save_json, Table};
+use ekya_bench::{f1, f3, save_json, Knobs, Table};
 use ekya_core::{
     exhaustive_profile, extended_retrain_grid, pareto_frontier, RetrainConfig, RetrainProfile,
     TrainHyper,
@@ -29,7 +29,7 @@ struct ConfigPoint {
 }
 
 fn main() {
-    let seed = env_u64("EKYA_SEED", 42);
+    let seed = Knobs::from_env().seed();
     let cost = CostModel::default();
     let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 2, seed));
     let nc = ds.num_classes;

@@ -6,92 +6,37 @@
 //! retraining configurations, while uniform baselines fall off faster
 //! (the paper reports up to 29% advantage under 1 GPU).
 //!
-//! Runs mechanistically (real training in the simulator).
+//! Declarative grid on the parallel harness: the sweep is
+//! [`ekya_bench::fig06_grid`], fanned out across `EKYA_WORKERS` threads.
 //! Run: `cargo run --release -p ekya-bench --bin fig06_streams`
-//! Knobs: EKYA_WINDOWS (default 4), EKYA_QUICK=1 for a reduced sweep.
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_QUICK=1, EKYA_WORKERS.
 
-use ekya_baselines::{holdout_configs, UniformPolicy};
-use ekya_bench::{env_u64, env_usize, f3, quick, save_json, Table};
-use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
-use ekya_sim::{run_windows, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    dataset: String,
-    gpus: f64,
-    streams: usize,
-    scheduler: String,
-    accuracy: f64,
-}
+use ekya_bench::{f3, fig06_grid, run_grid, save_json, Knobs, Table};
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let seed = env_u64("EKYA_SEED", 42);
-    let stream_counts: Vec<usize> = if quick() { vec![2, 4] } else { vec![2, 4, 6, 8] };
-    let gpu_counts: Vec<f64> = if quick() { vec![1.0] } else { vec![1.0, 2.0] };
-    let datasets = [DatasetKind::Cityscapes, DatasetKind::Waymo];
-
-    let mut points: Vec<Point> = Vec::new();
-    for kind in datasets {
-        let cfg0 = RunnerConfig::default();
-        let (c1, c2) = holdout_configs(kind, &cfg0.retrain_grid, &cfg0.cost, seed ^ 0xF00D);
-        println!("{}: hold-out configs high={} low={}", kind.name(), c1.label(), c2.label());
-        for &gpus in &gpu_counts {
-            for &n in &stream_counts {
-                let streams = StreamSet::generate(kind, n, windows, seed);
-                let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-
-                let mut policies: Vec<Box<dyn Policy>> = vec![
-                    Box::new(EkyaPolicy::new(SchedulerParams::new(gpus))),
-                    Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Config 1, 50%)")),
-                    Box::new(UniformPolicy::new(c2, 0.3, "Uniform (Config 2, 30%)")),
-                    Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Config 2, 50%)")),
-                    Box::new(UniformPolicy::new(c2, 0.9, "Uniform (Config 2, 90%)")),
-                ];
-                for policy in policies.iter_mut() {
-                    let report = run_windows(policy.as_mut(), &streams, &cfg, windows);
-                    points.push(Point {
-                        dataset: kind.name().to_string(),
-                        gpus,
-                        streams: n,
-                        scheduler: report.policy.clone(),
-                        accuracy: report.mean_accuracy(),
-                    });
-                }
-            }
-        }
-    }
+    let knobs = Knobs::from_env();
+    let grid = fig06_grid(knobs.quick(), knobs.windows(4), knobs.seed());
+    eprintln!("[fig06: {} cells across {} workers]", grid.cells().len(), knobs.workers());
+    let report = run_grid(&grid, knobs.workers());
 
     // Print one table per (dataset, gpus).
-    for kind in datasets {
-        for &gpus in &gpu_counts {
+    for &kind in &grid.datasets {
+        for &gpus in &grid.gpu_counts {
             let mut t = Table::new(
                 format!("Fig 6 — {} with {} provisioned GPU(s)", kind.name(), gpus),
                 &["scheduler", "2 streams", "4 streams", "6 streams", "8 streams"],
             );
-            let schedulers: Vec<String> = {
-                let mut s: Vec<String> = points
-                    .iter()
-                    .filter(|p| p.dataset == kind.name() && p.gpus == gpus)
-                    .map(|p| p.scheduler.clone())
-                    .collect();
-                s.dedup();
-                s
-            };
-            for sched in schedulers {
-                let mut row = vec![sched.clone()];
+            for policy in &grid.policies {
+                let mut row = vec![policy.label()];
                 for &n in &[2usize, 4, 6, 8] {
-                    let v = points
-                        .iter()
-                        .find(|p| {
-                            p.dataset == kind.name()
-                                && p.gpus == gpus
-                                && p.streams == n
-                                && p.scheduler == sched
+                    let v = report
+                        .accuracy_where(|c| {
+                            c.scenario.dataset == kind
+                                && c.scenario.gpus == gpus
+                                && c.scenario.streams == n
+                                && c.scenario.policy == *policy
                         })
-                        .map(|p| f3(p.accuracy))
+                        .map(f3)
                         .unwrap_or_else(|| "-".into());
                     row.push(v);
                 }
@@ -102,32 +47,50 @@ fn main() {
     }
 
     // Headline: Ekya's advantage over the best uniform at max contention.
-    for kind in datasets {
-        let max_n = *stream_counts.last().unwrap();
-        for &gpus in &gpu_counts {
-            let at = |sched_prefix: &str| -> f64 {
-                points
+    let max_n = *grid.stream_counts.last().unwrap();
+    for &kind in &grid.datasets {
+        for &gpus in &grid.gpu_counts {
+            let at = |prefix: &str| -> Option<f64> {
+                report
+                    .cells
                     .iter()
-                    .filter(|p| {
-                        p.dataset == kind.name()
-                            && p.gpus == gpus
-                            && p.streams == max_n
-                            && p.scheduler.starts_with(sched_prefix)
+                    .filter(|c| {
+                        c.error.is_none()
+                            && c.scenario.dataset == kind
+                            && c.scenario.gpus == gpus
+                            && c.scenario.streams == max_n
+                            && c.policy.starts_with(prefix)
                     })
-                    .map(|p| p.accuracy)
-                    .fold(f64::MIN, f64::max)
+                    .map(|c| c.mean_accuracy)
+                    .fold(None, |best: Option<f64>, a| Some(best.map_or(a, |b| b.max(a))))
             };
-            let ekya = at("Ekya");
-            let best_uniform = at("Uniform");
-            println!(
-                "{} @ {} GPU, {} streams: Ekya {:+.1}% over best uniform (paper: up to 29% @1 GPU, 23% @2 GPUs)",
-                kind.name(),
-                gpus,
-                max_n,
-                (ekya - best_uniform) * 100.0
-            );
+            match (at("Ekya"), at("Uniform")) {
+                (Some(ekya), Some(uniform)) => println!(
+                    "{} @ {} GPU, {} streams: Ekya {:+.1}% over best uniform (paper: up to 29% @1 GPU, 23% @2 GPUs)",
+                    kind.name(),
+                    gpus,
+                    max_n,
+                    (ekya - uniform) * 100.0
+                ),
+                // Panic-isolated cells can leave a scheduler group empty;
+                // say so instead of comparing against nothing.
+                _ => println!(
+                    "{} @ {} GPU, {} streams: headline unavailable (cells failed — see errors in the JSON)",
+                    kind.name(),
+                    gpus,
+                    max_n
+                ),
+            }
         }
     }
+    println!(
+        "\n[{} cells in {:.1} s — {:.2} cells/s on {} workers, {} failed]",
+        report.cells.len(),
+        report.wall_secs,
+        report.cells_per_sec,
+        report.workers,
+        report.failed
+    );
 
-    save_json("fig06_streams", &points);
+    save_json("fig06_streams", &report);
 }

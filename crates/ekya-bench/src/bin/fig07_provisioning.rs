@@ -3,19 +3,19 @@
 //!
 //! Uses the trace-driven simulator exactly as the paper does ("to scale
 //! to more GPUs, we use the simulator, which uses profiles recorded from
-//! real tests"): one mechanistic recording per dataset, then fast replay
-//! of every scheduler x GPU-count combination. Also derives the headline
-//! "4x resource saving": the GPU count where the best baseline finally
+//! real tests"): one mechanistic recording per dataset — the recordings
+//! fan out across the harness worker pool — then fast replay of every
+//! scheduler x GPU-count combination. Also derives the headline "4x
+//! resource saving": the GPU count where the best baseline finally
 //! matches Ekya's accuracy at 4 GPUs.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig07_provisioning`
 //! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10),
-//!        EKYA_QUICK=1 (2 datasets, fewer GPUs).
+//!        EKYA_QUICK=1 (2 datasets, fewer GPUs), EKYA_WORKERS.
 
-use ekya_baselines::{holdout_configs, UniformPolicy};
-use ekya_bench::{env_u64, env_usize, f3, quick, save_json, Table};
-use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
-use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
+use ekya_baselines::{standard_policies, PolicyBuildCtx, PolicySpec};
+use ekya_bench::{f3, grid, run_parallel, save_json, Knobs, Table};
+use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig, Trace};
 use ekya_video::{DatasetKind, StreamSet};
 use serde::Serialize;
 
@@ -28,66 +28,70 @@ struct Point {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 6);
-    let num_streams = env_usize("EKYA_STREAMS", 10);
-    let seed = env_u64("EKYA_SEED", 42);
-    let datasets: Vec<DatasetKind> = if quick() {
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(6);
+    let num_streams = knobs.streams(10);
+    let seed = knobs.seed();
+    let datasets: Vec<DatasetKind> = if knobs.quick() {
         vec![DatasetKind::Cityscapes, DatasetKind::UrbanTraffic]
     } else {
         DatasetKind::ALL.to_vec()
     };
     let gpu_grid: Vec<f64> =
-        if quick() { vec![1.0, 4.0, 8.0] } else { vec![1.0, 2.0, 4.0, 6.0, 8.0, 16.0] };
+        if knobs.quick() { vec![1.0, 4.0, 8.0] } else { vec![1.0, 2.0, 4.0, 6.0, 8.0, 16.0] };
+    let policies = standard_policies();
 
-    let mut points: Vec<Point> = Vec::new();
-    for kind in &datasets {
-        eprintln!(
-            "[recording trace for {} — {} streams x {} windows]",
-            kind.name(),
-            num_streams,
-            windows
-        );
-        let streams = StreamSet::generate(*kind, num_streams, windows, seed);
-        let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
-        let trace = record_trace(&streams, &cfg, windows, 6);
-        let (c1, c2) = holdout_configs(*kind, &cfg.retrain_grid, &cfg.cost, seed ^ 0xF00D);
+    // ---- Stage 1: one mechanistic recording per dataset, in parallel. --
+    eprintln!(
+        "[recording {} traces ({} streams x {} windows) across {} workers]",
+        datasets.len(),
+        num_streams,
+        windows,
+        knobs.workers()
+    );
+    let traces: Vec<Trace> = run_parallel(datasets.clone(), knobs.workers(), |_, kind| {
+        let cell_seed = grid::cell_seed(seed, kind, num_streams, windows);
+        let streams = StreamSet::generate(kind, num_streams, windows, cell_seed);
+        let cfg = RunnerConfig { seed: cell_seed, ..RunnerConfig::default() };
+        record_trace(&streams, &cfg, windows, 6)
+    })
+    .into_iter()
+    .map(|r| r.expect("trace recording"))
+    .collect();
 
+    // ---- Stage 2: replay every (dataset, gpus, policy) cell. ----
+    let mut cells: Vec<(usize, f64, PolicySpec)> = Vec::new();
+    for d in 0..datasets.len() {
         for &gpus in &gpu_grid {
-            let harness = ReplayPolicyHarness::new(gpus);
-            let mut policies: Vec<Box<dyn Policy>> = vec![
-                Box::new(EkyaPolicy::new(SchedulerParams::new(gpus))),
-                Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Cfg 1, 50%)")),
-                Box::new(UniformPolicy::new(c2, 0.3, "Uniform (Cfg 2, 30%)")),
-                Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Cfg 2, 50%)")),
-                Box::new(UniformPolicy::new(c2, 0.9, "Uniform (Cfg 2, 90%)")),
-            ];
-            for policy in policies.iter_mut() {
-                let report = harness.run(policy.as_mut(), &trace);
-                points.push(Point {
-                    dataset: kind.name().to_string(),
-                    gpus,
-                    scheduler: report.policy.clone(),
-                    accuracy: report.mean_accuracy(),
-                });
+            for p in &policies {
+                cells.push((d, gpus, p.clone()));
             }
         }
     }
+    eprintln!("[replaying {} cells]", cells.len());
+    let traces_ref = &traces;
+    let datasets_ref = &datasets;
+    let results = run_parallel(cells, knobs.workers(), move |_, (d, gpus, spec)| {
+        let kind = datasets_ref[d];
+        let ctx = PolicyBuildCtx::new(kind, gpus, grid::holdout_seed(seed, kind));
+        let mut policy = spec.build(&ctx);
+        let harness = ReplayPolicyHarness::new(gpus);
+        let report = harness.run(policy.as_mut(), &traces_ref[d]);
+        Point {
+            dataset: kind.name().to_string(),
+            gpus,
+            scheduler: report.policy.clone(),
+            accuracy: report.mean_accuracy(),
+        }
+    });
+    let points: Vec<Point> = results.into_iter().map(|r| r.expect("replay cell")).collect();
 
     for kind in &datasets {
         let mut t = Table::new(
             format!("Fig 7 — {} (10 streams): accuracy vs provisioned GPUs", kind.name()),
             &["scheduler", "1", "2", "4", "6", "8", "16"],
         );
-        let schedulers: Vec<String> = {
-            let mut s: Vec<String> = points
-                .iter()
-                .filter(|p| p.dataset == kind.name())
-                .map(|p| p.scheduler.clone())
-                .collect();
-            s.dedup();
-            s
-        };
-        for sched in schedulers {
+        for sched in policies.iter().map(|p| p.label()) {
             let mut row = vec![sched.clone()];
             for &g in &[1.0f64, 2.0, 4.0, 6.0, 8.0, 16.0] {
                 let v = points

@@ -6,12 +6,14 @@
 //! configuration). Both should lose accuracy relative to full Ekya, most
 //! visibly when the system is under stress (few GPUs).
 //!
+//! One mechanistic trace recording, then a (GPUs × policy) replay grid
+//! fanned out on the harness worker pool.
 //! Run: `cargo run --release -p ekya-bench --bin fig08_factors`
-//! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10).
+//! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10),
+//!        EKYA_QUICK=1, EKYA_WORKERS.
 
-use ekya_baselines::{holdout_configs, EkyaFixedConfig, EkyaFixedRes, UniformPolicy};
-use ekya_bench::{env_u64, env_usize, f3, quick, save_json, Table};
-use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
+use ekya_baselines::{HoldoutPick, PolicyBuildCtx, PolicySpec};
+use ekya_bench::{f3, grid, run_parallel, save_json, Knobs, Table};
 use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
 use ekya_video::{DatasetKind, StreamSet};
 use serde::Serialize;
@@ -24,45 +26,46 @@ struct Point {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 6);
-    let num_streams = env_usize("EKYA_STREAMS", 10);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(6);
+    let num_streams = knobs.streams(10);
+    let seed = knobs.seed();
     let kind = DatasetKind::Cityscapes;
-    let gpu_grid: Vec<f64> = if quick() { vec![2.0, 8.0] } else { vec![2.0, 4.0, 6.0, 8.0] };
+    let gpu_grid: Vec<f64> = if knobs.quick() { vec![2.0, 8.0] } else { vec![2.0, 4.0, 6.0, 8.0] };
+    let policies = vec![
+        PolicySpec::Uniform { pick: HoldoutPick::Config2, inference_share: 0.5 },
+        PolicySpec::FixedRes { inference_share: 0.5 },
+        PolicySpec::FixedConfig { pick: HoldoutPick::Config2 },
+        PolicySpec::Ekya,
+    ];
 
     eprintln!("[recording trace — {num_streams} streams x {windows} windows]");
-    let streams = StreamSet::generate(kind, num_streams, windows, seed);
-    let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
+    let cell_seed = grid::cell_seed(seed, kind, num_streams, windows);
+    let streams = StreamSet::generate(kind, num_streams, windows, cell_seed);
+    let cfg = RunnerConfig { seed: cell_seed, ..RunnerConfig::default() };
     let trace = record_trace(&streams, &cfg, windows, 6);
-    let (_c1, c2) = holdout_configs(kind, &cfg.retrain_grid, &cfg.cost, seed ^ 0xF00D);
 
-    let mut points: Vec<Point> = Vec::new();
+    let mut cells: Vec<(f64, PolicySpec)> = Vec::new();
     for &gpus in &gpu_grid {
-        let harness = ReplayPolicyHarness::new(gpus);
-        let params = SchedulerParams::new(gpus);
-        let mut policies: Vec<Box<dyn Policy>> = vec![
-            Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Cfg 2, 50%)")),
-            Box::new(EkyaFixedRes::new(params, 0.5)),
-            Box::new(EkyaFixedConfig::new(params, c2)),
-            Box::new(EkyaPolicy::new(params)),
-        ];
-        for policy in policies.iter_mut() {
-            let report = harness.run(policy.as_mut(), &trace);
-            points.push(Point {
-                gpus,
-                scheduler: report.policy.clone(),
-                accuracy: report.mean_accuracy(),
-            });
+        for p in &policies {
+            cells.push((gpus, p.clone()));
         }
     }
+    eprintln!("[replaying {} cells across {} workers]", cells.len(), knobs.workers());
+    let trace_ref = &trace;
+    let results = run_parallel(cells, knobs.workers(), move |_, (gpus, spec)| {
+        let ctx = PolicyBuildCtx::new(kind, gpus, grid::holdout_seed(seed, kind));
+        let mut policy = spec.build(&ctx);
+        let report = ReplayPolicyHarness::new(gpus).run(policy.as_mut(), trace_ref);
+        Point { gpus, scheduler: report.policy.clone(), accuracy: report.mean_accuracy() }
+    });
+    let points: Vec<Point> = results.into_iter().map(|r| r.expect("replay cell")).collect();
 
     let mut t = Table::new(
         format!("Fig 8 — factor analysis ({num_streams} streams, Cityscapes)"),
         &["scheduler", "2 GPUs", "4 GPUs", "6 GPUs", "8 GPUs"],
     );
-    let mut schedulers: Vec<String> = points.iter().map(|p| p.scheduler.clone()).collect();
-    schedulers.dedup();
-    for sched in schedulers {
+    for sched in policies.iter().map(|p| p.label()) {
         let mut row = vec![sched.clone()];
         for &g in &[2.0f64, 4.0, 6.0, 8.0] {
             let v = points

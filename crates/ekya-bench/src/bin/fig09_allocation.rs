@@ -5,13 +5,16 @@
 //! gives the stream with the larger expected gain more GPU (the paper's
 //! example diverts more to stream #1 and both reach ~0.82-0.83).
 //!
+//! A single harness cell: the same [`Scenario`]/seeding machinery as the
+//! big grids, so its numbers line up with any grid containing this cell.
 //! Run: `cargo run --release -p ekya-bench --bin fig09_allocation`
 //! Knobs: EKYA_WINDOWS (default 8).
 
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
-use ekya_core::{EkyaPolicy, SchedulerParams};
-use ekya_sim::{run_windows, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_baselines::PolicySpec;
+use ekya_bench::{
+    f3, grid::cell_seed, grid::holdout_seed, run_scenario, save_json, Knobs, Scenario, Table,
+};
+use ekya_video::DatasetKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,14 +27,19 @@ struct WindowAlloc {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 8);
-    let seed = env_u64("EKYA_SEED", 42);
-    let gpus = 1.0;
-    let streams = StreamSet::generate(DatasetKind::UrbanBuilding, 2, windows, seed);
-    let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-
-    let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
-    let report = run_windows(&mut policy, &streams, &cfg, windows);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(8);
+    let kind = DatasetKind::UrbanBuilding;
+    let scenario = Scenario {
+        dataset: kind,
+        streams: 2,
+        gpus: 1.0,
+        windows,
+        policy: PolicySpec::Ekya,
+        seed: cell_seed(knobs.seed(), kind, 2, windows),
+    };
+    let cell = run_scenario(&scenario, holdout_seed(knobs.seed(), kind));
+    let report = cell.report.as_ref().expect("cell ran");
 
     let mut t = Table::new(
         "Fig 9 — Ekya's allocation across two Urban Building streams (1 GPU)",

@@ -5,19 +5,22 @@
 //! stay a tiny fraction of the 200-second window (9.5 s in the paper's
 //! Python at Δ=0.1; Rust is orders of magnitude faster).
 //!
-//! Accuracy comes from mechanistic runs (real retraining execution);
-//! runtime from timing `thief_schedule` directly on profiles
-//! micro-profiled from the same workload.
+//! Accuracy comes from a harness grid of mechanistic runs (GPUs × Δ, via
+//! `PolicySpec::EkyaDelta`); runtime from timing `thief_schedule`
+//! serially on profiles micro-profiled from the same workload (timing is
+//! the one thing a busy worker pool would distort).
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig10_delta`
-//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 10).
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 10),
+//!        EKYA_WORKERS.
 
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
-use ekya_core::{thief_schedule, EkyaPolicy, MicroProfiler, SchedulerParams, StreamInput};
+use ekya_baselines::PolicySpec;
+use ekya_bench::{f3, run_grid, save_json, Grid, Knobs, Table};
+use ekya_core::{thief_schedule, MicroProfiler, SchedulerParams, StreamInput};
 use ekya_nn::data::DataView;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
 use ekya_nn::mlp::{Mlp, MlpArch};
-use ekya_sim::{run_windows, RunnerConfig};
+use ekya_sim::RunnerConfig;
 use ekya_video::{DatasetKind, StreamSet};
 use serde::Serialize;
 use std::time::Instant;
@@ -32,22 +35,38 @@ struct Point {
     evaluations: usize,
 }
 
+const DELTAS: [f64; 4] = [0.1, 0.2, 0.5, 1.0];
+const GPU_AXIS: [f64; 2] = [4.0, 8.0];
+
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let num_streams = env_usize("EKYA_STREAMS", 10);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(4);
+    let num_streams = knobs.streams(10);
+    let seed = knobs.seed();
     let kind = DatasetKind::Cityscapes;
-    let streams = StreamSet::generate(kind, num_streams, windows, seed);
+
+    // ---- Accuracy: a (GPUs × Δ) grid of full mechanistic runs. ----
+    let grid = Grid::new(windows, seed)
+        .datasets(&[kind])
+        .stream_counts(&[num_streams])
+        .gpu_counts(&GPU_AXIS)
+        .policies(DELTAS.iter().map(|&delta| PolicySpec::EkyaDelta { delta }).collect());
+    eprintln!("[fig10: {} cells across {} workers]", grid.cells().len(), knobs.workers());
+    let report = run_grid(&grid, knobs.workers());
 
     // ---- Scheduler-runtime measurement input: real micro-profiles. ----
-    let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
+    // Seeded with the same mixed cell seed the accuracy grid uses, so
+    // the runtime rows really are measured on the grid's workload.
+    let workload_seed = ekya_bench::cell_seed(seed, kind, num_streams, windows);
+    let cfg = RunnerConfig { seed: workload_seed, ..RunnerConfig::default() };
+    let streams = StreamSet::generate(kind, num_streams, windows, workload_seed);
     let ds0 = streams.iter().next().unwrap().1;
-    let mut teacher = OracleTeacher::new(0.02, ds0.num_classes, seed ^ 0xC0);
+    let mut teacher = OracleTeacher::new(0.02, ds0.num_classes, workload_seed ^ 0xC0);
     let w = ds0.window(0);
     let pool = distill_labels(&mut teacher, &w.train_pool);
     let sys_val = distill_labels(&mut teacher, &w.val);
-    let model = Mlp::new(MlpArch::edge(ds0.feature_dim, ds0.num_classes, 16), seed);
-    let mut profiler = MicroProfiler::new(cfg.profiler, cfg.cost.clone(), seed ^ 0xB00);
+    let model = Mlp::new(MlpArch::edge(ds0.feature_dim, ds0.num_classes, 16), workload_seed);
+    let mut profiler = MicroProfiler::new(cfg.profiler, cfg.cost.clone(), workload_seed ^ 0xB00);
     let profiles =
         profiler.profile(&model, &pool, &sys_val, &cfg.retrain_grid, ds0.num_classes, 1).profiles;
     let serving = model.accuracy(DataView::new(&sys_val, ds0.num_classes));
@@ -56,14 +75,14 @@ fn main() {
     let window_secs = ds0.spec.window_secs;
 
     let mut points = Vec::new();
-    for &gpus in &[4.0f64, 8.0] {
-        for &delta in &[0.1f64, 0.2, 0.5, 1.0] {
+    for &gpus in &GPU_AXIS {
+        for &delta in &DELTAS {
             let params = SchedulerParams { delta, ..SchedulerParams::new(gpus) };
-
-            // Accuracy: full mechanistic run.
-            let mut policy = EkyaPolicy::new(params);
-            let run_cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-            let report = run_windows(&mut policy, &streams, &run_cfg, windows);
+            let accuracy = report
+                .accuracy_where(|c| {
+                    c.scenario.gpus == gpus && c.scenario.policy == PolicySpec::EkyaDelta { delta }
+                })
+                .expect("grid covers every (gpus, delta)");
 
             // Runtime: time the thief on a realistic 10-stream input.
             let inputs: Vec<StreamInput> = (0..num_streams)
@@ -86,7 +105,7 @@ fn main() {
             points.push(Point {
                 gpus,
                 delta,
-                accuracy: report.mean_accuracy(),
+                accuracy,
                 scheduler_runtime_secs: runtime,
                 runtime_fraction_of_window: runtime / window_secs,
                 evaluations: evals,
@@ -110,7 +129,7 @@ fn main() {
     }
     t.print();
 
-    for &gpus in &[4.0f64, 8.0] {
+    for &gpus in &GPU_AXIS {
         let acc = |d: f64| points.iter().find(|p| p.gpus == gpus && p.delta == d).unwrap().accuracy;
         println!(
             "{} GPUs: Δ=0.1 vs Δ=1.0 accuracy {:+.1}% (paper: ~+8%); runtime remains \

@@ -6,12 +6,14 @@
 //!     error of 5.8%.
 //! (b) Robustness: inject controlled Gaussian noise ε into the profiler's
 //!     predictions and measure Ekya's end-to-end accuracy; the paper sees
-//!     at most ~3% drop up to ε = 20%.
+//!     at most ~3% drop up to ε = 20%. The (ε × GPUs) sweep fans out on
+//!     the harness worker pool.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig11_profiler`
-//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 4).
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 4),
+//!        EKYA_WORKERS.
 
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
 use ekya_core::{EkyaPolicy, SchedulerParams};
 use ekya_sim::{record_trace, run_windows, RunnerConfig};
 use ekya_video::{stats, DatasetKind, StreamSet};
@@ -26,9 +28,10 @@ struct Fig11Output {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let num_streams = env_usize("EKYA_STREAMS", 4);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(4);
+    let num_streams = knobs.streams(4);
+    let seed = knobs.seed();
     let kind = DatasetKind::Cityscapes;
 
     // ---- (a) estimation-error distribution ----
@@ -73,26 +76,40 @@ fn main() {
     );
 
     // ---- (b) robustness to controlled estimate noise ----
-    let mut noise_accuracy = Vec::new();
+    let eps_grid = [0.0f64, 0.05, 0.10, 0.20, 0.50];
+    let gpu_axis = [1.0f64, 4.0];
+    let mut cells: Vec<(f64, f64)> = Vec::new();
+    for &eps in &eps_grid {
+        for &gpus in &gpu_axis {
+            cells.push((eps, gpus));
+        }
+    }
+    eprintln!("[fig11b: {} cells across {} workers]", cells.len(), knobs.workers());
+    let streams_ref = &streams;
+    let results = run_parallel(cells, knobs.workers(), move |_, (eps, gpus)| {
+        let mut run_cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
+        run_cfg.profiler.noise_std = eps;
+        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
+        let report = run_windows(&mut policy, streams_ref, &run_cfg, windows);
+        (eps, gpus, report.mean_accuracy())
+    });
+    let noise_accuracy: Vec<(f64, f64, f64)> =
+        results.into_iter().map(|r| r.expect("noise cell")).collect();
+
     let mut hb = Table::new(
         "Fig 11b — Ekya accuracy under controlled estimate noise ε",
         &["ε", "1 GPU", "4 GPUs"],
     );
-    let eps_grid = [0.0f64, 0.05, 0.10, 0.20, 0.50];
-    let mut rows: Vec<Vec<String>> = Vec::new();
     for &eps in &eps_grid {
         let mut row = vec![format!("{:.0}%", eps * 100.0)];
-        for &gpus in &[1.0f64, 4.0] {
-            let mut run_cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-            run_cfg.profiler.noise_std = eps;
-            let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
-            let report = run_windows(&mut policy, &streams, &run_cfg, windows);
-            row.push(f3(report.mean_accuracy()));
-            noise_accuracy.push((eps, gpus, report.mean_accuracy()));
+        for &gpus in &gpu_axis {
+            let acc = noise_accuracy
+                .iter()
+                .find(|(e, g, _)| *e == eps && *g == gpus)
+                .map(|(_, _, a)| *a)
+                .unwrap_or(0.0);
+            row.push(f3(acc));
         }
-        rows.push(row);
-    }
-    for row in rows {
         hb.row(row);
     }
     hb.print();

@@ -1,0 +1,77 @@
+//! Harness throughput benchmark + determinism guard.
+//!
+//! Runs the quick-mode Figure 6 grid twice — serial (1 worker) and
+//! parallel (≥4 workers) — asserts the two produce **byte-identical**
+//! cell results, and writes the throughput record to
+//! `results/BENCH_harness.json` for the CI perf gate
+//! (`ci/check_bench.sh`).
+//!
+//! Run: `cargo run --release -p ekya-bench --bin harness_bench`
+//! Knobs: EKYA_WINDOWS (default 2), EKYA_SEED, EKYA_WORKERS (floored at
+//! 4 so the parallel path is exercised even on small machines), and
+//! EKYA_MIN_SPEEDUP — when set, assert `serial/parallel >= value`
+//! (leave unset on single-core boxes, where 4 workers cannot beat 1;
+//! CI's multi-core runners set it).
+
+use ekya_baselines::{PolicyBuildCtx, PolicySpec};
+use ekya_bench::{fig06_grid, run_grid, save_bench_record, BenchRecord, Knobs};
+
+fn main() {
+    let knobs = Knobs::from_env();
+    let grid = fig06_grid(true, knobs.windows(2), knobs.seed());
+    let workers = knobs.workers().max(4);
+    let n = grid.cells().len();
+
+    // Warm the process-wide hold-out config cache before timing either
+    // pass — otherwise the first pass pays the one-off derivation and
+    // the speedup/throughput numbers measure the cache, not the harness.
+    for &dataset in &grid.datasets {
+        for spec in &grid.policies {
+            if matches!(spec, PolicySpec::Uniform { .. } | PolicySpec::FixedConfig { .. }) {
+                let ctx = PolicyBuildCtx::new(dataset, 1.0, grid.holdout_seed(dataset));
+                let _ = spec.build(&ctx);
+            }
+        }
+    }
+
+    eprintln!("[harness_bench: {n} cells, serial pass]");
+    let serial = run_grid(&grid, 1);
+    eprintln!("[harness_bench: parallel pass on {workers} workers]");
+    let parallel = run_grid(&grid, workers);
+
+    // Determinism: parallel fan-out must not change a single byte of the
+    // results. Compare the serialized cells (timing fields live on the
+    // report envelope, not the cells).
+    let serial_json = serde_json::to_string_pretty(&serial.cells).expect("serialise");
+    let parallel_json = serde_json::to_string_pretty(&parallel.cells).expect("serialise");
+    assert_eq!(serial.cells, parallel.cells, "parallel run diverged from serial run (structural)");
+    assert_eq!(serial_json, parallel_json, "parallel run diverged from serial run (serialized)");
+    assert_eq!(serial.failed, 0, "serial run had poisoned cells");
+
+    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-9);
+    let record = BenchRecord {
+        name: "fig06_quick_grid".into(),
+        cells: n,
+        workers,
+        serial_wall_secs: serial.wall_secs,
+        parallel_wall_secs: parallel.wall_secs,
+        speedup,
+        cells_per_sec: parallel.cells_per_sec,
+    };
+    println!(
+        "harness_bench: {n} cells · serial {:.2} s · parallel {:.2} s on {workers} workers \
+         · speedup {speedup:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
+        record.serial_wall_secs, record.parallel_wall_secs, record.cells_per_sec
+    );
+    save_bench_record(&record);
+
+    if let Some(min) = std::env::var("EKYA_MIN_SPEEDUP").ok().and_then(|v| v.parse::<f64>().ok()) {
+        assert!(
+            speedup >= min,
+            "parallel speedup {speedup:.2}x below required {min:.2}x \
+             (EKYA_MIN_SPEEDUP; machine has {} hardware threads)",
+            ekya_bench::default_workers()
+        );
+        println!("harness_bench: speedup gate {speedup:.2}x >= {min:.2}x ✓");
+    }
+}

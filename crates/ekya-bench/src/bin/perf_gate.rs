@@ -1,0 +1,91 @@
+//! CI perf-regression gate for the experiment harness.
+//!
+//! Compares the freshly-measured `results/BENCH_harness.json` (written
+//! by `harness_bench`) against the committed baseline
+//! `ci/bench_baseline.json` and exits nonzero when throughput regressed
+//! by more than the tolerance (default 25%).
+//!
+//! Usage:
+//!   perf_gate [--update] [baseline.json] [current.json]
+//!
+//! * `--update` — rewrite the baseline from the current measurement
+//!   (use after an intentional perf change, commit the result);
+//! * `EKYA_BENCH_TOLERANCE` — allowed fractional regression
+//!   (default 0.25).
+//!
+//! Run: `cargo run --release -p ekya-bench --bin perf_gate`
+
+use ekya_bench::{results_dir, BenchRecord};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn read_record(path: &PathBuf) -> Result<BenchRecord, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    args.retain(|a| a != "--update");
+
+    let repo_root = results_dir().parent().map(PathBuf::from).unwrap_or_default();
+    let baseline_path =
+        args.first().map(PathBuf::from).unwrap_or_else(|| repo_root.join("ci/bench_baseline.json"));
+    let current_path =
+        args.get(1).map(PathBuf::from).unwrap_or_else(|| results_dir().join("BENCH_harness.json"));
+
+    let current = match read_record(&current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: {e} (run `harness_bench` first)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update {
+        let json = serde_json::to_string_pretty(&current).expect("serialise");
+        if let Err(e) = std::fs::write(&baseline_path, json + "\n") {
+            eprintln!("perf_gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf_gate: baseline updated to {:.2} cells/s ({})",
+            current.cells_per_sec,
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_record(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: {e} (seed it with `perf_gate --update`)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tolerance: f64 =
+        std::env::var("EKYA_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let floor = baseline.cells_per_sec * (1.0 - tolerance);
+    let ratio = current.cells_per_sec / baseline.cells_per_sec.max(1e-12);
+    println!(
+        "perf_gate: current {:.2} cells/s vs baseline {:.2} cells/s ({:+.1}%), \
+         floor {:.2} (tolerance {:.0}%)",
+        current.cells_per_sec,
+        baseline.cells_per_sec,
+        (ratio - 1.0) * 100.0,
+        floor,
+        tolerance * 100.0
+    );
+    if current.cells_per_sec < floor {
+        eprintln!(
+            "perf_gate: FAIL — harness throughput regressed more than {:.0}%",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate: OK");
+    ExitCode::SUCCESS
+}

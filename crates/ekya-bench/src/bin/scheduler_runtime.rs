@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p ekya-bench --bin scheduler_runtime`
 
-use ekya_bench::{env_u64, save_json, Table};
+use ekya_bench::{save_json, Knobs, Table};
 use ekya_core::{
     default_inference_grid, thief_schedule, RetrainConfig, RetrainProfile, SchedulerParams,
     StreamInput,
@@ -53,7 +53,7 @@ fn profiles(n_configs: usize, seed: u64) -> Vec<RetrainProfile> {
 }
 
 fn main() {
-    let seed = env_u64("EKYA_SEED", 42);
+    let seed = Knobs::from_env().seed();
     let infer = ekya_core::build_inference_profiles(
         &CostModel::default(),
         1.0,

@@ -5,16 +5,16 @@
 //! 0.75 on Cityscapes and shows Ekya's capacity scaling 4x from 1 GPU to
 //! 2 GPUs while uniform baselines scale 1-2x. Absolute accuracies differ
 //! on our synthetic substrate, so the threshold is a knob
-//! (`EKYA_THRESHOLD`, default 0.6) and the *scaling factors* are the
+//! (`EKYA_THRESHOLD`, default 0.65) and the *scaling factors* are the
 //! reproduction target.
 //!
+//! Declarative grid on the parallel harness (scheduler × GPUs × streams).
 //! Run: `cargo run --release -p ekya-bench --bin table3_capacity`
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_THRESHOLD, EKYA_WORKERS.
 
-use ekya_baselines::{holdout_configs, UniformPolicy};
-use ekya_bench::{env_f64, env_u64, env_usize, save_json, Table};
-use ekya_core::{EkyaPolicy, Policy, SchedulerParams};
-use ekya_sim::{run_windows, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_baselines::standard_policies;
+use ekya_bench::{env_f64, run_grid, save_json, Grid, Knobs, Table};
+use ekya_video::DatasetKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,64 +22,48 @@ struct CapacityRow {
     scheduler: String,
     capacity_1gpu: usize,
     capacity_2gpu: usize,
-    scaling: f64,
+    /// `None` when undefined (zero capacity at 1 GPU — JSON has no
+    /// representation for the infinite scaling that would imply).
+    scaling: Option<f64>,
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
     let threshold = env_f64("EKYA_THRESHOLD", 0.65);
-    let kind = DatasetKind::Cityscapes;
-    let stream_counts = [2usize, 4, 6, 8];
-
-    let cfg0 = RunnerConfig::default();
-    let (c1, c2) = holdout_configs(kind, &cfg0.retrain_grid, &cfg0.cost, seed ^ 0xF00D);
+    let gpu_axis = [1.0f64, 2.0];
+    let grid = Grid::new(knobs.windows(4), knobs.seed())
+        .datasets(&[DatasetKind::Cityscapes])
+        .stream_counts(&[2, 4, 6, 8])
+        .gpu_counts(&gpu_axis)
+        .policies(standard_policies());
+    eprintln!("[table3: {} cells across {} workers]", grid.cells().len(), knobs.workers());
+    let report = run_grid(&grid, knobs.workers());
 
     // capacity[scheduler][gpu] = max streams with accuracy >= threshold.
     let mut rows: Vec<CapacityRow> = Vec::new();
-    type PolicyFactory = Box<dyn Fn(f64) -> Box<dyn Policy>>;
-    let schedulers: Vec<(String, PolicyFactory)> = vec![
-        ("Ekya".into(), Box::new(|g: f64| Box::new(EkyaPolicy::new(SchedulerParams::new(g))))),
-        (
-            "Uniform (Config 1, 50%)".into(),
-            Box::new(move |_| Box::new(UniformPolicy::new(c1, 0.5, "Uniform (Config 1, 50%)"))),
-        ),
-        (
-            "Uniform (Config 2, 90%)".into(),
-            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.9, "Uniform (Config 2, 90%)"))),
-        ),
-        (
-            "Uniform (Config 2, 50%)".into(),
-            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.5, "Uniform (Config 2, 50%)"))),
-        ),
-        (
-            "Uniform (Config 2, 30%)".into(),
-            Box::new(move |_| Box::new(UniformPolicy::new(c2, 0.3, "Uniform (Config 2, 30%)"))),
-        ),
-    ];
-
-    for (name, make) in &schedulers {
+    for policy in &grid.policies {
         let mut capacity = [0usize; 2];
-        for (gi, &gpus) in [1.0f64, 2.0].iter().enumerate() {
-            for &n in &stream_counts {
-                let streams = StreamSet::generate(kind, n, windows, seed);
-                let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-                let mut policy = make(gpus);
-                let report = run_windows(policy.as_mut(), &streams, &cfg, windows);
-                if report.mean_accuracy() >= threshold {
+        for (gi, &gpus) in gpu_axis.iter().enumerate() {
+            for &n in &grid.stream_counts {
+                let acc = report.accuracy_where(|c| {
+                    c.scenario.policy == *policy
+                        && c.scenario.gpus == gpus
+                        && c.scenario.streams == n
+                });
+                if acc.is_some_and(|a| a >= threshold) {
                     capacity[gi] = capacity[gi].max(n);
                 }
             }
         }
         let scaling = if capacity[0] > 0 {
-            capacity[1] as f64 / capacity[0] as f64
+            Some(capacity[1] as f64 / capacity[0] as f64)
         } else if capacity[1] > 0 {
-            f64::INFINITY
+            None // undefined: capacity appeared only at 2 GPUs
         } else {
-            0.0
+            Some(0.0)
         };
         rows.push(CapacityRow {
-            scheduler: name.clone(),
+            scheduler: policy.label(),
             capacity_1gpu: capacity[0],
             capacity_2gpu: capacity[1],
             scaling,
@@ -95,7 +79,7 @@ fn main() {
             r.scheduler.clone(),
             r.capacity_1gpu.to_string(),
             r.capacity_2gpu.to_string(),
-            if r.scaling.is_finite() { format!("{:.1}x", r.scaling) } else { "-".into() },
+            r.scaling.map(|s| format!("{s:.1}x")).unwrap_or_else(|| "-".into()),
         ]);
     }
     t.print();

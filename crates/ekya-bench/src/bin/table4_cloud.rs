@@ -9,11 +9,13 @@
 //! "more bandwidth needed" columns report how much fatter the links must
 //! get to match Ekya.
 //!
+//! The network presets are independent cells fanned out on the harness
+//! pool (each cell runs its own bandwidth-scaling search).
 //! Run: `cargo run --release -p ekya-bench --bin table4_cloud`
-//! Knobs: EKYA_WINDOWS (default 4).
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_WORKERS.
 
 use ekya_baselines::{run_cloud_retraining, CloudRunConfig};
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
 use ekya_core::{EkyaPolicy, SchedulerParams};
 use ekya_net::LinkModel;
 use ekya_sim::{run_windows, RunnerConfig};
@@ -30,8 +32,9 @@ struct Row {
 }
 
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 4);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(4);
+    let seed = knobs.seed();
     let gpus = 4.0;
     let base = DatasetSpec {
         window_secs: 400.0,
@@ -43,31 +46,39 @@ fn main() {
     let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
     let ekya_acc = run_windows(&mut ekya, &streams, &cfg, windows).mean_accuracy();
 
-    let mut rows: Vec<Row> = Vec::new();
-    for link in LinkModel::table4_presets() {
-        let acc = run_cloud_retraining(&streams, &CloudRunConfig::new(link, cfg.clone()), windows)
-            .mean_accuracy();
+    let links = LinkModel::table4_presets();
+    eprintln!("[table4: {} link cells across {} workers]", links.len(), knobs.workers());
+    let streams_ref = &streams;
+    let cfg_ref = &cfg;
+    let results = run_parallel(links, knobs.workers(), move |_, link| {
+        let acc =
+            run_cloud_retraining(streams_ref, &CloudRunConfig::new(link, cfg_ref.clone()), windows)
+                .mean_accuracy();
 
         // How much fatter must this link get to match Ekya?
         let mut factor_needed = None;
         for f in [1.0f64, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
             let scaled = link.scaled(f);
-            let scaled_acc =
-                run_cloud_retraining(&streams, &CloudRunConfig::new(scaled, cfg.clone()), windows)
-                    .mean_accuracy();
+            let scaled_acc = run_cloud_retraining(
+                streams_ref,
+                &CloudRunConfig::new(scaled, cfg_ref.clone()),
+                windows,
+            )
+            .mean_accuracy();
             if scaled_acc >= ekya_acc {
                 factor_needed = Some(f);
                 break;
             }
         }
-        rows.push(Row {
+        Row {
             network: link.name.to_string(),
             uplink_mbps: link.uplink_mbps,
             downlink_mbps: link.downlink_mbps,
             accuracy: acc,
             bandwidth_factor_to_match_ekya: factor_needed,
-        });
-    }
+        }
+    });
+    let rows: Vec<Row> = results.into_iter().map(|r| r.expect("link cell")).collect();
 
     let mut t = Table::new(
         "Table 4 — cloud retraining vs Ekya (8 streams, 4 GPUs, 400 s windows)",

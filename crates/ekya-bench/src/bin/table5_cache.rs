@@ -7,12 +7,14 @@
 //! class distributions recur, but object *appearances* keep drifting, so
 //! cached models go stale anyway.
 //!
+//! The two designs run as independent harness cells (they share no
+//! state — both consume the same immutable stream set).
 //! Run: `cargo run --release -p ekya-bench --bin table5_cache`
 //! Knobs: EKYA_WINDOWS (total; default 8, first half builds the cache),
-//!        EKYA_STREAMS (default 6).
+//!        EKYA_STREAMS (default 6), EKYA_WORKERS.
 
 use ekya_baselines::run_model_cache;
-use ekya_bench::{env_u64, env_usize, f3, save_json, Table};
+use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
 use ekya_core::{EkyaPolicy, SchedulerParams};
 use ekya_sim::{run_windows, RunnerConfig};
 use ekya_video::{DatasetKind, StreamSet};
@@ -24,27 +26,43 @@ struct Output {
     ekya_accuracy: f64,
 }
 
+enum Design {
+    Cache,
+    Ekya,
+}
+
 fn main() {
-    let windows = env_usize("EKYA_WINDOWS", 8);
-    let num_streams = env_usize("EKYA_STREAMS", 6);
-    let seed = env_u64("EKYA_SEED", 42);
+    let knobs = Knobs::from_env();
+    let windows = knobs.windows(8);
+    let num_streams = knobs.streams(6);
+    let seed = knobs.seed();
     let gpus = 8.0;
     let pretrain = windows / 2;
     let kind = DatasetKind::Cityscapes;
     let streams = StreamSet::generate(kind, num_streams, windows, seed);
     let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
 
-    // Model-cache baseline: windows 0..pretrain build the cache; the rest
-    // are evaluated.
-    let cache_report = run_model_cache(&streams, &cfg, windows, pretrain);
-    let cache_acc = cache_report.mean_accuracy();
-
-    // Ekya over the same evaluation windows.
-    let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
-    let ekya_report = run_windows(&mut ekya, &streams, &cfg, windows);
-    let ekya_acc: f64 =
-        ekya_report.windows[pretrain..].iter().map(|w| w.mean_accuracy()).sum::<f64>()
-            / (windows - pretrain) as f64;
+    let streams_ref = &streams;
+    let cfg_ref = &cfg;
+    let results =
+        run_parallel(vec![Design::Cache, Design::Ekya], knobs.workers(), move |_, design| {
+            match design {
+                // Model-cache baseline: windows 0..pretrain build the
+                // cache; the rest are evaluated.
+                Design::Cache => {
+                    run_model_cache(streams_ref, cfg_ref, windows, pretrain).mean_accuracy()
+                }
+                // Ekya over the same evaluation windows.
+                Design::Ekya => {
+                    let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
+                    let report = run_windows(&mut ekya, streams_ref, cfg_ref, windows);
+                    report.windows[pretrain..].iter().map(|w| w.mean_accuracy()).sum::<f64>()
+                        / (windows - pretrain) as f64
+                }
+            }
+        });
+    let accs: Vec<f64> = results.into_iter().map(|r| r.expect("design cell")).collect();
+    let (cache_acc, ekya_acc) = (accs[0], accs[1]);
 
     let mut t = Table::new(
         format!(

@@ -1,0 +1,234 @@
+//! Declarative scenario grids.
+//!
+//! The paper's headline results are grids of independent simulation
+//! cells — (dataset × streams × GPUs × policy × seed). [`Grid`] is the
+//! declarative form of such a sweep; [`Grid::cells`] enumerates it into
+//! [`Scenario`] cells that the harness fans out across a worker pool.
+//!
+//! Seeding is deterministic and order-free: each cell's RNG seed is
+//! `base_seed ^ fnv1a(workload identity)`, a pure function of the cell
+//! itself, so a cell computes identical numbers whether it runs first on
+//! one thread or last on sixteen. The hash covers the *workload*
+//! coordinates (dataset, stream count, window count) and deliberately
+//! excludes the policy and the GPU budget: every scheduler variant at
+//! every provisioning level is evaluated on byte-identical video streams,
+//! which is what makes the grid's columns comparable (§6.1 evaluates all
+//! schedulers on the same traces).
+
+use ekya_baselines::{standard_policies, PolicySpec};
+use ekya_video::DatasetKind;
+use serde::{Deserialize, Serialize};
+
+/// One cell of an experiment grid: a fully-specified simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Workload dataset.
+    pub dataset: DatasetKind,
+    /// Number of concurrent video streams.
+    pub streams: usize,
+    /// Provisioned GPUs.
+    pub gpus: f64,
+    /// Retraining windows to simulate.
+    pub windows: usize,
+    /// Which scheduler runs the cell.
+    pub policy: PolicySpec,
+    /// Effective RNG seed (already mixed: `base_seed ^ hash(workload)`).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Human-readable cell label for logs and progress lines.
+    pub fn label(&self) -> String {
+        format!(
+            "{} ×{} @{}gpu · {}",
+            self.dataset.name(),
+            self.streams,
+            self.gpus,
+            self.policy.label()
+        )
+    }
+}
+
+/// FNV-1a over a byte string — stable, dependency-free cell hashing.
+/// (`std::hash` is seeded per-process, so it cannot provide run-to-run
+/// determinism.)
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic per-cell seed: `base ^ fnv1a(dataset, streams, windows)`.
+pub fn cell_seed(base: u64, dataset: DatasetKind, streams: usize, windows: usize) -> u64 {
+    let key = format!("{}|{streams}|{windows}", dataset.name());
+    base ^ fnv1a(key.as_bytes())
+}
+
+/// Seed for hold-out Config 1/2 derivation: constant per (grid, dataset)
+/// so every cell of a dataset compares uniform variants pinned to the
+/// same hold-out configurations.
+pub fn holdout_seed(base: u64, dataset: DatasetKind) -> u64 {
+    base ^ fnv1a(dataset.name().as_bytes()) ^ 0xF00D
+}
+
+/// A declarative experiment grid: the cross product of its axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Dataset axis.
+    pub datasets: Vec<DatasetKind>,
+    /// Concurrent-stream axis.
+    pub stream_counts: Vec<usize>,
+    /// Provisioned-GPU axis.
+    pub gpu_counts: Vec<f64>,
+    /// Scheduler axis.
+    pub policies: Vec<PolicySpec>,
+    /// Retraining windows per cell.
+    pub windows: usize,
+    /// Base RNG seed, mixed per cell by [`cell_seed`].
+    pub base_seed: u64,
+}
+
+impl Grid {
+    /// Creates an empty grid skeleton. Populate the axes with the
+    /// builder methods, then call [`Grid::cells`].
+    pub fn new(windows: usize, base_seed: u64) -> Self {
+        Self {
+            datasets: Vec::new(),
+            stream_counts: Vec::new(),
+            gpu_counts: Vec::new(),
+            policies: Vec::new(),
+            windows,
+            base_seed,
+        }
+    }
+
+    /// Sets the dataset axis.
+    pub fn datasets(mut self, kinds: &[DatasetKind]) -> Self {
+        self.datasets = kinds.to_vec();
+        self
+    }
+
+    /// Sets the concurrent-stream axis.
+    pub fn stream_counts(mut self, counts: &[usize]) -> Self {
+        self.stream_counts = counts.to_vec();
+        self
+    }
+
+    /// Sets the provisioned-GPU axis.
+    pub fn gpu_counts(mut self, gpus: &[f64]) -> Self {
+        self.gpu_counts = gpus.to_vec();
+        self
+    }
+
+    /// Sets the scheduler axis.
+    pub fn policies(mut self, policies: Vec<PolicySpec>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Enumerates every cell of the cross product, in axis order
+    /// (dataset-major, policy-minor). The order is presentation only —
+    /// results are independent of execution order by construction.
+    pub fn cells(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(
+            self.datasets.len()
+                * self.stream_counts.len()
+                * self.gpu_counts.len()
+                * self.policies.len(),
+        );
+        for &dataset in &self.datasets {
+            for &gpus in &self.gpu_counts {
+                for &streams in &self.stream_counts {
+                    for policy in &self.policies {
+                        out.push(Scenario {
+                            dataset,
+                            streams,
+                            gpus,
+                            windows: self.windows,
+                            policy: policy.clone(),
+                            seed: cell_seed(self.base_seed, dataset, streams, self.windows),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Hold-out derivation seed for one dataset of this grid.
+    pub fn holdout_seed(&self, dataset: DatasetKind) -> u64 {
+        holdout_seed(self.base_seed, dataset)
+    }
+}
+
+/// The Figure 6 grid (accuracy vs concurrent streams): Cityscapes and
+/// Waymo, Ekya vs the four uniform variants. `quick` shrinks the sweep
+/// for smoke runs; the same function feeds `fig06_streams`, the harness
+/// throughput benchmark, and CI, so all three ride one definition.
+pub fn fig06_grid(quick: bool, windows: usize, base_seed: u64) -> Grid {
+    let grid = Grid::new(windows, base_seed).policies(standard_policies());
+    if quick {
+        grid.datasets(&[DatasetKind::Cityscapes, DatasetKind::Waymo])
+            .stream_counts(&[2, 4])
+            .gpu_counts(&[1.0])
+    } else {
+        grid.datasets(&[DatasetKind::Cityscapes, DatasetKind::Waymo])
+            .stream_counts(&[2, 4, 6, 8])
+            .gpu_counts(&[1.0, 2.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_cover_the_cross_product() {
+        let grid = Grid::new(3, 42)
+            .datasets(&[DatasetKind::Cityscapes, DatasetKind::Waymo])
+            .stream_counts(&[2, 4])
+            .gpu_counts(&[1.0, 2.0])
+            .policies(vec![PolicySpec::Ekya]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().all(|c| c.windows == 3));
+    }
+
+    #[test]
+    fn cell_seed_is_policy_and_gpu_invariant() {
+        let grid = fig06_grid(true, 4, 42);
+        let cells = grid.cells();
+        // All policies at one (dataset, streams) share a seed...
+        let seeds: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.dataset == DatasetKind::Cityscapes && c.streams == 2)
+            .map(|c| c.seed)
+            .collect();
+        assert!(seeds.windows(2).all(|w| w[0] == w[1]));
+        // ...and different workloads get different seeds.
+        let other = cells.iter().find(|c| c.streams == 4).unwrap();
+        assert_ne!(seeds[0], other.seed);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors: a change here silently
+        // reshuffles every cell seed and invalidates recorded results.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn quick_grid_is_a_subset() {
+        let quick = fig06_grid(true, 4, 42).cells();
+        let full = fig06_grid(false, 4, 42).cells();
+        assert!(quick.len() < full.len());
+        for c in &quick {
+            assert!(full.contains(c), "quick cell {c:?} missing from full grid");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Parallel experiment harness: env knobs, a crossbeam work-stealing
+//! worker pool with panic isolation, and structured grid results.
+//!
+//! Grid cells are independent simulations, so the harness fans them out
+//! across threads and still produces **byte-identical** output to a
+//! serial run: every cell's RNG seed is a pure function of the cell
+//! itself (see [`crate::grid`]), results are written back by cell index,
+//! and wall-clock timing lives only at the report level. A cell that
+//! panics is isolated — its slot carries the panic message and every
+//! other cell completes normally.
+
+use crate::grid::{Grid, Scenario};
+use crate::save_json;
+use ekya_baselines::PolicyBuildCtx;
+use ekya_sim::{run_windows, RunReport, RunnerConfig};
+use ekya_video::StreamSet;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------
+
+/// The environment knobs shared by every `ekya-bench` binary, parsed in
+/// exactly one place:
+///
+/// * `EKYA_WINDOWS` — retraining windows (per-bin default);
+/// * `EKYA_STREAMS` — concurrent streams (per-bin default);
+/// * `EKYA_SEED` — base RNG seed (default 42);
+/// * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run;
+/// * `EKYA_WORKERS` — harness worker threads (default: available
+///   hardware parallelism).
+#[derive(Debug, Clone, Copy)]
+pub struct Knobs {
+    windows: Option<usize>,
+    streams: Option<usize>,
+    seed: u64,
+    quick: bool,
+    workers: usize,
+}
+
+impl Knobs {
+    /// Reads every knob from the environment.
+    pub fn from_env() -> Self {
+        fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        Self {
+            windows: parse("EKYA_WINDOWS"),
+            streams: parse("EKYA_STREAMS"),
+            seed: parse("EKYA_SEED").unwrap_or(42),
+            quick: std::env::var("EKYA_QUICK").map(|v| v == "1").unwrap_or(false),
+            workers: parse("EKYA_WORKERS").unwrap_or_else(default_workers),
+        }
+    }
+
+    /// Number of retraining windows (`EKYA_WINDOWS`, else the bin's
+    /// default).
+    pub fn windows(&self, default: usize) -> usize {
+        self.windows.unwrap_or(default)
+    }
+
+    /// Number of concurrent streams (`EKYA_STREAMS`, else the bin's
+    /// default).
+    pub fn streams(&self, default: usize) -> usize {
+        self.streams.unwrap_or(default)
+    }
+
+    /// Base RNG seed (`EKYA_SEED`, default 42).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when `EKYA_QUICK=1`.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Worker threads for the harness pool (`EKYA_WORKERS`, default:
+    /// hardware parallelism).
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
+    }
+}
+
+/// Hardware parallelism, floored at one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing fan-out
+// ---------------------------------------------------------------------
+
+/// Runs `f` over every item on a work-stealing pool of `workers`
+/// threads and returns the results **in item order**.
+///
+/// Items are dealt round-robin into per-worker FIFO deques; a worker
+/// that drains its own deque steals from its siblings, so stragglers
+/// (cells vary wildly in cost — more streams, more windows) do not idle
+/// the rest of the pool. With `workers == 1` everything runs inline on
+/// the calling thread.
+///
+/// Each item is evaluated under [`catch_unwind`]: a panicking item
+/// yields `Err(panic message)` in its slot and no other item is
+/// affected. Results depend only on `(index, item)`, never on execution
+/// order, so serial and parallel runs agree exactly.
+pub fn run_parallel<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().enumerate().map(|(i, item)| guard(&f, i, item)).collect();
+    }
+
+    let queues: Vec<crossbeam::deque::Worker<(usize, T)>> =
+        (0..workers).map(|_| crossbeam::deque::Worker::new_fifo()).collect();
+    let stealers: Vec<crossbeam::deque::Stealer<(usize, T)>> =
+        queues.iter().map(|q| q.stealer()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].push((i, item));
+    }
+
+    let slots: Mutex<Vec<Option<Result<R, String>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for (w, local) in queues.into_iter().enumerate() {
+            let stealers = &stealers;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Own deque first, then steal round-robin from the
+                    // next sibling onwards. No task spawns new tasks, so
+                    // an all-empty sweep means the pool is drained.
+                    let task = local.pop().or_else(|| {
+                        (1..stealers.len())
+                            .map(|k| &stealers[(w + k) % stealers.len()])
+                            .find_map(steal_retrying)
+                    });
+                    let Some((i, item)) = task else { break };
+                    let result = guard(f, i, item);
+                    slots
+                        .lock()
+                        .expect("result slots")
+                        .get_mut(i)
+                        .expect("slot index")
+                        .replace(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|slot| slot.expect("every cell ran to completion"))
+        .collect()
+}
+
+/// Steals from a victim, retrying on `Steal::Retry` (a lost race is not
+/// an empty deque — treating it as one could leave a queued task behind
+/// and deadlock the order-indexed result collection).
+fn steal_retrying<T>(stealer: &crossbeam::deque::Stealer<T>) -> Option<T> {
+    loop {
+        match stealer.steal() {
+            crossbeam::deque::Steal::Success(task) => return Some(task),
+            crossbeam::deque::Steal::Empty => return None,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+}
+
+/// Evaluates one item under panic isolation.
+fn guard<T, R, F: Fn(usize, T) -> R>(f: &F, i: usize, item: T) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "cell panicked (non-string payload)".to_string())
+    })
+}
+
+// ---------------------------------------------------------------------
+// Grid execution
+// ---------------------------------------------------------------------
+
+/// The structured outcome of one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub scenario: Scenario,
+    /// Policy report name (matches figure legends).
+    pub policy: String,
+    /// Headline metric: accuracy averaged over windows and streams.
+    pub mean_accuracy: f64,
+    /// Fraction of stream-windows in which retraining ran.
+    pub retrain_rate: f64,
+    /// Full per-window report (`None` when the cell failed).
+    pub report: Option<RunReport>,
+    /// Panic message when the cell was poisoned.
+    pub error: Option<String>,
+}
+
+/// The outcome of a full grid run, serialized to `results/*.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarnessReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole grid.
+    pub wall_secs: f64,
+    /// Throughput: completed cells per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Number of poisoned cells.
+    pub failed: usize,
+    /// Per-cell results, in grid enumeration order.
+    pub cells: Vec<CellResult>,
+}
+
+impl HarnessReport {
+    /// The mean accuracy of the first cell matching `pred`, or `None`.
+    pub fn accuracy_where<F: Fn(&CellResult) -> bool>(&self, pred: F) -> Option<f64> {
+        self.cells.iter().find(|c| c.error.is_none() && pred(c)).map(|c| c.mean_accuracy)
+    }
+}
+
+/// Runs one scenario end to end: generate its streams, build its policy
+/// (inside the calling thread), execute the windows. This is the default
+/// cell evaluator; bins with bespoke cells use [`run_parallel`] directly.
+pub fn run_scenario(sc: &Scenario, holdout_seed: u64) -> CellResult {
+    let streams = StreamSet::generate(sc.dataset, sc.streams, sc.windows, sc.seed);
+    let cfg = RunnerConfig { total_gpus: sc.gpus, seed: sc.seed, ..RunnerConfig::default() };
+    let ctx = PolicyBuildCtx::new(sc.dataset, sc.gpus, holdout_seed);
+    let mut policy = sc.policy.build(&ctx);
+    let report = run_windows(policy.as_mut(), &streams, &cfg, sc.windows);
+    CellResult {
+        scenario: sc.clone(),
+        policy: report.policy.clone(),
+        mean_accuracy: report.mean_accuracy(),
+        retrain_rate: report.retrain_rate(),
+        report: Some(report),
+        error: None,
+    }
+}
+
+/// Fans a grid out across `workers` threads and collects every cell.
+pub fn run_grid(grid: &Grid, workers: usize) -> HarnessReport {
+    let cells = grid.cells();
+    let started = Instant::now();
+    let results = run_parallel(cells, workers, |_, sc: Scenario| {
+        let holdout = grid.holdout_seed(sc.dataset);
+        run_scenario(&sc, holdout)
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    finish_report(results, grid.cells(), workers, wall_secs)
+}
+
+/// Assembles a [`HarnessReport`], backfilling poisoned slots from the
+/// original cell list.
+fn finish_report(
+    results: Vec<Result<CellResult, String>>,
+    cells: Vec<Scenario>,
+    workers: usize,
+    wall_secs: f64,
+) -> HarnessReport {
+    let mut failed = 0;
+    let cells: Vec<CellResult> = results
+        .into_iter()
+        .zip(cells)
+        .map(|(r, sc)| match r {
+            Ok(cell) => cell,
+            Err(message) => {
+                failed += 1;
+                CellResult {
+                    policy: sc.policy.label(),
+                    scenario: sc,
+                    mean_accuracy: 0.0,
+                    retrain_rate: 0.0,
+                    report: None,
+                    error: Some(message),
+                }
+            }
+        })
+        .collect();
+    let n = cells.len();
+    HarnessReport {
+        workers,
+        wall_secs,
+        cells_per_sec: if wall_secs > 0.0 { n as f64 / wall_secs } else { 0.0 },
+        failed,
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Perf trajectory
+// ---------------------------------------------------------------------
+
+/// Machine-readable harness throughput record, written to
+/// `results/BENCH_harness.json`. CI's perf gate (`ci/check_bench.sh`)
+/// compares `cells_per_sec` against the committed baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark identity (grid name).
+    pub name: String,
+    /// Cells in the measured grid.
+    pub cells: usize,
+    /// Worker threads in the parallel run.
+    pub workers: usize,
+    /// Serial (1-worker) wall-clock seconds.
+    pub serial_wall_secs: f64,
+    /// Parallel wall-clock seconds.
+    pub parallel_wall_secs: f64,
+    /// `serial_wall_secs / parallel_wall_secs`.
+    pub speedup: f64,
+    /// Parallel throughput in cells per second — the gated metric.
+    pub cells_per_sec: f64,
+}
+
+/// Writes the throughput record to `results/BENCH_harness.json`.
+pub fn save_bench_record(record: &BenchRecord) {
+    save_json("BENCH_harness", record);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_fall_back_to_defaults() {
+        // Not set in the test environment → per-bin defaults apply.
+        let knobs = Knobs { windows: None, streams: None, seed: 42, quick: false, workers: 3 };
+        assert_eq!(knobs.windows(6), 6);
+        assert_eq!(knobs.streams(10), 10);
+        assert_eq!(knobs.seed(), 42);
+        assert!(!knobs.quick());
+        assert_eq!(knobs.workers(), 3);
+    }
+
+    #[test]
+    fn run_parallel_preserves_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        for workers in [1, 4] {
+            let out = run_parallel(items.clone(), workers, |i, x| x * 2 + i as u64);
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            let expected: Vec<u64> = (0..64).map(|x| x * 3).collect();
+            assert_eq!(values, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_isolates_panics() {
+        let out = run_parallel((0..8).collect::<Vec<i32>>(), 4, |_, x| {
+            assert!(x != 5, "poisoned cell {x}");
+            x + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("poisoned cell 5"), "unexpected message: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_empty_and_oversubscribed() {
+        assert!(run_parallel(Vec::<u8>::new(), 8, |_, x| x).is_empty());
+        // More workers than items clamps to the item count.
+        let out = run_parallel(vec![1, 2], 16, |_, x| x);
+        assert_eq!(out.len(), 2);
+    }
+}

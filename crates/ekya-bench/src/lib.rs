@@ -5,33 +5,38 @@
 //! microbenchmarks (`cargo bench`). Binaries print the same rows/series
 //! the paper reports and write machine-readable JSON to `results/`.
 //!
-//! Environment knobs shared by all binaries:
+//! The paper's result grids — (dataset × streams × GPUs × policy) — are
+//! embarrassingly parallel, so the bins no longer hand-roll serial
+//! nested-for sweeps: [`grid`] declares a sweep as data and [`harness`]
+//! fans its cells out across a work-stealing worker pool with
+//! deterministic per-cell seeding (parallel ≡ serial, byte for byte).
+//!
+//! Environment knobs shared by all binaries (parsed once, by
+//! [`Knobs::from_env`]):
 //!
 //! * `EKYA_WINDOWS` — override the number of retraining windows;
+//! * `EKYA_STREAMS` — override the number of concurrent streams;
 //! * `EKYA_SEED` — override the base RNG seed;
-//! * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run.
+//! * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run;
+//! * `EKYA_WORKERS` — harness worker threads (default: hardware
+//!   parallelism).
+
+pub mod grid;
+pub mod harness;
+
+pub use grid::{cell_seed, fig06_grid, fnv1a, Grid, Scenario};
+pub use harness::{
+    default_workers, run_grid, run_parallel, run_scenario, save_bench_record, BenchRecord,
+    CellResult, HarnessReport, Knobs,
+};
 
 use serde::Serialize;
 use std::path::PathBuf;
 
-/// Reads an integer environment knob.
-pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Reads a float environment knob.
+/// Reads a float environment knob (bin-specific knobs like
+/// `EKYA_THRESHOLD`; the shared knobs all live in [`Knobs`]).
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Reads a u64 environment knob.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// True when `EKYA_QUICK=1`.
-pub fn quick() -> bool {
-    std::env::var("EKYA_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
 /// A printable results table.
@@ -87,7 +92,7 @@ impl Table {
 /// Writes a serialisable result to `results/<name>.json` (relative to the
 /// workspace root when run via cargo, else the current directory).
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = workspace_results_dir();
+    let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
@@ -102,7 +107,9 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
-fn workspace_results_dir() -> PathBuf {
+/// The workspace `results/` directory (resolved via `CARGO_MANIFEST_DIR`
+/// when run through cargo, else relative to the current directory).
+pub fn results_dir() -> PathBuf {
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         // crates/ekya-bench -> workspace root two levels up.
         let p = PathBuf::from(manifest);
@@ -129,9 +136,7 @@ mod tests {
 
     #[test]
     fn env_knobs_default() {
-        assert_eq!(env_usize("EKYA_DOES_NOT_EXIST", 7), 7);
         assert_eq!(env_f64("EKYA_DOES_NOT_EXIST", 1.5), 1.5);
-        assert_eq!(env_u64("EKYA_DOES_NOT_EXIST", 9), 9);
     }
 
     #[test]

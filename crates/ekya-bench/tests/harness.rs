@@ -1,0 +1,74 @@
+//! Integration tests for the parallel experiment harness: determinism
+//! (serial ≡ 4 workers, byte for byte), panic isolation at grid level,
+//! and knob parsing.
+
+use ekya_baselines::PolicySpec;
+use ekya_bench::{run_grid, Grid, Knobs};
+use ekya_video::DatasetKind;
+
+/// A small but real grid: every cell runs actual retraining windows.
+fn tiny_grid() -> Grid {
+    Grid::new(2, 42)
+        .datasets(&[DatasetKind::Waymo])
+        .stream_counts(&[1, 2])
+        .gpu_counts(&[1.0])
+        .policies(vec![PolicySpec::Ekya, PolicySpec::FixedRes { inference_share: 0.5 }])
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let grid = tiny_grid();
+    let serial = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+
+    assert_eq!(serial.failed, 0);
+    assert_eq!(parallel.failed, 0);
+    assert_eq!(serial.cells.len(), 4);
+    // Structural equality first (better failure message granularity)...
+    assert_eq!(serial.cells, parallel.cells);
+    // ...then the byte-identical guarantee the harness documents.
+    let s = serde_json::to_string_pretty(&serial.cells).unwrap();
+    let p = serde_json::to_string_pretty(&parallel.cells).unwrap();
+    assert_eq!(s, p, "serialized cells must match byte for byte");
+    // The cells did real work.
+    for cell in &serial.cells {
+        assert!(cell.mean_accuracy > 0.0, "cell {} produced no accuracy", cell.scenario.label());
+        assert!(cell.report.is_some());
+    }
+}
+
+#[test]
+fn poisoned_cell_does_not_sink_the_run() {
+    // streams = 0 makes the runner panic ("need at least one stream");
+    // the harness must isolate that cell and complete the others.
+    let grid = Grid::new(2, 42)
+        .datasets(&[DatasetKind::Waymo])
+        .stream_counts(&[0, 1])
+        .gpu_counts(&[1.0])
+        .policies(vec![PolicySpec::Ekya]);
+    let report = run_grid(&grid, 2);
+
+    assert_eq!(report.cells.len(), 2);
+    assert_eq!(report.failed, 1);
+    let poisoned = report.cells.iter().find(|c| c.scenario.streams == 0).unwrap();
+    let healthy = report.cells.iter().find(|c| c.scenario.streams == 1).unwrap();
+    assert!(
+        poisoned.error.as_deref().unwrap_or_default().contains("need at least one stream"),
+        "poisoned cell should carry the panic message, got {:?}",
+        poisoned.error
+    );
+    assert!(poisoned.report.is_none());
+    assert!(healthy.error.is_none());
+    assert!(healthy.mean_accuracy > 0.0);
+}
+
+#[test]
+fn knobs_parse_from_env_once() {
+    // `from_env` reads the ambient environment; unset knobs fall back to
+    // the per-bin defaults passed at the call sites.
+    let knobs = Knobs::from_env();
+    let _ = knobs.quick();
+    assert!(knobs.workers() >= 1);
+    assert!(knobs.windows(7) >= 1);
+    assert!(knobs.streams(3) >= 1);
+}

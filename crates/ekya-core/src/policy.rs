@@ -101,7 +101,11 @@ pub struct ReplanStream {
 }
 
 /// A scheduling policy: decides configurations and allocations per window.
-pub trait Policy {
+///
+/// `Send` is a supertrait so boxed policies can be constructed on one
+/// thread and driven on another — the experiment harness in `ekya-bench`
+/// fans grid cells out across a worker pool, each cell owning its policy.
+pub trait Policy: Send {
     /// Policy name for reports.
     fn name(&self) -> String;
 

@@ -61,6 +61,40 @@ fn prelude_symbols_importable() {
     let _ = std::any::type_name::<VideoDataset>();
 }
 
+/// The experiment harness surface of `ekya-bench` (scenario grids, the
+/// work-stealing pool, the policy registry) stays importable — these are
+/// the entry points CI's quick tier and the fig/table bins ride on.
+#[test]
+fn harness_symbols_importable() {
+    // ekya-baselines registry
+    let _ = std::any::type_name::<ekya::baselines::PolicySpec>();
+    let _ = std::any::type_name::<ekya::baselines::PolicyBuildCtx>();
+    let _ = std::any::type_name::<ekya::baselines::HoldoutPick>();
+    let _ = ekya::baselines::standard_policies as fn() -> Vec<ekya::baselines::PolicySpec>;
+
+    // ekya-bench grid + harness (dev-dependency of the facade)
+    let _ = std::any::type_name::<ekya_bench::Scenario>();
+    let _ = std::any::type_name::<ekya_bench::Grid>();
+    let _ = std::any::type_name::<ekya_bench::Knobs>();
+    let _ = std::any::type_name::<ekya_bench::CellResult>();
+    let _ = std::any::type_name::<ekya_bench::HarnessReport>();
+    let _ = std::any::type_name::<ekya_bench::BenchRecord>();
+    let _ = ekya_bench::run_grid as fn(&ekya_bench::Grid, usize) -> ekya_bench::HarnessReport;
+    let _ = ekya_bench::fig06_grid as fn(bool, usize, u64) -> ekya_bench::Grid;
+    let _ = ekya_bench::cell_seed as *const ();
+    let _ = ekya_bench::run_parallel::<u8, u8, fn(usize, u8) -> u8> as *const ();
+
+    // The pool's building blocks in the crossbeam shim.
+    let _ = std::any::type_name::<crossbeam::deque::Injector<u8>>();
+    let _ = std::any::type_name::<crossbeam::deque::Worker<u8>>();
+    let _ = std::any::type_name::<crossbeam::deque::Stealer<u8>>();
+
+    // Policies are thread-safe by construction: `Policy: Send` holds for
+    // boxed registry output.
+    fn assert_send<T: Send + ?Sized>() {}
+    assert_send::<dyn Policy>();
+}
+
 /// The facade re-exports all eight sub-crates as modules.
 #[test]
 fn facade_modules_present() {

@@ -1,7 +1,197 @@
 //! Vendored API-subset shim of `crossbeam`: multi-producer channels with
 //! cloneable senders, `Sender::len`, and disconnect-on-drop semantics,
-//! built on `std::sync` primitives. Only the [`channel`] module is
-//! provided — it is the only part of `crossbeam` this workspace uses.
+//! plus the work-stealing [`deque`] primitives (`Injector` / `Worker` /
+//! `Stealer`), built on `std::sync` primitives. Only the parts of
+//! `crossbeam` this workspace uses are provided.
+
+pub mod deque {
+    //! Work-stealing deques: a shared [`Injector`] queue plus per-worker
+    //! [`Worker`] queues whose [`Stealer`] handles let idle threads take
+    //! work from busy ones. API subset of `crossbeam-deque`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO queue into which new tasks are injected, shared by all
+    /// workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steals the oldest task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector lock").len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// A per-thread FIFO work queue. The owning worker pops from the
+    /// front; [`Stealer`]s take from the back.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes a task onto this worker's queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops the next task from this worker's own queue.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker lock").pop_front()
+        }
+
+        /// True when this worker's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+
+        /// Creates a handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A handle for stealing tasks from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the most distant task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("stealer lock").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo_order() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn worker_pop_front_steal_back() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.is_empty() && s.is_empty());
+        }
+
+        #[test]
+        fn cross_thread_stealing_drains_everything() {
+            let inj = Arc::new(Injector::new());
+            for i in 0..200u32 {
+                inj.push(i);
+            }
+            let total: u32 = (0..4)
+                .map(|_| {
+                    let inj = Arc::clone(&inj);
+                    std::thread::spawn(move || {
+                        let mut n = 0;
+                        while inj.steal().success().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .sum();
+            assert_eq!(total, 200);
+        }
+    }
+}
 
 pub mod channel {
     //! MPMC channels (bounded and unbounded).
