@@ -2,11 +2,14 @@
 # Tiered verification for the Ekya workspace. Run from the repo root.
 #
 #   ./ci.sh quick   — fmt + clippy + a quick-mode harness smoke across
-#                     several bins + the harness perf gate. Minutes, not
-#                     tens of minutes; what the CI quick job runs.
-#   ./ci.sh full    — the complete sweep: formatting, lints, the release
-#                     build, every target (examples, benches, bins), and
-#                     the full test suite. The default.
+#                     several bins (including a 2-shard + grid_merge
+#                     byte-identity check) + the harness perf gate.
+#                     Minutes, not tens of minutes; what the CI quick
+#                     job runs.
+#   ./ci.sh full    — the complete sweep: formatting, lints, rustdoc
+#                     (deny warnings), the release build, every target
+#                     (examples, benches, bins), and the full test
+#                     suite. The default.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,6 +40,23 @@ case "$MODE" in
     echo "==> harness smoke: fig06_streams (quick grid)"
     EKYA_QUICK=1 EKYA_WINDOWS=2 cargo run --release -q -p ekya-bench --bin fig06_streams
 
+    # Sharded execution smoke: split the same quick grid across two
+    # shard processes, merge the shard reports, and require the merged
+    # file to be byte-identical to the unsharded run above (the harness's
+    # sharding guarantee, checked with plain cmp).
+    echo "==> harness smoke: 2-shard fig06 + grid_merge (union ≡ unsharded, byte for byte)"
+    mkdir -p target
+    cp results/fig06_streams.json target/fig06_unsharded.json
+    EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_SHARD=0/2 \
+      cargo run --release -q -p ekya-bench --bin fig06_streams
+    EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_SHARD=1/2 \
+      cargo run --release -q -p ekya-bench --bin fig06_streams
+    cargo run --release -q -p ekya-bench --bin grid_merge -- \
+      results/fig06_streams_shard0of2.json results/fig06_streams_shard1of2.json \
+      -o results/fig06_streams.json
+    cmp results/fig06_streams.json target/fig06_unsharded.json
+    echo "    shard union ≡ unsharded ✓"
+
     echo "==> harness smoke: fig08_factors (quick replay grid)"
     EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \
       cargo run --release -q -p ekya-bench --bin fig08_factors
@@ -58,6 +78,9 @@ case "$MODE" in
 
   full)
     lint
+
+    echo "==> cargo doc --workspace --no-deps (deny warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
     echo "==> cargo build --release"
     cargo build --release

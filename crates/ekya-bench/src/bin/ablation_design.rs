@@ -31,6 +31,8 @@ struct Row {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("ablation_design");
+    knobs.warn_if_resume("ablation_design");
     let windows = knobs.windows(4);
     let num_streams = knobs.streams(6);
     let seed = knobs.seed();

@@ -29,6 +29,8 @@ struct Fig02Output {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("fig02_motivation");
+    knobs.warn_if_resume("fig02_motivation");
     let num_windows = knobs.windows(10);
     let seed = knobs.seed();
 

@@ -6,30 +6,35 @@
 //!     its Pareto boundary; the paper observes a ~200x spread in GPU cost
 //!     and that higher cost does not imply higher accuracy.
 //!
+//! The exhaustive profiling rides the harness's [`run_parallel`] pool
+//! with **per-config seeding** (`base_seed ^ fnv1a("cfg|" + label)`), so
+//! each configuration's numbers are independent of which others are
+//! profiled alongside it — which is what lets `EKYA_SHARD=i/N` split the
+//! configuration grid across processes. A sharded run profiles only its
+//! slice and writes a `ConfigShard` envelope
+//! (`results/fig03_configs_shardIofN.json`); merge the shards with
+//! `grid_merge` to recover the exact unsharded point list (the Pareto
+//! frontier is a whole-grid property, computed at merge).
+//!
 //! Run: `cargo run --release -p ekya-bench --bin fig03_configs`
+//! Knobs: EKYA_SEED, EKYA_WORKERS, EKYA_SHARD
+//!        (see crates/ekya-bench/README.md).
 
-use ekya_bench::{f1, f3, save_json, Knobs, Table};
-use ekya_core::{
-    exhaustive_profile, extended_retrain_grid, pareto_frontier, RetrainConfig, RetrainProfile,
-    TrainHyper,
+use ekya_bench::{
+    f1, f3, fnv1a, pareto_flags, run_parallel, save_json, ConfigPoint, ConfigShard, Knobs, Table,
 };
+use ekya_core::{extended_retrain_grid, profile_config, RetrainConfig, TrainHyper};
 use ekya_nn::cost::CostModel;
-use ekya_nn::fit::LearningCurve;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
 use ekya_nn::mlp::{Mlp, MlpArch};
 use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ConfigPoint {
-    label: String,
-    gpu_seconds: f64,
-    accuracy: f64,
-    on_pareto: bool,
-}
 
 fn main() {
-    let seed = Knobs::from_env().seed();
+    let knobs = Knobs::from_env();
+    // The config sweep shards (per-config seeding) but is cheap enough
+    // that it does not checkpoint — say so rather than silently ignore.
+    knobs.warn_if_resume("fig03_configs");
+    let seed = knobs.seed();
     let cost = CostModel::default();
     let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 2, seed));
     let nc = ds.num_classes;
@@ -58,21 +63,61 @@ fn main() {
     let mut model = warm.model().clone();
     model.set_layers_trained(usize::MAX);
 
-    let measure = |configs: &[RetrainConfig]| -> Vec<(RetrainConfig, f64, f64)> {
-        let (accs, _) =
-            exhaustive_profile(&model, &w1, &val, configs, nc, TrainHyper::default(), &cost, seed);
-        configs
-            .iter()
-            .zip(&accs)
-            .map(|(&c, &acc)| {
-                let variant = ekya_core::build_variant(&model, &c, seed);
-                let n = ((w1.len() as f64) * c.data_fraction).round().max(1.0) as usize;
-                let gpu_s =
-                    c.epochs as f64 * cost.train_epoch_gpu_seconds(&variant, n, c.batch_size);
-                (c, gpu_s, acc)
+    // Profile a slice of configurations on the work-stealing pool. Each
+    // config gets its own seed mixed from its label, so the result is a
+    // pure function of the (model, data, config) triple — slicing the
+    // list cannot change a number.
+    let measure = |configs: &[RetrainConfig]| -> Vec<ConfigPoint> {
+        let jobs: Vec<RetrainConfig> = configs.to_vec();
+        run_parallel(jobs, knobs.workers(), |_, c: RetrainConfig| {
+            let cfg_seed = seed ^ fnv1a(format!("cfg|{}", c.label()).as_bytes());
+            let (accuracy, gpu_seconds) =
+                profile_config(&model, &w1, &val, c, nc, TrainHyper::default(), &cost, cfg_seed);
+            ConfigPoint { label: c.label(), gpu_seconds, accuracy, on_pareto: false, error: None }
+        })
+        .into_iter()
+        .zip(configs)
+        .map(|(r, c)| {
+            // Same isolation as a grid cell: a poisoned config travels
+            // in the data instead of sinking the rest of the sweep.
+            r.unwrap_or_else(|message| {
+                eprintln!("[fig03: config {} poisoned — {message}]", c.label());
+                ConfigPoint {
+                    label: c.label(),
+                    gpu_seconds: 0.0,
+                    accuracy: 0.0,
+                    on_pareto: false,
+                    error: Some(message),
+                }
             })
-            .collect()
+        })
+        .collect()
     };
+
+    let grid = extended_retrain_grid();
+
+    // ---- Sharded mode: profile only this shard's slice of (b). ----
+    if let Some(shard) = knobs.shard() {
+        let range = shard.range(grid.len());
+        eprintln!(
+            "[fig03: shard {shard} → configs {}..{} of {} across {} workers]",
+            range.start,
+            range.end,
+            grid.len(),
+            knobs.workers()
+        );
+        let points = measure(&grid[range]);
+        let envelope =
+            ConfigShard { name: "fig03_configs".into(), total: grid.len(), shard, points };
+        save_json(&format!("fig03_configs{}", shard.suffix()), &envelope);
+        println!(
+            "[shard output: {} of {} configs — tables, spread, and the Pareto frontier are \
+             whole-grid; merge the shards with `grid_merge` first]",
+            envelope.points.len(),
+            envelope.total
+        );
+        return;
+    }
 
     // ---- (a) two example hyperparameters ----
     let mut axis_a: Vec<RetrainConfig> = Vec::new();
@@ -99,7 +144,7 @@ fn main() {
         "Fig 3a — effect of data fraction (rho) and layers trained",
         &["hyperparameter", "GPU seconds", "accuracy"],
     );
-    for (i, (c, gpu_s, acc)) in points_a.iter().enumerate() {
+    for (i, (c, p)) in axis_a.iter().zip(&points_a).enumerate() {
         // The first three entries sweep the data fraction; the rest sweep
         // the layers-trained axis.
         let label = if i < 3 {
@@ -107,46 +152,47 @@ fn main() {
         } else {
             format!("layers={}", c.layers_trained)
         };
-        ta.row(vec![label, f1(*gpu_s), f3(*acc)]);
+        if p.error.is_some() {
+            ta.row(vec![label, "-".into(), "failed".into()]);
+        } else {
+            ta.row(vec![label, f1(p.gpu_seconds), f3(p.accuracy)]);
+        }
     }
     ta.print();
 
     // ---- (b) full grid + Pareto boundary ----
-    let grid = extended_retrain_grid();
-    let points_b = measure(&grid);
-    let profiles: Vec<RetrainProfile> = points_b
-        .iter()
-        .map(|(c, gpu_s, acc)| RetrainProfile {
-            config: *c,
-            curve: LearningCurve::flat(*acc),
-            gpu_seconds_per_epoch: gpu_s / c.epochs as f64,
-        })
-        .collect();
-    let frontier = pareto_frontier(&profiles);
+    let mut points_b = measure(&grid);
+    let flags = pareto_flags(&points_b);
+    for (p, on) in points_b.iter_mut().zip(flags) {
+        p.on_pareto = on;
+    }
     let mut tb = Table::new(
         "Fig 3b — resource vs accuracy of the full configuration grid",
         &["config", "GPU seconds", "accuracy", "Pareto"],
     );
-    let mut json_points = Vec::new();
-    for (i, (c, gpu_s, acc)) in points_b.iter().enumerate() {
-        let on = frontier.contains(&i);
-        tb.row(vec![c.label(), f1(*gpu_s), f3(*acc), if on { "*".into() } else { "".into() }]);
-        json_points.push(ConfigPoint {
-            label: c.label(),
-            gpu_seconds: *gpu_s,
-            accuracy: *acc,
-            on_pareto: on,
-        });
+    for p in &points_b {
+        if p.error.is_some() {
+            tb.row(vec![p.label.clone(), "-".into(), "failed".into(), "".into()]);
+        } else {
+            tb.row(vec![
+                p.label.clone(),
+                f1(p.gpu_seconds),
+                f3(p.accuracy),
+                if p.on_pareto { "*".into() } else { "".into() },
+            ]);
+        }
     }
     tb.print();
 
-    let max_cost = points_b.iter().map(|p| p.1).fold(f64::MIN, f64::max);
-    let min_cost = points_b.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    let costs = || points_b.iter().filter(|p| p.error.is_none()).map(|p| p.gpu_seconds);
+    let max_cost = costs().fold(f64::MIN, f64::max);
+    let min_cost = costs().fold(f64::MAX, f64::min);
     println!(
         "\nGPU-cost spread across configurations: {:.0}x (paper reports ~200x)",
         max_cost / min_cost
     );
-    println!("Pareto-optimal configurations: {} of {}", frontier.len(), grid.len());
+    let on_frontier = points_b.iter().filter(|p| p.on_pareto).count();
+    println!("Pareto-optimal configurations: {on_frontier} of {}", grid.len());
 
-    save_json("fig03_configs", &json_points);
+    save_json("fig03_configs", &points_b);
 }

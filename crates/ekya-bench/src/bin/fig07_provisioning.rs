@@ -29,6 +29,8 @@ struct Point {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("fig07_provisioning");
+    knobs.warn_if_resume("fig07_provisioning");
     let windows = knobs.windows(6);
     let num_streams = knobs.streams(10);
     let seed = knobs.seed();

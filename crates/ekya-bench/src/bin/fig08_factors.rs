@@ -27,6 +27,8 @@ struct Point {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("fig08_factors");
+    knobs.warn_if_resume("fig08_factors");
     let windows = knobs.windows(6);
     let num_streams = knobs.streams(10);
     let seed = knobs.seed();

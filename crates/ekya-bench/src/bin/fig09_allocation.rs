@@ -28,6 +28,8 @@ struct WindowAlloc {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("fig09_allocation");
+    knobs.warn_if_resume("fig09_allocation");
     let windows = knobs.windows(8);
     let kind = DatasetKind::UrbanBuilding;
     let scenario = Scenario {

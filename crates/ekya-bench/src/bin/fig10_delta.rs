@@ -8,14 +8,19 @@
 //! Accuracy comes from a harness grid of mechanistic runs (GPUs × Δ, via
 //! `PolicySpec::EkyaDelta`); runtime from timing `thief_schedule`
 //! serially on profiles micro-profiled from the same workload (timing is
-//! the one thing a busy worker pool would distort).
+//! the one thing a busy worker pool would distort). The harness report
+//! lands in `results/fig10_delta.json`, the derived Δ-sensitivity points
+//! in `results/fig10_delta_points.json`. `EKYA_SHARD=i/N` runs one slice
+//! of the grid (merge with `grid_merge`); `EKYA_RESUME=1` continues a
+//! killed run.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig10_delta`
 //! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 10),
-//!        EKYA_WORKERS.
+//!        EKYA_WORKERS, EKYA_SHARD, EKYA_RESUME
+//!        (see crates/ekya-bench/README.md).
 
 use ekya_baselines::PolicySpec;
-use ekya_bench::{f3, run_grid, save_json, Grid, Knobs, Table};
+use ekya_bench::{f3, run_grid_bin, save_json, Grid, Knobs, Table};
 use ekya_core::{thief_schedule, MicroProfiler, SchedulerParams, StreamInput};
 use ekya_nn::data::DataView;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
@@ -51,8 +56,17 @@ fn main() {
         .stream_counts(&[num_streams])
         .gpu_counts(&GPU_AXIS)
         .policies(DELTAS.iter().map(|&delta| PolicySpec::EkyaDelta { delta }).collect());
-    eprintln!("[fig10: {} cells across {} workers]", grid.cells().len(), knobs.workers());
-    let report = run_grid(&grid, knobs.workers());
+    let run = run_grid_bin("fig10_delta", &grid, &knobs);
+    let report = &run.report;
+    if !report.is_complete() {
+        println!(
+            "[shard report: {} of {} cells — the Δ table needs the whole grid; \
+             merge the shards with `grid_merge` first]",
+            report.cells.len(),
+            report.total_cells
+        );
+        return;
+    }
 
     // ---- Scheduler-runtime measurement input: real micro-profiles. ----
     // Seeded with the same mixed cell seed the accuracy grid uses, so
@@ -139,5 +153,5 @@ fn main() {
         );
     }
 
-    save_json("fig10_delta", &points);
+    save_json("fig10_delta_points", &points);
 }

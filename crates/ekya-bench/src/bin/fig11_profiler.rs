@@ -29,6 +29,8 @@ struct Fig11Output {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("fig11_profiler");
+    knobs.warn_if_resume("fig11_profiler");
     let windows = knobs.windows(4);
     let num_streams = knobs.streams(4);
     let seed = knobs.seed();

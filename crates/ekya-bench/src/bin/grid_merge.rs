@@ -1,0 +1,165 @@
+//! Merges per-shard experiment reports into the single file an unsharded
+//! run writes — byte-identical — and verifies shard coverage.
+//!
+//! Two input formats are auto-detected per file:
+//!
+//! * harness reports ([`HarnessReport`]) written by the grid bins
+//!   (`fig06_streams`, `table3_capacity`, `fig10_delta`) under
+//!   `EKYA_SHARD=i/N`;
+//! * configuration-sweep shards ([`ConfigShard`]) written by
+//!   `fig03_configs` (the merge recomputes the whole-grid Pareto flags).
+//!
+//! Merging rejects shards of different grids, overlapping slices (e.g.
+//! the same shard passed twice), missing slices, and truncated shard
+//! files, each with a message naming the offending cell range.
+//!
+//! Usage:
+//!   grid_merge SHARD.json... [-o OUT.json]     merge shards into OUT
+//!                                              (default `results/<name>.json`)
+//!   grid_merge --check A.json B.json           byte-compare two reports
+//!
+//! `--check` is the determinism gate CI uses: after merging the shards of
+//! a quick grid it asserts the merged file equals the unsharded run's
+//! output byte for byte.
+//!
+//! Run: `cargo run --release -p ekya-bench --bin grid_merge -- <args>`
+
+use ekya_bench::{
+    load_report, merge_config_shards, merge_reports, results_dir, write_json, ConfigShard,
+    HarnessReport,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Everything `grid_merge` can read from one input file.
+enum Loaded {
+    Report(HarnessReport),
+    Config(ConfigShard),
+}
+
+fn load(path: &PathBuf) -> Result<Loaded, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let report_err = match serde_json::from_str::<HarnessReport>(&text) {
+        Ok(report) => return Ok(Loaded::Report(report)),
+        Err(e) => e,
+    };
+    serde_json::from_str::<ConfigShard>(&text).map(Loaded::Config).map_err(|config_err| {
+        // Surface both parse errors: "corrupt file" and "wrong kind of
+        // file" need opposite debugging, and hiding the cause behind a
+        // generic format hint sends the operator the wrong way.
+        format!(
+            "{}: neither a harness report ({report_err}) nor a config-sweep shard \
+             ({config_err}); note unsharded fig03 point lists need no merging",
+            path.display()
+        )
+    })
+}
+
+fn check(a: &PathBuf, b: &PathBuf) -> Result<(), String> {
+    let read =
+        |p: &PathBuf| std::fs::read(p).map_err(|e| format!("cannot read {}: {e}", p.display()));
+    let (bytes_a, bytes_b) = (read(a)?, read(b)?);
+    if bytes_a == bytes_b {
+        println!("grid_merge: OK — {} ≡ {} ({} bytes)", a.display(), b.display(), bytes_a.len());
+        return Ok(());
+    }
+    // Structural detail when both parse as harness reports: name the
+    // first diverging cell instead of just "files differ".
+    if let (Ok(ra), Ok(rb)) = (load_report(a), load_report(b)) {
+        if ra.cells.len() != rb.cells.len() {
+            return Err(format!("cell counts differ: {} vs {}", ra.cells.len(), rb.cells.len()));
+        }
+        for (i, (ca, cb)) in ra.cells.iter().zip(&rb.cells).enumerate() {
+            if ca != cb {
+                return Err(format!(
+                    "reports diverge at cell {i} ({}): {} vs {}",
+                    ca.scenario.label(),
+                    ca.mean_accuracy,
+                    cb.mean_accuracy
+                ));
+            }
+        }
+        return Err("cells agree but report envelopes differ".to_string());
+    }
+    Err(format!("{} and {} differ", a.display(), b.display()))
+}
+
+fn merge(paths: &[PathBuf], out: Option<PathBuf>) -> Result<(), String> {
+    let mut reports = Vec::new();
+    let mut configs = Vec::new();
+    for path in paths {
+        match load(path)? {
+            Loaded::Report(r) => reports.push(r),
+            Loaded::Config(c) => configs.push(c),
+        }
+    }
+    if !reports.is_empty() && !configs.is_empty() {
+        return Err("cannot mix harness reports and config-sweep shards in one merge".into());
+    }
+
+    let out_for =
+        |name: &str| out.clone().unwrap_or_else(|| results_dir().join(format!("{name}.json")));
+    let (path, summary) = if !reports.is_empty() {
+        let merged = merge_reports(&reports)?;
+        let summary = format!(
+            "{} shards → {} cells ({} failed)",
+            reports.len(),
+            merged.cells.len(),
+            merged.failed
+        );
+        let path = out_for(&merged.name);
+        write_json(&path, &merged)?;
+        (path, summary)
+    } else {
+        let merged = merge_config_shards(&configs)?;
+        let summary = format!(
+            "{} shards → {} configs ({} on the Pareto frontier)",
+            configs.len(),
+            merged.len(),
+            merged.iter().filter(|p| p.on_pareto).count()
+        );
+        let path = out_for(&configs[0].name);
+        write_json(&path, &merged)?;
+        (path, summary)
+    };
+    println!("grid_merge: {summary} → {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((flag, rest)) if flag == "--check" => match rest {
+            [a, b] => check(&PathBuf::from(a), &PathBuf::from(b)),
+            _ => Err("usage: grid_merge --check A.json B.json".into()),
+        },
+        Some(_) => {
+            let mut paths = Vec::new();
+            let mut out = None;
+            let mut it = args.iter();
+            loop {
+                match it.next() {
+                    None => break,
+                    Some(a) if a == "-o" || a == "--out" => match it.next() {
+                        Some(p) => out = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("grid_merge: {a} needs a path");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some(p) => paths.push(PathBuf::from(p)),
+                }
+            }
+            merge(&paths, out)
+        }
+        None => Err("usage: grid_merge SHARD.json... [-o OUT.json] | --check A.json B.json".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("grid_merge: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -40,23 +40,26 @@ fn main() {
     let parallel = run_grid(&grid, workers);
 
     // Determinism: parallel fan-out must not change a single byte of the
-    // results. Compare the serialized cells (timing fields live on the
-    // report envelope, not the cells).
-    let serial_json = serde_json::to_string_pretty(&serial.cells).expect("serialise");
-    let parallel_json = serde_json::to_string_pretty(&parallel.cells).expect("serialise");
-    assert_eq!(serial.cells, parallel.cells, "parallel run diverged from serial run (structural)");
+    // results. The serialized report is fully deterministic (timing
+    // lives in the unserialized RunStats), so compare it whole.
+    let serial_json = serde_json::to_string_pretty(&serial.report).expect("serialise");
+    let parallel_json = serde_json::to_string_pretty(&parallel.report).expect("serialise");
+    assert_eq!(
+        serial.report, parallel.report,
+        "parallel run diverged from serial run (structural)"
+    );
     assert_eq!(serial_json, parallel_json, "parallel run diverged from serial run (serialized)");
-    assert_eq!(serial.failed, 0, "serial run had poisoned cells");
+    assert_eq!(serial.report.failed, 0, "serial run had poisoned cells");
 
-    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-9);
+    let speedup = serial.stats.wall_secs / parallel.stats.wall_secs.max(1e-9);
     let record = BenchRecord {
         name: "fig06_quick_grid".into(),
         cells: n,
         workers,
-        serial_wall_secs: serial.wall_secs,
-        parallel_wall_secs: parallel.wall_secs,
+        serial_wall_secs: serial.stats.wall_secs,
+        parallel_wall_secs: parallel.stats.wall_secs,
         speedup,
-        cells_per_sec: parallel.cells_per_sec,
+        cells_per_sec: parallel.stats.cells_per_sec,
     };
     println!(
         "harness_bench: {n} cells · serial {:.2} s · parallel {:.2} s on {workers} workers \

@@ -6,10 +6,13 @@
 //! by more than the tolerance (default 25%).
 //!
 //! Usage:
-//!   perf_gate [--update] [baseline.json] [current.json]
+//!   perf_gate [--update [--force]] [baseline.json] [current.json]
 //!
 //! * `--update` — rewrite the baseline from the current measurement
-//!   (use after an intentional perf change, commit the result);
+//!   (use after an intentional perf change, commit the result). Refused
+//!   when the current measurement itself regresses beyond the tolerance
+//!   against the existing baseline — rebasing away a regression must be
+//!   explicit: pass `--force` to accept the lower number;
 //! * `EKYA_BENCH_TOLERANCE` — allowed fractional regression
 //!   (default 0.25).
 //!
@@ -25,10 +28,21 @@ fn read_record(path: &PathBuf) -> Result<BenchRecord, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
 }
 
+fn tolerance() -> f64 {
+    std::env::var("EKYA_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let update = args.iter().any(|a| a == "--update");
-    args.retain(|a| a != "--update");
+    let force = args.iter().any(|a| a == "--force");
+    args.retain(|a| a != "--update" && a != "--force");
+    if force && !update {
+        // --force only qualifies --update; it never bypasses the gate
+        // itself, and silently ignoring it would let CI believe it did.
+        eprintln!("perf_gate: --force is only valid together with --update");
+        return ExitCode::FAILURE;
+    }
 
     let repo_root = results_dir().parent().map(PathBuf::from).unwrap_or_default();
     let baseline_path =
@@ -45,6 +59,26 @@ fn main() -> ExitCode {
     };
 
     if update {
+        // Refuse to quietly rebase a regression away: if the existing
+        // baseline is readable and the current run falls below its gate
+        // floor, updating would hide exactly what the gate exists to
+        // catch. `--force` records the lower number deliberately.
+        if let Ok(old) = read_record(&baseline_path) {
+            let floor = old.cells_per_sec * (1.0 - tolerance());
+            if current.cells_per_sec < floor && !force {
+                eprintln!(
+                    "perf_gate: REFUSED — current {:.2} cells/s ({}) regresses below the \
+                     existing baseline's floor {:.2} cells/s (baseline {:.2} in {}); \
+                     fix the regression or pass --force to rebase anyway",
+                    current.cells_per_sec,
+                    current_path.display(),
+                    floor,
+                    old.cells_per_sec,
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         let json = serde_json::to_string_pretty(&current).expect("serialise");
         if let Err(e) = std::fs::write(&baseline_path, json + "\n") {
             eprintln!("perf_gate: cannot write {}: {e}", baseline_path.display());
@@ -66,8 +100,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let tolerance: f64 =
-        std::env::var("EKYA_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let tolerance = tolerance();
     let floor = baseline.cells_per_sec * (1.0 - tolerance);
     let ratio = current.cells_per_sec / baseline.cells_per_sec.max(1e-12);
     println!(
@@ -80,8 +113,16 @@ fn main() -> ExitCode {
         tolerance * 100.0
     );
     if current.cells_per_sec < floor {
+        // Self-contained failure message: stderr alone (e.g. a CI log
+        // grep) names both measurements and both files.
         eprintln!(
-            "perf_gate: FAIL — harness throughput regressed more than {:.0}%",
+            "perf_gate: FAIL — current {:.2} cells/s ({}) is below floor {:.2} cells/s \
+             (baseline {:.2} cells/s in {}, tolerance {:.0}%)",
+            current.cells_per_sec,
+            current_path.display(),
+            floor,
+            baseline.cells_per_sec,
+            baseline_path.display(),
             tolerance * 100.0
         );
         return ExitCode::FAILURE;

@@ -8,12 +8,17 @@
 //! (`EKYA_THRESHOLD`, default 0.65) and the *scaling factors* are the
 //! reproduction target.
 //!
-//! Declarative grid on the parallel harness (scheduler × GPUs × streams).
+//! Declarative grid on the parallel harness (scheduler × GPUs × streams);
+//! the harness report lands in `results/table3_capacity.json` and the
+//! derived capacity rows in `results/table3_capacity_rows.json`.
+//! `EKYA_SHARD=i/N` runs one slice of the grid (merge with `grid_merge`);
+//! `EKYA_RESUME=1` continues a killed run.
 //! Run: `cargo run --release -p ekya-bench --bin table3_capacity`
-//! Knobs: EKYA_WINDOWS (default 4), EKYA_THRESHOLD, EKYA_WORKERS.
+//! Knobs: EKYA_WINDOWS (default 4), EKYA_THRESHOLD, EKYA_WORKERS,
+//!        EKYA_SHARD, EKYA_RESUME (see crates/ekya-bench/README.md).
 
 use ekya_baselines::standard_policies;
-use ekya_bench::{env_f64, run_grid, save_json, Grid, Knobs, Table};
+use ekya_bench::{env_f64, run_grid_bin, save_json, Grid, Knobs, Table};
 use ekya_video::DatasetKind;
 use serde::Serialize;
 
@@ -36,8 +41,17 @@ fn main() {
         .stream_counts(&[2, 4, 6, 8])
         .gpu_counts(&gpu_axis)
         .policies(standard_policies());
-    eprintln!("[table3: {} cells across {} workers]", grid.cells().len(), knobs.workers());
-    let report = run_grid(&grid, knobs.workers());
+    let run = run_grid_bin("table3_capacity", &grid, &knobs);
+    let report = &run.report;
+    if !report.is_complete() {
+        println!(
+            "[shard report: {} of {} cells — capacity rows are whole-grid; \
+             merge the shards with `grid_merge` first]",
+            report.cells.len(),
+            report.total_cells
+        );
+        return;
+    }
 
     // capacity[scheduler][gpu] = max streams with accuracy >= threshold.
     let mut rows: Vec<CapacityRow> = Vec::new();
@@ -88,5 +102,5 @@ fn main() {
          C2 variants 2 -> 4 (2x)."
     );
 
-    save_json("table3_capacity", &rows);
+    save_json("table3_capacity_rows", &rows);
 }

@@ -33,6 +33,8 @@ struct Row {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("table4_cloud");
+    knobs.warn_if_resume("table4_cloud");
     let windows = knobs.windows(4);
     let seed = knobs.seed();
     let gpus = 4.0;

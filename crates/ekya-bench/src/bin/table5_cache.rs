@@ -33,6 +33,8 @@ enum Design {
 
 fn main() {
     let knobs = Knobs::from_env();
+    knobs.warn_if_sharded("table5_cache");
+    knobs.warn_if_resume("table5_cache");
     let windows = knobs.windows(8);
     let num_streams = knobs.streams(6);
     let seed = knobs.seed();

@@ -1,0 +1,155 @@
+//! Shared result types for `fig03_configs`' exhaustive per-configuration
+//! profiling — the one sweep in the suite whose cells are retraining
+//! *configurations* rather than simulation [`Scenario`](crate::Scenario)s.
+//!
+//! The sweep rides the same scale levers as the scenario grids: each
+//! configuration is profiled with its own seed (`base_seed ^
+//! fnv1a(config label)`), so any slice of the configuration list
+//! computes identical numbers regardless of which other configurations
+//! run alongside it, and `EKYA_SHARD=i/N` partitions the list across
+//! processes. A sharded run writes a [`ConfigShard`] envelope; the
+//! `grid_merge` bin recombines shards with [`merge_config_shards`] into
+//! the plain point list an unsharded run writes — byte-identical.
+//!
+//! The Pareto frontier is a **whole-grid** property, so shard files
+//! carry `on_pareto: false` throughout and the flags are computed only
+//! over the complete set ([`pareto_flags`]), by the unsharded bin run or
+//! by the merge.
+
+use crate::grid::{coverage_order, ShardSpec};
+use serde::{Deserialize, Serialize};
+
+/// One profiled retraining configuration: its GPU cost, its final
+/// accuracy, and whether it sits on the cost/accuracy Pareto frontier of
+/// the full configuration grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Compact configuration label (`RetrainConfig::label`).
+    pub label: String,
+    /// Total GPU-seconds to retrain this configuration to completion
+    /// (0.0 when the config was poisoned).
+    pub gpu_seconds: f64,
+    /// Final accuracy on the window's validation set (0.0 when the
+    /// config was poisoned).
+    pub accuracy: f64,
+    /// On the Pareto frontier of the complete grid (always `false`
+    /// inside shard files — see the module docs).
+    pub on_pareto: bool,
+    /// Panic message when profiling this configuration was poisoned —
+    /// the same isolation the scenario grids give a failed cell: the
+    /// rest of the sweep completes and the failure travels in the data.
+    pub error: Option<String>,
+}
+
+/// One shard's slice of the configuration sweep, written to
+/// `results/fig03_configs_shardIofN.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigShard {
+    /// Sweep identity (the bin name).
+    pub name: String,
+    /// Configurations in the full (unsharded) grid.
+    pub total: usize,
+    /// The slice this file covers.
+    pub shard: ShardSpec,
+    /// Profiled points for `shard.range(total)`, in grid order.
+    pub points: Vec<ConfigPoint>,
+}
+
+/// Pareto-frontier membership over (cost, accuracy): a point is on the
+/// frontier iff no other point is at most as expensive **and** at least
+/// as accurate with one of the two strict — the same dominance rule as
+/// `ekya_core::pareto_frontier`, stated directly on profiled points.
+/// Poisoned points are never on the frontier and never dominate anyone.
+pub fn pareto_flags(points: &[ConfigPoint]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| {
+            p.error.is_none()
+                && !points.iter().any(|q| {
+                    q.error.is_none()
+                        && q.gpu_seconds <= p.gpu_seconds
+                        && q.accuracy >= p.accuracy
+                        && (q.gpu_seconds < p.gpu_seconds || q.accuracy > p.accuracy)
+                })
+        })
+        .collect()
+}
+
+/// Recombines per-shard configuration sweeps into the complete point
+/// list an unsharded run writes, recomputing the Pareto flags over the
+/// full set. Rejects mismatched sweeps and overlapping/missing slices
+/// with the same coverage rules as harness-report merging.
+pub fn merge_config_shards(shards: &[ConfigShard]) -> Result<Vec<ConfigPoint>, String> {
+    let first = shards.first().ok_or("no shards to merge")?;
+    for s in shards {
+        if s.name != first.name || s.total != first.total {
+            return Err(format!(
+                "cannot merge shards of different sweeps: `{}` ({} configs) vs `{}` ({} configs)",
+                first.name, first.total, s.name, s.total
+            ));
+        }
+    }
+    let parts: Vec<(ShardSpec, usize)> = shards.iter().map(|s| (s.shard, s.points.len())).collect();
+    let order = coverage_order(&parts, first.total)?;
+
+    let mut points = Vec::with_capacity(first.total);
+    for &i in &order {
+        points.extend(shards[i].points.iter().cloned());
+    }
+    let flags = pareto_flags(&points);
+    for (p, on) in points.iter_mut().zip(flags) {
+        p.on_pareto = on;
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, gpu_seconds: f64, accuracy: f64) -> ConfigPoint {
+        ConfigPoint { label: label.into(), gpu_seconds, accuracy, on_pareto: false, error: None }
+    }
+
+    #[test]
+    fn pareto_flags_mark_undominated_points() {
+        // a: cheap & good (frontier); b: pricier & worse (dominated by a);
+        // c: priciest & best (frontier); d: ties a exactly (frontier —
+        // neither strictly dominates the other).
+        let points =
+            vec![pt("a", 1.0, 0.8), pt("b", 2.0, 0.7), pt("c", 3.0, 0.9), pt("d", 1.0, 0.8)];
+        assert_eq!(pareto_flags(&points), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn pareto_flags_quarantine_poisoned_points() {
+        // A poisoned point carries (0.0, 0.0) — cheapest possible — but
+        // must neither join the frontier nor dominate real points.
+        let mut poisoned = pt("x", 0.0, 0.0);
+        poisoned.error = Some("boom".into());
+        let points = vec![poisoned, pt("a", 1.0, 0.8)];
+        assert_eq!(pareto_flags(&points), vec![false, true]);
+    }
+
+    #[test]
+    fn merge_recombines_and_recomputes_pareto() {
+        let all = [pt("a", 1.0, 0.8), pt("b", 2.0, 0.7), pt("c", 3.0, 0.9)];
+        let s = |index, count, points| ConfigShard {
+            name: "fig03".into(),
+            total: 3,
+            shard: ShardSpec { index, count },
+            points,
+        };
+        // 0/2 of 3 → cells 0..1; 1/2 → cells 1..3.
+        let merged =
+            merge_config_shards(&[s(1, 2, all[1..].to_vec()), s(0, 2, all[..1].to_vec())]).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.iter().map(|p| p.on_pareto).collect::<Vec<_>>(), vec![true, false, true]);
+        // Overlap and gaps are rejected.
+        let err = merge_config_shards(&[s(0, 2, all[..1].to_vec()), s(0, 2, all[..1].to_vec())])
+            .unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        let err = merge_config_shards(&[s(0, 2, all[..1].to_vec())]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

@@ -1,4 +1,4 @@
-//! Declarative scenario grids.
+//! Declarative scenario grids and their partitioning into shards.
 //!
 //! The paper's headline results are grids of independent simulation
 //! cells — (dataset × streams × GPUs × policy × seed). [`Grid`] is the
@@ -14,6 +14,12 @@
 //! every provisioning level is evaluated on byte-identical video streams,
 //! which is what makes the grid's columns comparable (§6.1 evaluates all
 //! schedulers on the same traces).
+//!
+//! Because every cell is a pure function of itself, a grid also splits
+//! across *processes and machines*: [`ShardSpec`] (env `EKYA_SHARD=i/N`)
+//! names one contiguous slice of the flattened cell range, shard outputs
+//! are disjoint, and their merged union is byte-identical to a
+//! single-process run (see `ekya_bench::harness::merge_reports`).
 
 use ekya_baselines::{standard_policies, PolicySpec};
 use ekya_video::DatasetKind;
@@ -47,6 +53,128 @@ impl Scenario {
             self.policy.label()
         )
     }
+
+    /// Stable identity hash of the complete cell — every workload
+    /// coordinate, the policy, and the (already mixed) seed.
+    ///
+    /// This is the key of the resume layer: a `CellResult` saved by a
+    /// previous run is reused if and only if its scenario's fingerprint
+    /// matches a cell of the current grid, so editing any axis of the
+    /// grid (or the base seed) automatically invalidates exactly the
+    /// cells it changes. Computed over the `Debug` rendering, which is a
+    /// complete, stable dump of this plain-data struct.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+}
+
+/// One shard of a partitioned grid run: shard `index` of `count`, parsed
+/// from the `EKYA_SHARD=i/N` environment knob.
+///
+/// A shard owns one contiguous, balanced slice of the flattened cell
+/// range ([`ShardSpec::range`]). Slices of the `N` shards of a grid are
+/// disjoint and their union is the whole range, so `N` shard runs on `N`
+/// machines produce together exactly the cells of one unsharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards the grid is split into.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parses the `EKYA_SHARD` syntax `"i/N"` (e.g. `"0/4"`), rejecting
+    /// `N == 0` and `i >= N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let err = || format!("invalid shard spec `{s}` (expected `i/N` with 0 <= i < N)");
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = index.trim().parse().map_err(|_| err())?;
+        let count: usize = count.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(Self { index, count })
+    }
+
+    /// This shard's contiguous slice of a flattened range of `total`
+    /// cells: `[index*total/count, (index+1)*total/count)`. Balanced to
+    /// within one cell; the slices of all `count` shards partition
+    /// `0..total` exactly.
+    pub fn range(&self, total: usize) -> std::ops::Range<usize> {
+        (self.index * total / self.count)..((self.index + 1) * total / self.count)
+    }
+
+    /// File-name suffix distinguishing this shard's report
+    /// (e.g. `"_shard0of4"`); empty-suffix (unsharded) reports use the
+    /// bare bin name.
+    pub fn suffix(&self) -> String {
+        format!("_shard{}of{}", self.index, self.count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Validates that `parts` — `(shard, cells_in_report)` pairs — cover the
+/// flattened range `0..total` exactly once, and returns the indices of
+/// `parts` in range order (the order in which their cells concatenate
+/// into the unsharded enumeration).
+///
+/// Rejects, with a descriptive message: a report whose cell count does
+/// not match its declared slice, overlapping slices (e.g. the same shard
+/// merged twice), and gaps (a missing shard). Mixed shard *counts* are
+/// fine as long as the slices tile the range.
+pub fn coverage_order(parts: &[(ShardSpec, usize)], total: usize) -> Result<Vec<usize>, String> {
+    for (shard, len) in parts {
+        let range = shard.range(total);
+        if range.len() != *len {
+            return Err(format!(
+                "shard {shard} should hold cells {}..{} ({} cells) but its report has {len} — \
+                 partial or truncated shard report",
+                range.start,
+                range.end,
+                range.len()
+            ));
+        }
+    }
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| {
+        let r = parts[i].0.range(total);
+        (r.start, r.end)
+    });
+    let mut covered = 0;
+    for &i in &order {
+        let (shard, _) = parts[i];
+        let range = shard.range(total);
+        // Empty slices (more shards than cells) contribute nothing and
+        // can never overlap or leave a gap — skip them entirely instead
+        // of letting their degenerate start position trip the checks.
+        if range.is_empty() {
+            continue;
+        }
+        if range.start < covered {
+            return Err(format!(
+                "overlapping shards: shard {shard} (cells {}..{}) overlaps cells already \
+                 covered up to {covered}",
+                range.start, range.end
+            ));
+        }
+        if range.start > covered {
+            return Err(format!(
+                "missing cells {covered}..{} — no shard report covers them",
+                range.start
+            ));
+        }
+        covered = range.end;
+    }
+    if covered != total {
+        return Err(format!("missing cells {covered}..{total} — no shard report covers them"));
+    }
+    Ok(order)
 }
 
 /// FNV-1a over a byte string — stable, dependency-free cell hashing.
@@ -220,6 +348,91 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(ShardSpec::parse("0/4").unwrap(), ShardSpec { index: 0, count: 4 });
+        assert_eq!(ShardSpec::parse("3/4").unwrap(), ShardSpec { index: 3, count: 4 });
+        for bad in ["", "4", "4/4", "5/4", "0/0", "-1/2", "a/b", "1/2/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        assert_eq!(ShardSpec { index: 1, count: 3 }.to_string(), "1/3");
+        assert_eq!(ShardSpec { index: 1, count: 3 }.suffix(), "_shard1of3");
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_total() {
+        for total in 0..24usize {
+            for count in 1..6usize {
+                let ranges: Vec<_> =
+                    (0..count).map(|index| ShardSpec { index, count }.range(total)).collect();
+                // Contiguous tiling: each slice starts where the previous ended.
+                assert_eq!(ranges[0].start, 0);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "total={total} count={count}");
+                }
+                assert_eq!(ranges.last().unwrap().end, total);
+                // Balanced to within one cell.
+                let (min, max) = ranges
+                    .iter()
+                    .map(std::ops::Range::len)
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(max - min <= 1, "unbalanced shards: total={total} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_order_accepts_exact_tilings_only() {
+        let s = |index, count| ShardSpec { index, count };
+        // A clean 3-way split, given out of order.
+        let order = coverage_order(&[(s(2, 3), 4), (s(0, 3), 3), (s(1, 3), 3)], 10).unwrap();
+        assert_eq!(order, vec![1, 2, 0]);
+        // Mixed shard counts that still tile the range are fine.
+        assert!(coverage_order(&[(s(0, 2), 5), (s(2, 4), 2), (s(3, 4), 3)], 10).is_ok());
+        // Duplicated shard → overlap.
+        let err = coverage_order(&[(s(0, 2), 5), (s(0, 2), 5)], 10).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // Missing shard → gap.
+        let err = coverage_order(&[(s(0, 2), 5)], 10).unwrap_err();
+        assert!(err.contains("missing cells 5..10"), "{err}");
+        // Truncated report (cell count disagrees with the slice).
+        let err = coverage_order(&[(s(0, 2), 4), (s(1, 2), 5)], 10).unwrap_err();
+        assert!(err.contains("partial or truncated"), "{err}");
+    }
+
+    #[test]
+    fn coverage_order_tolerates_empty_slices_in_any_order() {
+        // More shards than cells: total=2 split 4 ways gives two empty
+        // slices (0/4 → 0..0, 2/4 → 1..1) that share their start with a
+        // real slice. Every argument order must accept the tiling.
+        let s =
+            |index| (ShardSpec { index, count: 4 }, ShardSpec { index, count: 4 }.range(2).len());
+        let perms: [[usize; 4]; 4] = [[0, 1, 2, 3], [1, 0, 3, 2], [3, 2, 1, 0], [2, 3, 0, 1]];
+        for perm in perms {
+            let parts: Vec<_> = perm.iter().map(|&i| s(i)).collect();
+            assert!(coverage_order(&parts, 2).is_ok(), "rejected valid tiling {perm:?}");
+        }
+        // Dropping a non-empty slice still fails.
+        assert!(coverage_order(&[s(0), s(2), s(3)], 2).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_cells_and_survives_roundtrip() {
+        let cells = fig06_grid(false, 4, 42).cells();
+        let prints: std::collections::HashSet<u64> =
+            cells.iter().map(Scenario::fingerprint).collect();
+        assert_eq!(prints.len(), cells.len(), "fingerprint collision inside one grid");
+        // JSON round-trip preserves the fingerprint (the resume key).
+        for cell in cells.iter().take(5) {
+            let json = serde_json::to_string(cell).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.fingerprint(), cell.fingerprint());
+        }
+        // Changing the base seed changes every fingerprint.
+        let reseeded = fig06_grid(false, 4, 43).cells();
+        assert!(prints.is_disjoint(&reseeded.iter().map(Scenario::fingerprint).collect()));
     }
 
     #[test]

@@ -1,21 +1,41 @@
 //! Parallel experiment harness: env knobs, a crossbeam work-stealing
-//! worker pool with panic isolation, and structured grid results.
+//! worker pool with panic isolation, and structured grid results —
+//! sharded across processes and resumable after a kill.
 //!
 //! Grid cells are independent simulations, so the harness fans them out
 //! across threads and still produces **byte-identical** output to a
 //! serial run: every cell's RNG seed is a pure function of the cell
 //! itself (see [`crate::grid`]), results are written back by cell index,
-//! and wall-clock timing lives only at the report level. A cell that
-//! panics is isolated — its slot carries the panic message and every
-//! other cell completes normally.
+//! and wall-clock timing lives outside the serialized report (in
+//! [`RunStats`]). A cell that panics is isolated — its slot carries the
+//! panic message and every other cell completes normally.
+//!
+//! The same purity is what makes a grid bigger than one machine or one
+//! uninterrupted process tractable:
+//!
+//! * **Sharding** — [`GridExec`] runs one [`ShardSpec`] slice of the
+//!   flattened cell range; [`merge_reports`] recombines per-shard [`HarnessReport`]s
+//!   into a file byte-identical to an unsharded run, rejecting
+//!   overlapping or missing slices.
+//! * **Resume** — every completed cell is checkpointed to a
+//!   `*.partial.json` next to the report; a rerun loads prior
+//!   [`CellResult`]s (keyed by the scenario
+//!   [`fingerprint`](Scenario::fingerprint)), skips them, and executes
+//!   only the remainder, writing the same merged report the
+//!   uninterrupted run would have written.
+//!
+//! [`run_grid_bin`] wires both behaviours to the `EKYA_SHARD` and
+//! `EKYA_RESUME` environment knobs for the fig/table binaries.
 
-use crate::grid::{Grid, Scenario};
-use crate::save_json;
+use crate::grid::{coverage_order, Grid, Scenario, ShardSpec};
+use crate::{results_dir, save_json};
 use ekya_baselines::PolicyBuildCtx;
 use ekya_sim::{run_windows, RunReport, RunnerConfig};
 use ekya_video::StreamSet;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -31,28 +51,48 @@ use std::time::Instant;
 /// * `EKYA_SEED` — base RNG seed (default 42);
 /// * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run;
 /// * `EKYA_WORKERS` — harness worker threads (default: available
-///   hardware parallelism).
-#[derive(Debug, Clone, Copy)]
+///   hardware parallelism);
+/// * `EKYA_SHARD=i/N` — run only shard `i` of `N` of the grid's cell
+///   range (grid bins; see [`crate::grid::ShardSpec`]);
+/// * `EKYA_RESUME` — `1` to resume from this run's own previous report
+///   or checkpoint, or a path to resume from an explicit report file.
+///
+/// See `crates/ekya-bench/README.md` for the full operator guide.
+#[derive(Debug, Clone)]
 pub struct Knobs {
     windows: Option<usize>,
     streams: Option<usize>,
     seed: u64,
     quick: bool,
     workers: usize,
+    shard: Option<ShardSpec>,
+    resume: Option<String>,
 }
 
 impl Knobs {
     /// Reads every knob from the environment.
+    ///
+    /// # Panics
+    /// On a malformed `EKYA_SHARD` value — a typo silently running the
+    /// whole grid (and later merging as an overlap) would be far worse
+    /// than failing fast.
     pub fn from_env() -> Self {
         fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
             std::env::var(name).ok().and_then(|v| v.parse().ok())
         }
+        let shard = std::env::var("EKYA_SHARD")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(|v| ShardSpec::parse(&v).unwrap_or_else(|e| panic!("EKYA_SHARD: {e}")));
+        let resume = std::env::var("EKYA_RESUME").ok().filter(|v| !v.is_empty() && v != "0");
         Self {
             windows: parse("EKYA_WINDOWS"),
             streams: parse("EKYA_STREAMS"),
             seed: parse("EKYA_SEED").unwrap_or(42),
             quick: std::env::var("EKYA_QUICK").map(|v| v == "1").unwrap_or(false),
             workers: parse("EKYA_WORKERS").unwrap_or_else(default_workers),
+            shard,
+            resume,
         }
     }
 
@@ -82,6 +122,44 @@ impl Knobs {
     /// hardware parallelism).
     pub fn workers(&self) -> usize {
         self.workers.max(1)
+    }
+
+    /// The shard this process runs (`EKYA_SHARD=i/N`), or `None` for the
+    /// whole grid.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
+    }
+
+    /// The resume request (`EKYA_RESUME`): `Some("1")` to resume from
+    /// this run's own report/checkpoint, `Some(path)` for an explicit
+    /// prior report, `None` when unset (or `0`/empty).
+    pub fn resume(&self) -> Option<&str> {
+        self.resume.as_deref()
+    }
+
+    /// Warns (once, to stderr) when `EKYA_SHARD` is set but the calling
+    /// bin computes a bespoke workload that does not partition — so an
+    /// operator fanning a sweep across machines is told the knob is a
+    /// no-op here instead of silently duplicating the whole run N times.
+    pub fn warn_if_sharded(&self, bin: &str) {
+        if let Some(shard) = self.shard {
+            eprintln!(
+                "[{bin}: EKYA_SHARD={shard} ignored — this bin does not shard; \
+                 running the full workload]"
+            );
+        }
+    }
+
+    /// Warns (once, to stderr) when `EKYA_RESUME` is set but the calling
+    /// bin does not checkpoint/resume — the operator expecting a cheap
+    /// rerun is told everything recomputes instead of a silent no-op.
+    pub fn warn_if_resume(&self, bin: &str) {
+        if self.resume.is_some() {
+            eprintln!(
+                "[{bin}: EKYA_RESUME ignored — this bin does not resume; \
+                 recomputing from scratch]"
+            );
+        }
     }
 }
 
@@ -211,18 +289,29 @@ pub struct CellResult {
     pub error: Option<String>,
 }
 
-/// The outcome of a full grid run, serialized to `results/*.json`.
+/// The outcome of a grid run (or one shard of it), serialized to
+/// `results/*.json`.
+///
+/// Every field is a **deterministic** function of the grid and the shard
+/// — wall-clock timing, worker counts, and resume bookkeeping live in
+/// [`RunStats`], which is printed but never serialized here. That split
+/// is what makes the sharding/resume guarantees byte-exact: the merged
+/// union of `N` shard reports, and the report of a resumed run, are
+/// *identical files* to the one an uninterrupted single-process run
+/// writes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HarnessReport {
-    /// Worker threads used.
-    pub workers: usize,
-    /// Wall-clock seconds for the whole grid.
-    pub wall_secs: f64,
-    /// Throughput: completed cells per wall-clock second.
-    pub cells_per_sec: f64,
-    /// Number of poisoned cells.
+    /// Grid identity — the bin name for reports written by
+    /// [`run_grid_bin`]. Merging rejects mismatched names.
+    pub name: String,
+    /// Cells in the **full** (unsharded) grid enumeration.
+    pub total_cells: usize,
+    /// The shard this report covers (`None` = the whole grid).
+    pub shard: Option<ShardSpec>,
+    /// Number of poisoned cells in this report.
     pub failed: usize,
-    /// Per-cell results, in grid enumeration order.
+    /// Per-cell results, in grid enumeration order (a shard report holds
+    /// the contiguous `shard.range(total_cells)` slice).
     pub cells: Vec<CellResult>,
 }
 
@@ -231,6 +320,52 @@ impl HarnessReport {
     pub fn accuracy_where<F: Fn(&CellResult) -> bool>(&self, pred: F) -> Option<f64> {
         self.cells.iter().find(|c| c.error.is_none() && pred(c)).map(|c| c.mean_accuracy)
     }
+
+    /// True when this report covers the whole grid (not a shard, no
+    /// missing cells) — the precondition for the bins' whole-grid tables
+    /// and headline comparisons.
+    pub fn is_complete(&self) -> bool {
+        self.shard.is_none() && self.cells.len() == self.total_cells
+    }
+
+    /// The error-free cells of this report keyed by their scenario
+    /// fingerprint — the prior map the resume layer feeds to
+    /// [`GridExec::prior`]. Poisoned cells are excluded so a resumed run
+    /// retries them.
+    pub fn prior_cells(&self) -> HashMap<u64, CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.error.is_none())
+            .map(|c| (c.scenario.fingerprint(), c.clone()))
+            .collect()
+    }
+}
+
+/// Timing and resume bookkeeping for one [`GridExec::run`] — printed by
+/// the bins, recorded in [`BenchRecord`], deliberately **not** part of
+/// the serialized [`HarnessReport`] (see there).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds spent executing cells (excludes resumed ones).
+    pub wall_secs: f64,
+    /// Throughput: executed cells per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Cells actually executed by this run.
+    pub executed: usize,
+    /// Cells skipped because a prior result was resumed.
+    pub resumed: usize,
+}
+
+/// A [`HarnessReport`] together with the [`RunStats`] of the run that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRun {
+    /// The deterministic report.
+    pub report: HarnessReport,
+    /// How the run went (timing, resume counts).
+    pub stats: RunStats,
 }
 
 /// Runs one scenario end to end: generate its streams, build its policy
@@ -252,53 +387,386 @@ pub fn run_scenario(sc: &Scenario, holdout_seed: u64) -> CellResult {
     }
 }
 
-/// Fans a grid out across `workers` threads and collects every cell.
-pub fn run_grid(grid: &Grid, workers: usize) -> HarnessReport {
-    let cells = grid.cells();
-    let started = Instant::now();
-    let results = run_parallel(cells, workers, |_, sc: Scenario| {
-        let holdout = grid.holdout_seed(sc.dataset);
-        run_scenario(&sc, holdout)
-    });
-    let wall_secs = started.elapsed().as_secs_f64();
-    finish_report(results, grid.cells(), workers, wall_secs)
+/// Configured grid execution: which slice of the grid to run, what prior
+/// results to reuse, and where to checkpoint progress.
+///
+/// The plain [`run_grid`] wrapper covers the common whole-grid case;
+/// bins go through [`run_grid_bin`], which builds a `GridExec` from the
+/// environment knobs.
+#[derive(Debug, Clone, Default)]
+pub struct GridExec {
+    /// Grid identity stamped into the report (the bin name).
+    pub name: String,
+    /// Worker threads for the cell fan-out.
+    pub workers: usize,
+    /// Run only this slice of the flattened cell range.
+    pub shard: Option<ShardSpec>,
+    /// Prior results keyed by scenario fingerprint
+    /// ([`HarnessReport::prior_cells`]); matching cells are not re-run.
+    pub prior: HashMap<u64, CellResult>,
+    /// When set, the partial report is rewritten here after every
+    /// completed cell (atomically, via a `.tmp` sibling), so a killed
+    /// run loses at most the cells in flight.
+    pub checkpoint: Option<PathBuf>,
 }
 
-/// Assembles a [`HarnessReport`], backfilling poisoned slots from the
-/// original cell list.
-fn finish_report(
-    results: Vec<Result<CellResult, String>>,
-    cells: Vec<Scenario>,
-    workers: usize,
-    wall_secs: f64,
-) -> HarnessReport {
-    let mut failed = 0;
-    let cells: Vec<CellResult> = results
-        .into_iter()
-        .zip(cells)
-        .map(|(r, sc)| match r {
-            Ok(cell) => cell,
-            Err(message) => {
-                failed += 1;
-                CellResult {
+impl GridExec {
+    /// A whole-grid execution with no resume and no checkpointing.
+    pub fn new(name: impl Into<String>, workers: usize) -> Self {
+        Self { name: name.into(), workers, ..Self::default() }
+    }
+
+    /// Restricts the run to one shard of the cell range.
+    pub fn shard(mut self, shard: Option<ShardSpec>) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Supplies prior results to resume from.
+    pub fn prior(mut self, prior: HashMap<u64, CellResult>) -> Self {
+        self.prior = prior;
+        self
+    }
+
+    /// Enables per-cell checkpointing to `path`.
+    pub fn checkpoint(mut self, path: Option<PathBuf>) -> Self {
+        self.checkpoint = path;
+        self
+    }
+
+    /// Executes the configured slice of `grid` and assembles the report.
+    ///
+    /// Cells whose fingerprint hits `prior` are reused verbatim (and
+    /// count as `resumed` in the stats); the remainder fan out across
+    /// the worker pool, checkpointing each completion when configured.
+    /// The returned report is identical to what an unresumed run of the
+    /// same slice produces — resume can only skip work, never change it.
+    pub fn run(&self, grid: &Grid) -> GridRun {
+        let all = grid.cells();
+        let total = all.len();
+        let range = self.shard.map_or(0..total, |s| s.range(total));
+
+        // Split the slice into resumed hits and cells still to execute,
+        // remembering each cell's global grid index.
+        let mut done: BTreeMap<usize, CellResult> = BTreeMap::new();
+        let mut pending: Vec<(usize, Scenario)> = Vec::new();
+        for (idx, sc) in all.into_iter().enumerate().take(range.end).skip(range.start) {
+            match self.prior.get(&sc.fingerprint()) {
+                Some(hit) => {
+                    done.insert(idx, hit.clone());
+                }
+                None => pending.push((idx, sc)),
+            }
+        }
+        let resumed = done.len();
+        let executed = pending.len();
+
+        // Checkpoint state starts from the resumed cells, so a partial
+        // file always holds *everything* completed so far.
+        let ckpt = self
+            .checkpoint
+            .as_ref()
+            .map(|path| (path.as_path(), Mutex::new(done.clone()), Mutex::new(0usize)));
+        let envelope = (self.name.as_str(), total, self.shard);
+
+        let started = Instant::now();
+        let results =
+            run_parallel(pending.clone(), self.workers, |_, (idx, sc): (usize, Scenario)| {
+                let holdout = grid.holdout_seed(sc.dataset);
+                let cell = run_scenario(&sc, holdout);
+                if let Some((path, state, written)) = &ckpt {
+                    // Record under the state lock; serialize and write
+                    // under a separate IO lock so other cells keep
+                    // completing while the checkpoint hits the disk. The
+                    // cell count is monotonic (inserts only), so a writer
+                    // that waited behind a later completion finds its
+                    // sequence already covered and skips: queued writers
+                    // collapse into the newest one, and only the winner
+                    // pays for the snapshot clone — taken *after* winning,
+                    // so it includes every completion to date.
+                    let seq = {
+                        let mut state = state.lock().expect("checkpoint state");
+                        state.insert(idx, cell.clone());
+                        state.len()
+                    };
+                    let mut written = written.lock().expect("checkpoint io");
+                    if *written < seq {
+                        let snapshot = state.lock().expect("checkpoint state").clone();
+                        *written = snapshot.len();
+                        write_checkpoint(path, envelope, snapshot);
+                    }
+                }
+                cell
+            });
+        let wall_secs = started.elapsed().as_secs_f64();
+
+        // Merge fresh results (poisoned slots backfilled from the
+        // scenario) with the resumed cells, in global grid order.
+        for ((idx, sc), result) in pending.into_iter().zip(results) {
+            let cell = match result {
+                Ok(cell) => cell,
+                Err(message) => CellResult {
                     policy: sc.policy.label(),
                     scenario: sc,
                     mean_accuracy: 0.0,
                     retrain_rate: 0.0,
                     report: None,
                     error: Some(message),
-                }
-            }
-        })
-        .collect();
-    let n = cells.len();
-    HarnessReport {
-        workers,
-        wall_secs,
-        cells_per_sec: if wall_secs > 0.0 { n as f64 / wall_secs } else { 0.0 },
-        failed,
-        cells,
+                },
+            };
+            done.insert(idx, cell);
+        }
+        let cells: Vec<CellResult> = done.into_values().collect();
+        let failed = cells.iter().filter(|c| c.error.is_some()).count();
+
+        GridRun {
+            report: HarnessReport {
+                name: self.name.clone(),
+                total_cells: total,
+                shard: self.shard,
+                failed,
+                cells,
+            },
+            stats: RunStats {
+                workers: self.workers,
+                wall_secs,
+                cells_per_sec: if wall_secs > 0.0 && executed > 0 {
+                    executed as f64 / wall_secs
+                } else {
+                    0.0
+                },
+                executed,
+                resumed,
+            },
+        }
     }
+}
+
+/// Fans a whole grid out across `workers` threads and collects every
+/// cell — the no-shard, no-resume convenience wrapper over [`GridExec`].
+pub fn run_grid(grid: &Grid, workers: usize) -> GridRun {
+    GridExec::new("grid", workers).run(grid)
+}
+
+/// Atomically rewrites the checkpoint file with every completed cell so
+/// far (in grid order). Failures are swallowed: checkpointing is a
+/// best-effort safety net and must never poison the run itself.
+fn write_checkpoint(
+    path: &Path,
+    (name, total_cells, shard): (&str, usize, Option<ShardSpec>),
+    done: BTreeMap<usize, CellResult>,
+) {
+    // The snapshot is owned — move the cells into the report instead of
+    // paying a second deep clone per checkpoint.
+    let cells: Vec<CellResult> = done.into_values().collect();
+    let failed = cells.iter().filter(|c| c.error.is_some()).count();
+    let partial = HarnessReport { name: name.to_string(), total_cells, shard, failed, cells };
+    let Ok(json) = serde_json::to_string_pretty(&partial) else { return };
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard merging + report files
+// ---------------------------------------------------------------------
+
+/// Combines per-shard [`HarnessReport`]s into the single report an
+/// unsharded run would have written — byte-identical once serialized.
+///
+/// Rejects, with a descriptive error: an empty input; mismatched grid
+/// names or `total_cells` (shards of different grids); an unsharded
+/// report mixed into a multi-report merge; overlapping or missing cell
+/// ranges; truncated shard reports (see [`coverage_order`]); and shards
+/// run under inconsistent knobs (mismatched `EKYA_SEED`/`EKYA_WINDOWS`
+/// on one of the machines — detected from the scenarios the cells
+/// embed). A single already complete report passes through unchanged.
+pub fn merge_reports(reports: &[HarnessReport]) -> Result<HarnessReport, String> {
+    let first = reports.first().ok_or("no reports to merge")?;
+    if let [only] = reports {
+        if only.is_complete() {
+            return Ok(only.clone());
+        }
+        if only.shard.is_none() {
+            // e.g. a lone .partial.json checkpoint: never promote a
+            // truncated report to the canonical output.
+            return Err(format!(
+                "report `{}` is unsharded but holds {} of {} cells — \
+                 partial or truncated, nothing to merge it with",
+                only.name,
+                only.cells.len(),
+                only.total_cells
+            ));
+        }
+    }
+    for r in reports {
+        if r.name != first.name || r.total_cells != first.total_cells {
+            return Err(format!(
+                "cannot merge reports of different grids: `{}` ({} cells) vs `{}` ({} cells)",
+                first.name, first.total_cells, r.name, r.total_cells
+            ));
+        }
+    }
+    let parts: Vec<(ShardSpec, usize)> = reports
+        .iter()
+        .map(|r| {
+            r.shard
+                .map(|s| (s, r.cells.len()))
+                .ok_or_else(|| format!("report `{}` is not a shard (already complete)", r.name))
+        })
+        .collect::<Result<_, _>>()?;
+    let order = coverage_order(&parts, first.total_cells)?;
+
+    let mut cells = Vec::with_capacity(first.total_cells);
+    for &i in &order {
+        cells.extend(reports[i].cells.iter().cloned());
+    }
+
+    // Cross-shard knob consistency. Names and ranges tiling is not
+    // enough: a machine that ran its shard with a different EKYA_SEED or
+    // EKYA_WINDOWS produces a structurally valid but scientifically
+    // mixed report. Within one grid every cell shares the windows axis,
+    // and the seed is a pure function of (dataset, streams, windows) —
+    // so any divergence inside those groups exposes the mix.
+    let mut windows_axis: Option<usize> = None;
+    let mut seeds: HashMap<(&str, usize), u64> = HashMap::new();
+    for c in &cells {
+        let w = windows_axis.get_or_insert(c.scenario.windows);
+        if *w != c.scenario.windows {
+            return Err(format!(
+                "inconsistent shards: cell `{}` ran {} windows while others ran {} — \
+                 was EKYA_WINDOWS set differently on one machine?",
+                c.scenario.label(),
+                c.scenario.windows,
+                w
+            ));
+        }
+        let key = (c.scenario.dataset.name(), c.scenario.streams);
+        let seed = seeds.entry(key).or_insert(c.scenario.seed);
+        if *seed != c.scenario.seed {
+            return Err(format!(
+                "inconsistent shards: cell `{}` carries seed {} while an identical workload \
+                 carries {} — was EKYA_SEED set differently on one machine?",
+                c.scenario.label(),
+                c.scenario.seed,
+                seed
+            ));
+        }
+    }
+
+    Ok(HarnessReport {
+        name: first.name.clone(),
+        total_cells: first.total_cells,
+        shard: None,
+        failed: reports.iter().map(|r| r.failed).sum(),
+        cells,
+    })
+}
+
+/// The canonical path of a (possibly sharded) grid bin's report:
+/// `results/<name>.json`, with the shard suffix (`_shard0of2`) when
+/// sharded — so concurrent shard runs of one bin never clobber each
+/// other's output.
+pub fn report_path(name: &str, shard: Option<ShardSpec>) -> PathBuf {
+    let suffix = shard.map(|s| s.suffix()).unwrap_or_default();
+    results_dir().join(format!("{name}{suffix}.json"))
+}
+
+/// Reads and parses a [`HarnessReport`] from `path`.
+pub fn load_report(path: &Path) -> Result<HarnessReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Loads the prior-cell map for a resume request: the report at `path`
+/// if it parses, else the `.partial.json` checkpoint a killed run left
+/// behind. A missing or unparseable prior is not an error — the run
+/// simply starts fresh (a kill can interrupt the checkpoint write
+/// itself, and refusing to run then would defeat resume's purpose).
+fn load_prior(final_path: &Path, partial_path: &Path) -> (HashMap<u64, CellResult>, String) {
+    for path in [final_path, partial_path] {
+        match load_report(path) {
+            Ok(report) => {
+                let prior = report.prior_cells();
+                let source = format!("{} ({} usable cells)", path.display(), prior.len());
+                return (prior, source);
+            }
+            Err(_) if !path.exists() => continue,
+            Err(e) => eprintln!("[resume: ignoring unusable prior — {e}]"),
+        }
+    }
+    (HashMap::new(), "nothing usable — starting fresh".to_string())
+}
+
+/// The environment-driven front door for grid bins: applies the
+/// `EKYA_SHARD` slice, resumes from a prior report when `EKYA_RESUME` is
+/// set, checkpoints every completed cell, saves the final report to
+/// [`report_path`], and removes the checkpoint on success.
+///
+/// Returns the run so the bin can print tables (gated on
+/// [`HarnessReport::is_complete`]) and stats.
+pub fn run_grid_bin(name: &str, grid: &Grid, knobs: &Knobs) -> GridRun {
+    let shard = knobs.shard();
+    let out = report_path(name, shard);
+    let partial = out.with_extension("partial.json");
+
+    let prior = match knobs.resume() {
+        None => HashMap::new(),
+        Some("1") => {
+            let (prior, source) = load_prior(&out, &partial);
+            eprintln!("[{name}: EKYA_RESUME=1 — prior from {source}]");
+            prior
+        }
+        Some(path) => {
+            let path = PathBuf::from(path);
+            let report = load_report(&path)
+                .unwrap_or_else(|e| panic!("EKYA_RESUME points at an unusable report: {e}"));
+            let prior = report.prior_cells();
+            eprintln!(
+                "[{name}: EKYA_RESUME — prior from {} ({} usable cells)]",
+                path.display(),
+                prior.len()
+            );
+            prior
+        }
+    };
+
+    let total = grid.cells().len();
+    let slice = shard.map_or(0..total, |s| s.range(total));
+    eprintln!(
+        "[{name}: {total} cells total{}; {} to run across {} workers]",
+        shard
+            .map(|s| format!("; shard {s} → cells {}..{}", slice.start, slice.end))
+            .unwrap_or_default(),
+        slice.len(),
+        knobs.workers(),
+    );
+
+    // The checkpoint lives under results/ — create it *before* the run,
+    // or every per-cell checkpoint write on a fresh checkout fails
+    // silently and a killed first run has nothing to resume from.
+    let _ = std::fs::create_dir_all(results_dir());
+    let run = GridExec::new(name, knobs.workers())
+        .shard(shard)
+        .prior(prior)
+        .checkpoint(Some(partial.clone()))
+        .run(grid);
+
+    if run.stats.resumed > 0 {
+        eprintln!("[{name}: resumed {} cells, executed {}]", run.stats.resumed, run.stats.executed);
+    }
+    // Write to the same `out` the resume/checkpoint paths were derived
+    // from; remove the checkpoint only once the final report has landed.
+    match crate::write_json(&out, &run.report) {
+        Ok(()) => {
+            println!("\n[results written to {}]", out.display());
+            let _ = std::fs::remove_file(&partial);
+        }
+        Err(e) => eprintln!("failed to save {name}: {e}"),
+    }
+    run
 }
 
 // ---------------------------------------------------------------------
@@ -338,12 +806,116 @@ mod tests {
     #[test]
     fn knobs_fall_back_to_defaults() {
         // Not set in the test environment → per-bin defaults apply.
-        let knobs = Knobs { windows: None, streams: None, seed: 42, quick: false, workers: 3 };
+        let knobs = Knobs {
+            windows: None,
+            streams: None,
+            seed: 42,
+            quick: false,
+            workers: 3,
+            shard: None,
+            resume: None,
+        };
         assert_eq!(knobs.windows(6), 6);
         assert_eq!(knobs.streams(10), 10);
         assert_eq!(knobs.seed(), 42);
         assert!(!knobs.quick());
         assert_eq!(knobs.workers(), 3);
+        assert_eq!(knobs.shard(), None);
+        assert_eq!(knobs.resume(), None);
+    }
+
+    /// A fabricated cell (no simulation) for merge/prior unit tests.
+    fn fake_cell(streams: usize, error: Option<&str>) -> CellResult {
+        use ekya_baselines::PolicySpec;
+        use ekya_video::DatasetKind;
+        let scenario = Scenario {
+            dataset: DatasetKind::Waymo,
+            streams,
+            gpus: 1.0,
+            windows: 2,
+            policy: PolicySpec::Ekya,
+            seed: 7,
+        };
+        CellResult {
+            policy: "Ekya".into(),
+            scenario,
+            mean_accuracy: 0.5,
+            retrain_rate: 0.5,
+            report: None,
+            error: error.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn prior_cells_skips_poisoned_cells() {
+        let report = HarnessReport {
+            name: "t".into(),
+            total_cells: 2,
+            shard: None,
+            failed: 1,
+            cells: vec![fake_cell(1, None), fake_cell(2, Some("boom"))],
+        };
+        let prior = report.prior_cells();
+        // Only the healthy cell is resumable; the poisoned one re-runs.
+        assert_eq!(prior.len(), 1);
+        let key = fake_cell(1, None).scenario.fingerprint();
+        assert!(prior.contains_key(&key));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_grids_and_unsharded_inputs() {
+        let shard0 = HarnessReport {
+            name: "a".into(),
+            total_cells: 2,
+            shard: Some(ShardSpec { index: 0, count: 2 }),
+            failed: 0,
+            cells: vec![fake_cell(1, None)],
+        };
+        let other_name = HarnessReport { name: "b".into(), ..shard0.clone() };
+        let err = merge_reports(&[shard0.clone(), other_name]).unwrap_err();
+        assert!(err.contains("different grids"), "{err}");
+
+        let unsharded = HarnessReport { shard: None, ..shard0.clone() };
+        let err = merge_reports(&[shard0.clone(), unsharded.clone()]).unwrap_err();
+        assert!(err.contains("not a shard"), "{err}");
+
+        // A lone unsharded report must be complete to pass through — a
+        // truncated checkpoint is never promoted to canonical output.
+        let err = merge_reports(std::slice::from_ref(&unsharded)).unwrap_err();
+        assert!(err.contains("partial or truncated"), "{err}");
+        let complete = HarnessReport {
+            shard: None,
+            cells: vec![fake_cell(1, None), fake_cell(2, None)],
+            ..shard0.clone()
+        };
+        assert_eq!(merge_reports(std::slice::from_ref(&complete)).unwrap(), complete);
+        assert!(merge_reports(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_shards_run_under_different_knobs() {
+        let shard = |index, cell: CellResult| HarnessReport {
+            name: "t".into(),
+            total_cells: 2,
+            shard: Some(ShardSpec { index, count: 2 }),
+            failed: 0,
+            cells: vec![cell],
+        };
+        // Same workload coordinates, different seed: one machine forgot
+        // the EKYA_SEED override.
+        let mut reseeded = fake_cell(1, None);
+        reseeded.scenario.seed = 99;
+        let err = merge_reports(&[shard(0, fake_cell(1, None)), shard(1, reseeded)]).unwrap_err();
+        assert!(err.contains("EKYA_SEED"), "{err}");
+        // Different windows axis: one machine forgot EKYA_WINDOWS.
+        let mut rewindowed = fake_cell(2, None);
+        rewindowed.scenario.windows = 9;
+        let err = merge_reports(&[shard(0, fake_cell(1, None)), shard(1, rewindowed)]).unwrap_err();
+        assert!(err.contains("EKYA_WINDOWS"), "{err}");
+        // Consistent shards still merge.
+        assert!(
+            merge_reports(&[shard(0, fake_cell(1, None)), shard(1, fake_cell(2, None))]).is_ok()
+        );
     }
 
     #[test]

@@ -19,15 +19,26 @@
 //! * `EKYA_SEED` — override the base RNG seed;
 //! * `EKYA_QUICK=1` — shrink sweeps for a fast smoke run;
 //! * `EKYA_WORKERS` — harness worker threads (default: hardware
-//!   parallelism).
+//!   parallelism);
+//! * `EKYA_SHARD=i/N` — run shard `i` of `N` of a grid bin's cell range
+//!   (merge the per-shard reports with the `grid_merge` bin);
+//! * `EKYA_RESUME` — resume a killed or partial run from its previous
+//!   report/checkpoint (`1`), or from an explicit report path.
+//!
+//! The full operator guide — every knob, the report JSON schema, worked
+//! sharding/resume examples, and the determinism guarantees — lives in
+//! `crates/ekya-bench/README.md`.
 
+pub mod config_profile;
 pub mod grid;
 pub mod harness;
 
-pub use grid::{cell_seed, fig06_grid, fnv1a, Grid, Scenario};
+pub use config_profile::{merge_config_shards, pareto_flags, ConfigPoint, ConfigShard};
+pub use grid::{cell_seed, coverage_order, fig06_grid, fnv1a, Grid, Scenario, ShardSpec};
 pub use harness::{
-    default_workers, run_grid, run_parallel, run_scenario, save_bench_record, BenchRecord,
-    CellResult, HarnessReport, Knobs,
+    default_workers, load_report, merge_reports, report_path, run_grid, run_grid_bin, run_parallel,
+    run_scenario, save_bench_record, BenchRecord, CellResult, GridExec, GridRun, HarnessReport,
+    Knobs, RunStats,
 };
 
 use serde::Serialize;
@@ -89,21 +100,37 @@ impl Table {
     }
 }
 
+/// Writes `value` as pretty-printed JSON to `path`, creating the parent
+/// directory first. The single place result files are produced — every
+/// writer (bins via [`save_json`], the harness's reports, `grid_merge`)
+/// goes through it, so the on-disk format can never diverge between
+/// them (the byte-identity guarantees depend on that).
+pub fn write_json<T: Serialize>(path: &std::path::Path, value: &T) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialise {}: {e}", path.display()))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 /// Writes a serialisable result to `results/<name>.json` (relative to the
 /// workspace root when run via cargo, else the current directory).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if std::fs::write(&path, json).is_ok() {
-                println!("\n[results written to {}]", path.display());
-            }
+/// Returns the written path on success, `None` when serialization or IO
+/// failed (after printing the error) — callers that chain follow-up
+/// actions (e.g. removing a checkpoint) key off the return value.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    match write_json(&path, value) {
+        Ok(()) => {
+            println!("\n[results written to {}]", path.display());
+            Some(path)
         }
-        Err(e) => eprintln!("failed to serialise {name}: {e}"),
+        Err(e) => {
+            eprintln!("failed to save {name}: {e}");
+            None
+        }
     }
 }
 

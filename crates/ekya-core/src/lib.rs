@@ -39,7 +39,9 @@ pub use config::{
 pub use estimator::{estimate_window, AccuracyEstimate, EstimateParams, RetrainWork};
 pub use exec::{build_variant, RetrainExecution, TrainHyper};
 pub use knapsack::optimal_schedule;
-pub use microprofiler::{exhaustive_profile, MicroProfiler, MicroProfilerParams, ProfileOutput};
+pub use microprofiler::{
+    exhaustive_profile, profile_config, MicroProfiler, MicroProfilerParams, ProfileOutput,
+};
 pub use policy::{
     EkyaPolicy, InFlight, PlannedRetrain, Policy, PolicyCtx, PolicyStream, ReplanStream,
     StreamPlan, WindowPlan,

@@ -250,11 +250,46 @@ impl MicroProfiler {
     }
 }
 
+/// Ground-truth profiling of **one** configuration: retrains it to
+/// completion on the full window data and measures the final accuracy.
+///
+/// This is the per-config unit [`exhaustive_profile`] iterates over. It
+/// exists as a standalone function so callers that fan a configuration
+/// grid out across threads (or across machines, via the experiment
+/// harness's shard layer) can profile each configuration independently —
+/// the result depends only on the arguments, never on which other
+/// configurations are profiled alongside it, so splitting the config
+/// slice keeps every number identical.
+///
+/// Returns `(final_accuracy, gpu_seconds_spent)`.
+#[allow(clippy::too_many_arguments)] // mirrors the micro-profiler's profiling interface
+pub fn profile_config(
+    model: &Mlp,
+    train_pool: &[Sample],
+    val: &[Sample],
+    config: RetrainConfig,
+    num_classes: usize,
+    hyper: TrainHyper,
+    cost: &CostModel,
+    seed: u64,
+) -> (f64, f64) {
+    let mut exec =
+        crate::exec::RetrainExecution::new(model, train_pool, config, num_classes, hyper, seed);
+    let per_epoch =
+        cost.train_epoch_gpu_seconds(exec.model(), exec.num_samples(), config.batch_size);
+    exec.run_to_completion();
+    (exec.accuracy(val), per_epoch * config.epochs as f64)
+}
+
 /// Ground-truth profiling: actually retrains every configuration to
 /// completion on the full window data and measures the final accuracy.
 /// This is what the micro-profiler avoids; it exists to quantify the
 /// micro-profiler's estimation error (Fig 11a) and cost advantage (the
 /// ~100x claim).
+///
+/// Every configuration is profiled with the same `seed` (see
+/// [`profile_config`] for the per-config unit, which callers wanting
+/// per-config seeding invoke directly).
 ///
 /// Returns `(final_accuracies, gpu_seconds_spent)` aligned with `configs`.
 #[allow(clippy::too_many_arguments)] // mirrors the micro-profiler's profiling interface
@@ -270,20 +305,11 @@ pub fn exhaustive_profile(
 ) -> (Vec<f64>, f64) {
     let mut accs = Vec::with_capacity(configs.len());
     let mut gpu_seconds = 0.0;
-    for config in configs {
-        let mut exec = crate::exec::RetrainExecution::new(
-            model,
-            train_pool,
-            *config,
-            num_classes,
-            hyper,
-            seed,
-        );
-        let per_epoch =
-            cost.train_epoch_gpu_seconds(exec.model(), exec.num_samples(), config.batch_size);
-        exec.run_to_completion();
-        gpu_seconds += per_epoch * config.epochs as f64;
-        accs.push(exec.accuracy(val));
+    for &config in configs {
+        let (acc, spent) =
+            profile_config(model, train_pool, val, config, num_classes, hyper, cost, seed);
+        gpu_seconds += spent;
+        accs.push(acc);
     }
     (accs, gpu_seconds)
 }

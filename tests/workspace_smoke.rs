@@ -79,10 +79,26 @@ fn harness_symbols_importable() {
     let _ = std::any::type_name::<ekya_bench::CellResult>();
     let _ = std::any::type_name::<ekya_bench::HarnessReport>();
     let _ = std::any::type_name::<ekya_bench::BenchRecord>();
-    let _ = ekya_bench::run_grid as fn(&ekya_bench::Grid, usize) -> ekya_bench::HarnessReport;
+    let _ = ekya_bench::run_grid as fn(&ekya_bench::Grid, usize) -> ekya_bench::GridRun;
     let _ = ekya_bench::fig06_grid as fn(bool, usize, u64) -> ekya_bench::Grid;
     let _ = ekya_bench::cell_seed as *const ();
     let _ = ekya_bench::run_parallel::<u8, u8, fn(usize, u8) -> u8> as *const ();
+
+    // Sharded + resumable execution surface (EKYA_SHARD / EKYA_RESUME +
+    // the grid_merge bin ride on these).
+    let _ = std::any::type_name::<ekya_bench::ShardSpec>();
+    let _ = std::any::type_name::<ekya_bench::GridExec>();
+    let _ = std::any::type_name::<ekya_bench::GridRun>();
+    let _ = std::any::type_name::<ekya_bench::RunStats>();
+    let _ = std::any::type_name::<ekya_bench::ConfigPoint>();
+    let _ = std::any::type_name::<ekya_bench::ConfigShard>();
+    let _ = ekya_bench::merge_reports
+        as fn(&[ekya_bench::HarnessReport]) -> Result<ekya_bench::HarnessReport, String>;
+    let _ = ekya_bench::merge_config_shards as *const ();
+    let _ = ekya_bench::run_grid_bin as *const ();
+    let _ = ekya_bench::load_report as *const ();
+    let _ = ekya_bench::report_path as *const ();
+    let _ = ekya_bench::coverage_order as *const ();
 
     // The pool's building blocks in the crossbeam shim.
     let _ = std::any::type_name::<crossbeam::deque::Injector<u8>>();

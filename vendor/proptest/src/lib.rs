@@ -1,6 +1,6 @@
 //! Vendored API-subset shim of `proptest`.
 //!
-//! Provides the [`Strategy`] trait (ranges, tuples, `prop_map`,
+//! Provides the [`Strategy`](strategy::Strategy) trait (ranges, tuples, `prop_map`,
 //! `prop::collection::vec`) and the [`proptest!`] / [`prop_assert!`] /
 //! [`prop_assert_eq!`] macros. Each property runs a fixed number of
 //! deterministic random cases (seeded from the test name), with no
@@ -119,7 +119,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`]: a fixed size or a range of sizes.
+    /// Length bounds for [`vec()`]: a fixed size or a range of sizes.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -150,7 +150,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -1,6 +1,6 @@
 //! Vendored API-subset shim of `serde_json`: [`to_string`],
 //! [`to_string_pretty`], and [`from_str`] over the `serde` shim's
-//! concrete [`Value`](serde::Value) data model. Emits and parses
+//! concrete [`Value`] data model. Emits and parses
 //! standard JSON (string escapes, exact integers, shortest-round-trip
 //! floats via Rust's `Display`).
 
