@@ -3,9 +3,10 @@
 #
 #   ./ci.sh quick   — fmt + clippy + a quick-mode harness smoke across
 #                     several bins (including a 2-shard + grid_merge
-#                     byte-identity check) + the harness perf gate.
-#                     Minutes, not tens of minutes; what the CI quick
-#                     job runs.
+#                     byte-identity check and a supervised ekya_grid run
+#                     with an injected shard kill) + the harness perf
+#                     gate. Minutes, not tens of minutes; what the CI
+#                     quick job runs.
 #   ./ci.sh full    — the complete sweep: formatting, lints, rustdoc
 #                     (deny warnings), the release build, every target
 #                     (examples, benches, bins), and the full test
@@ -29,14 +30,15 @@ case "$MODE" in
   quick)
     lint
 
-    echo "==> cargo build --release -p ekya-bench (harness bins)"
-    cargo build --release -p ekya-bench --bins
+    echo "==> cargo build --release -p ekya-bench -p ekya-orchestrate (harness + launcher bins)"
+    cargo build --release -p ekya-bench -p ekya-orchestrate --bins
 
     # Quick-mode grid smoke across several bins: the declarative grids
     # shrink under EKYA_QUICK=1 and the harness fans them out across
     # EKYA_WORKERS threads. harness_bench additionally asserts that the
-    # parallel run is byte-identical to the serial run and writes
-    # results/BENCH_harness.json for the perf gate.
+    # parallel run is byte-identical to the serial run (for the fig06
+    # grid and the fig03 config sweep) and appends the measurements to
+    # the results/BENCH_series.json trajectory for the perf gate.
     echo "==> harness smoke: fig06_streams (quick grid)"
     EKYA_QUICK=1 EKYA_WINDOWS=2 cargo run --release -q -p ekya-bench --bin fig06_streams
 
@@ -56,6 +58,23 @@ case "$MODE" in
       -o results/fig06_streams.json
     cmp results/fig06_streams.json target/fig06_unsharded.json
     echo "    shard union ≡ unsharded ✓"
+
+    # Supervised execution smoke: one ekya_grid command replaces the
+    # N-terminal workflow above — it plans the same quick grid across 4
+    # shard processes, kills shard 0 on purpose after its first cell,
+    # retries it with resume, merges in-process, and verifies the merged
+    # report against the unsharded reference. The plain cmp repeats the
+    # byte-identity check independently of the supervisor's own verify.
+    echo "==> orchestrator smoke: ekya_grid run (4 shards, 1 injected kill) ≡ unsharded"
+    rm -rf target/orchestrate_smoke
+    EKYA_QUICK=1 EKYA_WINDOWS=2 cargo run --release -q -p ekya-orchestrate --bin ekya_grid -- \
+      run --bin fig06_streams --shards 4 --max-retries 2 --inject-crash 0:1 \
+      --backoff-ms 100 --run-dir target/orchestrate_smoke --no-promote \
+      --verify-against target/fig06_unsharded.json
+    cargo run --release -q -p ekya-orchestrate --bin ekya_grid -- \
+      status --run-dir target/orchestrate_smoke
+    cmp target/orchestrate_smoke/fig06_streams.json target/fig06_unsharded.json
+    echo "    supervised run (crash-retried) ≡ unsharded ✓"
 
     echo "==> harness smoke: fig08_factors (quick replay grid)"
     EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Harness perf-regression gate.
 #
-# Compares the freshly-measured results/BENCH_harness.json (written by
-# the harness_bench bin) against a baseline and fails on a >25%
-# cells/sec regression (tolerance via EKYA_BENCH_TOLERANCE, e.g. 0.25).
+# Compares the latest entry of the perf trajectory
+# results/BENCH_series.json (appended by the harness_bench bin: the
+# quick fig06 scenario grid AND the quick fig03 config sweep) against a
+# baseline and fails on a >25% cells/sec regression in any gated record
+# (tolerance via EKYA_BENCH_TOLERANCE, e.g. 0.25).
 #
 # The baseline path defaults to the committed ci/bench_baseline.json
 # and can be overridden with EKYA_BENCH_BASELINE. Throughput is

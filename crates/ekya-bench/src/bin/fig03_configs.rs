@@ -6,118 +6,33 @@
 //!     its Pareto boundary; the paper observes a ~200x spread in GPU cost
 //!     and that higher cost does not imply higher accuracy.
 //!
-//! The exhaustive profiling rides the harness's [`run_parallel`] pool
-//! with **per-config seeding** (`base_seed ^ fnv1a("cfg|" + label)`), so
-//! each configuration's numbers are independent of which others are
-//! profiled alongside it — which is what lets `EKYA_SHARD=i/N` split the
-//! configuration grid across processes. A sharded run profiles only its
-//! slice and writes a `ConfigShard` envelope
-//! (`results/fig03_configs_shardIofN.json`); merge the shards with
-//! `grid_merge` to recover the exact unsharded point list (the Pareto
-//! frontier is a whole-grid property, computed at merge).
+//! The sweep core lives in `ekya_bench::config_profile`
+//! ([`ConfigSweep`](ekya_bench::ConfigSweep) + `run_config_bin`), shared
+//! with the `ekya-orchestrate` worker: exhaustive profiling rides the
+//! harness's worker pool with **per-config seeding**
+//! (`base_seed ^ fnv1a("cfg|" + label)`), so each configuration's
+//! numbers are independent of which others are profiled alongside it —
+//! which is what lets `EKYA_SHARD=i/N` split the configuration grid
+//! across processes. A sharded run profiles only its slice and writes a
+//! `ConfigShard` envelope (`results/fig03_configs_shardIofN.json`);
+//! merge the shards with `grid_merge` (or drive the whole run with
+//! `ekya_grid`) to recover the exact unsharded point list (the Pareto
+//! frontier is a whole-grid property, computed at merge). `EKYA_QUICK=1`
+//! profiles the 18-config default grid instead of the extended 54.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig03_configs`
-//! Knobs: EKYA_SEED, EKYA_WORKERS, EKYA_SHARD
+//! Knobs: EKYA_SEED, EKYA_QUICK=1, EKYA_WORKERS, EKYA_SHARD
 //!        (see crates/ekya-bench/README.md).
 
-use ekya_bench::{
-    f1, f3, fnv1a, pareto_flags, run_parallel, save_json, ConfigPoint, ConfigShard, Knobs, Table,
-};
-use ekya_core::{extended_retrain_grid, profile_config, RetrainConfig, TrainHyper};
-use ekya_nn::cost::CostModel;
-use ekya_nn::golden::{distill_labels, OracleTeacher};
-use ekya_nn::mlp::{Mlp, MlpArch};
-use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
+use ekya_bench::{f1, f3, run_config_bin, Knobs, Table};
+use ekya_core::RetrainConfig;
 
 fn main() {
     let knobs = Knobs::from_env();
-    // The config sweep shards (per-config seeding) but is cheap enough
-    // that it does not checkpoint — say so rather than silently ignore.
-    knobs.warn_if_resume("fig03_configs");
-    let seed = knobs.seed();
-    let cost = CostModel::default();
-    let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 2, seed));
-    let nc = ds.num_classes;
-    let mut teacher = OracleTeacher::new(0.02, nc, seed ^ 0xAA);
-    let w0 = distill_labels(&mut teacher, &ds.window(0).train_pool);
-    let w1 = distill_labels(&mut teacher, &ds.window(1).train_pool);
-    let val = distill_labels(&mut teacher, &ds.window(1).val);
-
-    // Warm model: the steady-state regime.
-    let base = Mlp::new(MlpArch::edge(ds.feature_dim, nc, 16), seed);
-    let mut warm = ekya_core::RetrainExecution::new(
-        &base,
-        &w0,
-        RetrainConfig {
-            epochs: 30,
-            batch_size: 32,
-            last_layer_neurons: 16,
-            layers_trained: 3,
-            data_fraction: 1.0,
-        },
-        nc,
-        TrainHyper::default(),
-        seed,
-    );
-    warm.run_to_completion();
-    let mut model = warm.model().clone();
-    model.set_layers_trained(usize::MAX);
-
-    // Profile a slice of configurations on the work-stealing pool. Each
-    // config gets its own seed mixed from its label, so the result is a
-    // pure function of the (model, data, config) triple — slicing the
-    // list cannot change a number.
-    let measure = |configs: &[RetrainConfig]| -> Vec<ConfigPoint> {
-        let jobs: Vec<RetrainConfig> = configs.to_vec();
-        run_parallel(jobs, knobs.workers(), |_, c: RetrainConfig| {
-            let cfg_seed = seed ^ fnv1a(format!("cfg|{}", c.label()).as_bytes());
-            let (accuracy, gpu_seconds) =
-                profile_config(&model, &w1, &val, c, nc, TrainHyper::default(), &cost, cfg_seed);
-            ConfigPoint { label: c.label(), gpu_seconds, accuracy, on_pareto: false, error: None }
-        })
-        .into_iter()
-        .zip(configs)
-        .map(|(r, c)| {
-            // Same isolation as a grid cell: a poisoned config travels
-            // in the data instead of sinking the rest of the sweep.
-            r.unwrap_or_else(|message| {
-                eprintln!("[fig03: config {} poisoned — {message}]", c.label());
-                ConfigPoint {
-                    label: c.label(),
-                    gpu_seconds: 0.0,
-                    accuracy: 0.0,
-                    on_pareto: false,
-                    error: Some(message),
-                }
-            })
-        })
-        .collect()
-    };
-
-    let grid = extended_retrain_grid();
-
-    // ---- Sharded mode: profile only this shard's slice of (b). ----
-    if let Some(shard) = knobs.shard() {
-        let range = shard.range(grid.len());
-        eprintln!(
-            "[fig03: shard {shard} → configs {}..{} of {} across {} workers]",
-            range.start,
-            range.end,
-            grid.len(),
-            knobs.workers()
-        );
-        let points = measure(&grid[range]);
-        let envelope =
-            ConfigShard { name: "fig03_configs".into(), total: grid.len(), shard, points };
-        save_json(&format!("fig03_configs{}", shard.suffix()), &envelope);
-        println!(
-            "[shard output: {} of {} configs — tables, spread, and the Pareto frontier are \
-             whole-grid; merge the shards with `grid_merge` first]",
-            envelope.points.len(),
-            envelope.total
-        );
-        return;
-    }
+    let (sweep, points_b) = run_config_bin(&knobs);
+    // Sharded mode: the shard envelope is already written; whole-grid
+    // tables, the spread, and the Pareto frontier wait for the merge.
+    let Some(points_b) = points_b else { return };
 
     // ---- (a) two example hyperparameters ----
     let mut axis_a: Vec<RetrainConfig> = Vec::new();
@@ -139,7 +54,7 @@ fn main() {
             data_fraction: 1.0,
         });
     }
-    let points_a = measure(&axis_a);
+    let points_a = sweep.measure(&axis_a, knobs.workers());
     let mut ta = Table::new(
         "Fig 3a — effect of data fraction (rho) and layers trained",
         &["hyperparameter", "GPU seconds", "accuracy"],
@@ -161,11 +76,6 @@ fn main() {
     ta.print();
 
     // ---- (b) full grid + Pareto boundary ----
-    let mut points_b = measure(&grid);
-    let flags = pareto_flags(&points_b);
-    for (p, on) in points_b.iter_mut().zip(flags) {
-        p.on_pareto = on;
-    }
     let mut tb = Table::new(
         "Fig 3b — resource vs accuracy of the full configuration grid",
         &["config", "GPU seconds", "accuracy", "Pareto"],
@@ -192,7 +102,5 @@ fn main() {
         max_cost / min_cost
     );
     let on_frontier = points_b.iter().filter(|p| p.on_pareto).count();
-    println!("Pareto-optimal configurations: {on_frontier} of {}", grid.len());
-
-    save_json("fig03_configs", &points_b);
+    println!("Pareto-optimal configurations: {on_frontier} of {}", points_b.len());
 }

@@ -6,16 +6,22 @@
 //! configuration). Both should lose accuracy relative to full Ekya, most
 //! visibly when the system is under stress (few GPUs).
 //!
-//! One mechanistic trace recording, then a (GPUs × policy) replay grid
-//! fanned out on the harness worker pool.
+//! One mechanistic trace recording (lazy — a fully resumed run skips
+//! it), then a (GPUs × policy) replay grid on the harness. The cells
+//! have ordinary [`Scenario`](ekya_bench::Scenario) identities, so the
+//! full shard/resume machinery applies: the harness report lands in
+//! `results/fig08_factors.json` (`_shardIofN` when sharded), the derived
+//! figure points in `results/fig08_factors_points.json`.
+//! `EKYA_SHARD=i/N` runs one slice of the grid (merge with `grid_merge`
+//! or drive the whole run with `ekya_grid`); `EKYA_RESUME=1` continues a
+//! killed run.
+//!
 //! Run: `cargo run --release -p ekya-bench --bin fig08_factors`
 //! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10),
-//!        EKYA_QUICK=1, EKYA_WORKERS.
+//!        EKYA_QUICK=1, EKYA_WORKERS, EKYA_SHARD, EKYA_RESUME
+//!        (see crates/ekya-bench/README.md).
 
-use ekya_baselines::{HoldoutPick, PolicyBuildCtx, PolicySpec};
-use ekya_bench::{f3, grid, run_parallel, save_json, Knobs, Table};
-use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_bench::{f3, fig08_grid_for, run_fig08_bin, save_json, Knobs, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,63 +33,65 @@ struct Point {
 
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("fig08_factors");
-    knobs.warn_if_resume("fig08_factors");
-    let windows = knobs.windows(6);
-    let num_streams = knobs.streams(10);
-    let seed = knobs.seed();
-    let kind = DatasetKind::Cityscapes;
-    let gpu_grid: Vec<f64> = if knobs.quick() { vec![2.0, 8.0] } else { vec![2.0, 4.0, 6.0, 8.0] };
-    let policies = vec![
-        PolicySpec::Uniform { pick: HoldoutPick::Config2, inference_share: 0.5 },
-        PolicySpec::FixedRes { inference_share: 0.5 },
-        PolicySpec::FixedConfig { pick: HoldoutPick::Config2 },
-        PolicySpec::Ekya,
-    ];
+    // Same single grid definition the runner and the orchestrator's
+    // planner use — the table can never describe a different sweep.
+    let grid = fig08_grid_for(&knobs);
+    let run = run_fig08_bin(&knobs);
+    let (report, stats) = (&run.report, &run.stats);
 
-    eprintln!("[recording trace — {num_streams} streams x {windows} windows]");
-    let cell_seed = grid::cell_seed(seed, kind, num_streams, windows);
-    let streams = StreamSet::generate(kind, num_streams, windows, cell_seed);
-    let cfg = RunnerConfig { seed: cell_seed, ..RunnerConfig::default() };
-    let trace = record_trace(&streams, &cfg, windows, 6);
+    if report.is_complete() {
+        let points: Vec<Point> = report
+            .cells
+            .iter()
+            .filter(|c| c.error.is_none())
+            .map(|c| Point {
+                gpus: c.scenario.gpus,
+                scheduler: c.policy.clone(),
+                accuracy: c.mean_accuracy,
+            })
+            .collect();
 
-    let mut cells: Vec<(f64, PolicySpec)> = Vec::new();
-    for &gpus in &gpu_grid {
-        for p in &policies {
-            cells.push((gpus, p.clone()));
+        let mut t = Table::new(
+            format!(
+                "Fig 8 — factor analysis ({} streams, Cityscapes)",
+                grid.stream_counts.first().copied().unwrap_or_default()
+            ),
+            &["scheduler", "2 GPUs", "4 GPUs", "6 GPUs", "8 GPUs"],
+        );
+        for sched in grid.policies.iter().map(|p| p.label()) {
+            let mut row = vec![sched.clone()];
+            for &g in &[2.0f64, 4.0, 6.0, 8.0] {
+                let v = points
+                    .iter()
+                    .find(|p| p.gpus == g && p.scheduler == sched)
+                    .map(|p| f3(p.accuracy))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            t.row(row);
         }
-    }
-    eprintln!("[replaying {} cells across {} workers]", cells.len(), knobs.workers());
-    let trace_ref = &trace;
-    let results = run_parallel(cells, knobs.workers(), move |_, (gpus, spec)| {
-        let ctx = PolicyBuildCtx::new(kind, gpus, grid::holdout_seed(seed, kind));
-        let mut policy = spec.build(&ctx);
-        let report = ReplayPolicyHarness::new(gpus).run(policy.as_mut(), trace_ref);
-        Point { gpus, scheduler: report.policy.clone(), accuracy: report.mean_accuracy() }
-    });
-    let points: Vec<Point> = results.into_iter().map(|r| r.expect("replay cell")).collect();
+        t.print();
+        println!(
+            "\nExpected ordering (paper): Ekya >= Ekya-FixedRes, Ekya-FixedConfig >= Uniform, \
+             with the gaps largest at few GPUs."
+        );
 
-    let mut t = Table::new(
-        format!("Fig 8 — factor analysis ({num_streams} streams, Cityscapes)"),
-        &["scheduler", "2 GPUs", "4 GPUs", "6 GPUs", "8 GPUs"],
-    );
-    for sched in policies.iter().map(|p| p.label()) {
-        let mut row = vec![sched.clone()];
-        for &g in &[2.0f64, 4.0, 6.0, 8.0] {
-            let v = points
-                .iter()
-                .find(|p| p.gpus == g && p.scheduler == sched)
-                .map(|p| f3(p.accuracy))
-                .unwrap_or_else(|| "-".into());
-            row.push(v);
-        }
-        t.row(row);
+        save_json("fig08_factors_points", &points);
+    } else {
+        println!(
+            "[shard report: {} of {} cells — the factor table is whole-grid; \
+             merge the shards with `grid_merge` first]",
+            report.cells.len(),
+            report.total_cells
+        );
     }
-    t.print();
     println!(
-        "\nExpected ordering (paper): Ekya >= Ekya-FixedRes, Ekya-FixedConfig >= Uniform, \
-         with the gaps largest at few GPUs."
+        "\n[{} cells executed (+{} resumed) in {:.1} s — {:.2} cells/s on {} workers, {} failed]",
+        stats.executed,
+        stats.resumed,
+        stats.wall_secs,
+        stats.cells_per_sec,
+        stats.workers,
+        report.failed
     );
-
-    save_json("fig08_factors", &points);
 }

@@ -20,7 +20,7 @@
 //!        (see crates/ekya-bench/README.md).
 
 use ekya_baselines::PolicySpec;
-use ekya_bench::{f3, run_grid_bin, save_json, Grid, Knobs, Table};
+use ekya_bench::{f3, fig10_grid, run_grid_bin, save_json, Knobs, Table, FIG10_DELTAS, FIG10_GPUS};
 use ekya_core::{thief_schedule, MicroProfiler, SchedulerParams, StreamInput};
 use ekya_nn::data::DataView;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
@@ -40,8 +40,8 @@ struct Point {
     evaluations: usize,
 }
 
-const DELTAS: [f64; 4] = [0.1, 0.2, 0.5, 1.0];
-const GPU_AXIS: [f64; 2] = [4.0, 8.0];
+const DELTAS: [f64; 4] = FIG10_DELTAS;
+const GPU_AXIS: [f64; 2] = FIG10_GPUS;
 
 fn main() {
     let knobs = Knobs::from_env();
@@ -51,11 +51,9 @@ fn main() {
     let kind = DatasetKind::Cityscapes;
 
     // ---- Accuracy: a (GPUs × Δ) grid of full mechanistic runs. ----
-    let grid = Grid::new(windows, seed)
-        .datasets(&[kind])
-        .stream_counts(&[num_streams])
-        .gpu_counts(&GPU_AXIS)
-        .policies(DELTAS.iter().map(|&delta| PolicySpec::EkyaDelta { delta }).collect());
+    // The grid definition is shared with the orchestrator's planner and
+    // worker (`ekya_bench::bins`).
+    let grid = fig10_grid(windows, num_streams, seed);
     let run = run_grid_bin("fig10_delta", &grid, &knobs);
     let report = &run.report;
     if !report.is_complete() {

@@ -1,20 +1,25 @@
 //! Harness throughput benchmark + determinism guard.
 //!
-//! Runs the quick-mode Figure 6 grid twice — serial (1 worker) and
-//! parallel (≥4 workers) — asserts the two produce **byte-identical**
-//! cell results, and writes the throughput record to
-//! `results/BENCH_harness.json` for the CI perf gate
-//! (`ci/check_bench.sh`).
+//! Measures the two gated workloads — the quick-mode Figure 6 scenario
+//! grid and the quick-mode fig03 configuration sweep — each twice:
+//! serial (1 worker) and parallel (≥4 workers), asserting the two passes
+//! produce **byte-identical** results. The run's records are appended as
+//! one entry (stamped with `git describe`) to the perf trajectory
+//! `results/BENCH_series.json`; the CI perf gate (`ci/check_bench.sh` /
+//! `perf_gate`) gates the latest entry against `ci/bench_baseline.json`.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin harness_bench`
 //! Knobs: EKYA_WINDOWS (default 2), EKYA_SEED, EKYA_WORKERS (floored at
 //! 4 so the parallel path is exercised even on small machines), and
-//! EKYA_MIN_SPEEDUP — when set, assert `serial/parallel >= value`
-//! (leave unset on single-core boxes, where 4 workers cannot beat 1;
-//! CI's multi-core runners set it).
+//! EKYA_MIN_SPEEDUP — when set, assert `serial/parallel >= value` on the
+//! fig06 grid (leave unset on single-core boxes, where 4 workers cannot
+//! beat 1; CI's multi-core runners set it).
 
 use ekya_baselines::{PolicyBuildCtx, PolicySpec};
-use ekya_bench::{fig06_grid, run_grid, save_bench_record, BenchRecord, Knobs};
+use ekya_bench::{
+    append_bench_series, config_grid, fig06_grid, run_grid, BenchRecord, ConfigSweep, Knobs,
+};
+use std::time::Instant;
 
 fn main() {
     let knobs = Knobs::from_env();
@@ -34,9 +39,9 @@ fn main() {
         }
     }
 
-    eprintln!("[harness_bench: {n} cells, serial pass]");
+    eprintln!("[harness_bench: fig06 quick grid — {n} cells, serial pass]");
     let serial = run_grid(&grid, 1);
-    eprintln!("[harness_bench: parallel pass on {workers} workers]");
+    eprintln!("[harness_bench: fig06 quick grid — parallel pass on {workers} workers]");
     let parallel = run_grid(&grid, workers);
 
     // Determinism: parallel fan-out must not change a single byte of the
@@ -52,7 +57,7 @@ fn main() {
     assert_eq!(serial.report.failed, 0, "serial run had poisoned cells");
 
     let speedup = serial.stats.wall_secs / parallel.stats.wall_secs.max(1e-9);
-    let record = BenchRecord {
+    let fig06 = BenchRecord {
         name: "fig06_quick_grid".into(),
         cells: n,
         workers,
@@ -62,11 +67,55 @@ fn main() {
         cells_per_sec: parallel.stats.cells_per_sec,
     };
     println!(
-        "harness_bench: {n} cells · serial {:.2} s · parallel {:.2} s on {workers} workers \
+        "harness_bench: fig06 {n} cells · serial {:.2} s · parallel {:.2} s on {workers} workers \
          · speedup {speedup:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
-        record.serial_wall_secs, record.parallel_wall_secs, record.cells_per_sec
+        fig06.serial_wall_secs, fig06.parallel_wall_secs, fig06.cells_per_sec
     );
-    save_bench_record(&record);
+
+    // Second gated workload: the quick fig03 configuration sweep — the
+    // other shape of parallel cell (per-config seeding instead of
+    // per-scenario), gated so a regression in either fan-out path trips
+    // CI, not just the scenario grids.
+    let configs = config_grid(true);
+    let m = configs.len();
+    eprintln!("[harness_bench: fig03 quick sweep — preparing warm model]");
+    let sweep = ConfigSweep::prepare(knobs.seed());
+    eprintln!("[harness_bench: fig03 quick sweep — {m} configs, serial pass]");
+    let started = Instant::now();
+    let serial_points = sweep.measure(&configs, 1);
+    let serial_secs = started.elapsed().as_secs_f64();
+    eprintln!("[harness_bench: fig03 quick sweep — parallel pass on {workers} workers]");
+    let started = Instant::now();
+    let parallel_points = sweep.measure(&configs, workers);
+    let parallel_secs = started.elapsed().as_secs_f64();
+    assert_eq!(serial_points, parallel_points, "parallel config sweep diverged from serial sweep");
+    assert!(
+        serial_points.iter().all(|p| p.error.is_none()),
+        "serial config sweep had poisoned configs"
+    );
+
+    let fig03 = BenchRecord {
+        name: "fig03_quick_configs".into(),
+        cells: m,
+        workers,
+        serial_wall_secs: serial_secs,
+        parallel_wall_secs: parallel_secs,
+        speedup: serial_secs / parallel_secs.max(1e-9),
+        cells_per_sec: m as f64 / parallel_secs.max(1e-9),
+    };
+    println!(
+        "harness_bench: fig03 {m} configs · serial {:.2} s · parallel {:.2} s on {workers} \
+         workers · speedup {:.2}x · {:.2} configs/s · serial ≡ parallel ✓",
+        fig03.serial_wall_secs, fig03.parallel_wall_secs, fig03.speedup, fig03.cells_per_sec
+    );
+
+    match append_bench_series(vec![fig06, fig03]) {
+        Ok(path) => println!("\n[perf trajectory appended to {}]", path.display()),
+        Err(e) => {
+            eprintln!("harness_bench: cannot append the perf trajectory — {e}");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(min) = std::env::var("EKYA_MIN_SPEEDUP").ok().and_then(|v| v.parse::<f64>().ok()) {
         assert!(

@@ -1,35 +1,72 @@
 //! CI perf-regression gate for the experiment harness.
 //!
-//! Compares the freshly-measured `results/BENCH_harness.json` (written
-//! by `harness_bench`) against the committed baseline
-//! `ci/bench_baseline.json` and exits nonzero when throughput regressed
-//! by more than the tolerance (default 25%).
+//! Reads the **latest entry** of the perf trajectory
+//! `results/BENCH_series.json` (appended by `harness_bench`) and
+//! compares every baseline record in `ci/bench_baseline.json` — the
+//! quick fig06 scenario grid *and* the quick fig03 configuration sweep —
+//! against the current record of the same name, exiting nonzero when any
+//! gated throughput regressed by more than the tolerance (default 25%).
 //!
 //! Usage:
-//!   perf_gate [--update [--force]] [baseline.json] [current.json]
+//!   perf_gate [--update [--force]] [baseline.json] [series.json]
 //!
-//! * `--update` — rewrite the baseline from the current measurement
+//! * `--update` — rewrite the baseline from the latest series entry
 //!   (use after an intentional perf change, commit the result). Refused
-//!   when the current measurement itself regresses beyond the tolerance
+//!   when any current record itself regresses beyond the tolerance
 //!   against the existing baseline — rebasing away a regression must be
-//!   explicit: pass `--force` to accept the lower number;
+//!   explicit: pass `--force` to accept the lower numbers;
 //! * `EKYA_BENCH_TOLERANCE` — allowed fractional regression
 //!   (default 0.25).
 //!
+//! The baseline file is a JSON array of records; a legacy single-record
+//! baseline is read as a one-record array, so old runner caches gate
+//! what they know and `--update` upgrades them in place.
+//!
 //! Run: `cargo run --release -p ekya-bench --bin perf_gate`
 
-use ekya_bench::{results_dir, BenchRecord};
+use ekya_bench::{bench_series_path, latest_bench_entry, BenchRecord};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn read_record(path: &PathBuf) -> Result<BenchRecord, String> {
+fn read_baseline(path: &PathBuf) -> Result<Vec<BenchRecord>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    if let Ok(records) = serde_json::from_str::<Vec<BenchRecord>>(&text) {
+        return Ok(records);
+    }
+    serde_json::from_str::<BenchRecord>(&text)
+        .map(|r| vec![r])
+        .map_err(|e| format!("cannot parse {}: {e}", path.display()))
 }
 
 fn tolerance() -> f64 {
     std::env::var("EKYA_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25)
+}
+
+/// The baseline records whose current counterpart falls below the gate
+/// floor, as `(name, current, floor, baseline)` rows — empty when the
+/// gate passes. A baseline name missing from the current records is an
+/// error: silence must never pass the gate.
+fn regressions(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    tolerance: f64,
+) -> Result<Vec<(String, f64, f64, f64)>, String> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let c = current.iter().find(|c| c.name == b.name).ok_or_else(|| {
+            format!(
+                "baseline record `{}` has no counterpart in the current measurement — \
+                 did harness_bench stop measuring it?",
+                b.name
+            )
+        })?;
+        let floor = b.cells_per_sec * (1.0 - tolerance);
+        if c.cells_per_sec < floor {
+            out.push((b.name.clone(), c.cells_per_sec, floor, b.cells_per_sec));
+        }
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -44,38 +81,48 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let repo_root = results_dir().parent().map(PathBuf::from).unwrap_or_default();
+    let repo_root = bench_series_path()
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_default();
     let baseline_path =
         args.first().map(PathBuf::from).unwrap_or_else(|| repo_root.join("ci/bench_baseline.json"));
-    let current_path =
-        args.get(1).map(PathBuf::from).unwrap_or_else(|| results_dir().join("BENCH_harness.json"));
+    let series_path = args.get(1).map(PathBuf::from).unwrap_or_else(bench_series_path);
 
-    let current = match read_record(&current_path) {
-        Ok(r) => r,
+    let entry = match latest_bench_entry(&series_path) {
+        Ok(entry) => entry,
         Err(e) => {
             eprintln!("perf_gate: {e} (run `harness_bench` first)");
             return ExitCode::FAILURE;
         }
     };
+    let current = entry.records;
 
     if update {
         // Refuse to quietly rebase a regression away: if the existing
-        // baseline is readable and the current run falls below its gate
-        // floor, updating would hide exactly what the gate exists to
-        // catch. `--force` records the lower number deliberately.
-        if let Ok(old) = read_record(&baseline_path) {
-            let floor = old.cells_per_sec * (1.0 - tolerance());
-            if current.cells_per_sec < floor && !force {
-                eprintln!(
-                    "perf_gate: REFUSED — current {:.2} cells/s ({}) regresses below the \
-                     existing baseline's floor {:.2} cells/s (baseline {:.2} in {}); \
-                     fix the regression or pass --force to rebase anyway",
-                    current.cells_per_sec,
-                    current_path.display(),
-                    floor,
-                    old.cells_per_sec,
-                    baseline_path.display()
-                );
+        // baseline is readable and any current record falls below its
+        // gate floor, updating would hide exactly what the gate exists
+        // to catch. `--force` records the lower numbers deliberately.
+        // A baseline name the current run no longer measures is exactly
+        // what --update is for — drop those records from the check (not
+        // from the refusal of the ones that *are* measured and
+        // regressed) and let the rewrite proceed.
+        if let Ok(old) = read_baseline(&baseline_path) {
+            let comparable: Vec<BenchRecord> =
+                old.into_iter().filter(|b| current.iter().any(|c| c.name == b.name)).collect();
+            let regressed = regressions(&comparable, &current, tolerance())
+                .expect("every comparable record has a current counterpart");
+            if !regressed.is_empty() && !force {
+                for (name, cur, floor, base) in &regressed {
+                    eprintln!(
+                        "perf_gate: REFUSED — `{name}` current {cur:.2} cells/s regresses \
+                         below the existing baseline's floor {floor:.2} cells/s \
+                         (baseline {base:.2} in {}); fix the regression or pass --force \
+                         to rebase anyway",
+                        baseline_path.display()
+                    );
+                }
                 return ExitCode::FAILURE;
             }
         }
@@ -85,14 +132,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "perf_gate: baseline updated to {:.2} cells/s ({})",
-            current.cells_per_sec,
+            "perf_gate: baseline updated from series entry `{}` — {} record(s) ({})",
+            entry.git,
+            current.len(),
             baseline_path.display()
         );
         return ExitCode::SUCCESS;
     }
 
-    let baseline = match read_record(&baseline_path) {
+    let baseline = match read_baseline(&baseline_path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("perf_gate: {e} (seed it with `perf_gate --update`)");
@@ -101,32 +149,43 @@ fn main() -> ExitCode {
     };
 
     let tolerance = tolerance();
-    let floor = baseline.cells_per_sec * (1.0 - tolerance);
-    let ratio = current.cells_per_sec / baseline.cells_per_sec.max(1e-12);
-    println!(
-        "perf_gate: current {:.2} cells/s vs baseline {:.2} cells/s ({:+.1}%), \
-         floor {:.2} (tolerance {:.0}%)",
-        current.cells_per_sec,
-        baseline.cells_per_sec,
-        (ratio - 1.0) * 100.0,
-        floor,
-        tolerance * 100.0
-    );
-    if current.cells_per_sec < floor {
-        // Self-contained failure message: stderr alone (e.g. a CI log
-        // grep) names both measurements and both files.
-        eprintln!(
-            "perf_gate: FAIL — current {:.2} cells/s ({}) is below floor {:.2} cells/s \
-             (baseline {:.2} cells/s in {}, tolerance {:.0}%)",
-            current.cells_per_sec,
-            current_path.display(),
-            floor,
-            baseline.cells_per_sec,
-            baseline_path.display(),
-            tolerance * 100.0
-        );
-        return ExitCode::FAILURE;
+    for b in &baseline {
+        if let Some(c) = current.iter().find(|c| c.name == b.name) {
+            let ratio = c.cells_per_sec / b.cells_per_sec.max(1e-12);
+            println!(
+                "perf_gate: `{}` current {:.2} cells/s vs baseline {:.2} cells/s ({:+.1}%), \
+                 floor {:.2} (tolerance {:.0}%)",
+                b.name,
+                c.cells_per_sec,
+                b.cells_per_sec,
+                (ratio - 1.0) * 100.0,
+                b.cells_per_sec * (1.0 - tolerance),
+                tolerance * 100.0
+            );
+        }
     }
-    println!("perf_gate: OK");
-    ExitCode::SUCCESS
+    match regressions(&baseline, &current, tolerance) {
+        Err(e) => {
+            eprintln!("perf_gate: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+        Ok(regressed) if !regressed.is_empty() => {
+            // Self-contained failure message: stderr alone (e.g. a CI
+            // log grep) names the measurements and both files.
+            for (name, cur, floor, base) in &regressed {
+                eprintln!(
+                    "perf_gate: FAIL — `{name}` current {cur:.2} cells/s ({}) is below floor \
+                     {floor:.2} cells/s (baseline {base:.2} cells/s in {}, tolerance {:.0}%)",
+                    series_path.display(),
+                    baseline_path.display(),
+                    tolerance * 100.0
+                );
+            }
+            ExitCode::FAILURE
+        }
+        Ok(_) => {
+            println!("perf_gate: OK ({} record(s) gated)", baseline.len());
+            ExitCode::SUCCESS
+        }
+    }
 }

@@ -17,9 +17,7 @@
 //! Knobs: EKYA_WINDOWS (default 4), EKYA_THRESHOLD, EKYA_WORKERS,
 //!        EKYA_SHARD, EKYA_RESUME (see crates/ekya-bench/README.md).
 
-use ekya_baselines::standard_policies;
-use ekya_bench::{env_f64, run_grid_bin, save_json, Grid, Knobs, Table};
-use ekya_video::DatasetKind;
+use ekya_bench::{env_f64, run_grid_bin, save_json, table3_grid, Knobs, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -35,12 +33,11 @@ struct CapacityRow {
 fn main() {
     let knobs = Knobs::from_env();
     let threshold = env_f64("EKYA_THRESHOLD", 0.65);
-    let gpu_axis = [1.0f64, 2.0];
-    let grid = Grid::new(knobs.windows(4), knobs.seed())
-        .datasets(&[DatasetKind::Cityscapes])
-        .stream_counts(&[2, 4, 6, 8])
-        .gpu_counts(&gpu_axis)
-        .policies(standard_policies());
+    // The grid definition is shared with the orchestrator's planner and
+    // worker (`ekya_bench::bins`), so `ekya_grid` shards of this bin can
+    // never disagree with a hand-launched run about cell identity.
+    let grid = table3_grid(knobs.windows(4), knobs.seed());
+    let gpu_axis = [grid.gpu_counts[0], grid.gpu_counts[1]];
     let run = run_grid_bin("table3_capacity", &grid, &knobs);
     let report = &run.report;
     if !report.is_complete() {

@@ -1,0 +1,254 @@
+//! Declarative identity of the shardable fig/table bins — the registry
+//! the `ekya-orchestrate` supervisor plans, spawns, and merges against.
+//!
+//! Each shardable bin is a pure function of the shared environment knobs
+//! ([`Knobs`]): its grid (and therefore its cell count, shard ranges,
+//! and report schema) is fully determined by `(bin name, knobs)`. This
+//! module states that identity **once** — the bin binaries and the
+//! orchestrator's in-process worker both build their workload here, so a
+//! worker-run shard is byte-identical to a hand-launched one by
+//! construction, not by convention.
+//!
+//! * [`bin_workload`] — the declarative workload of a bin (a scenario
+//!   [`Grid`] or the fig03 configuration sweep), used for planning:
+//!   total cells, shard math via [`ShardSpec::range`](crate::ShardSpec::range).
+//! * [`run_bin`] — execute a bin's sweep under the given knobs, writing
+//!   exactly the report files the bin binary writes (tables and other
+//!   presentation stay in the binaries).
+
+use crate::config_profile::{config_grid, run_config_bin};
+use crate::grid::{cell_seed, fig06_grid, Grid};
+use crate::harness::{run_grid_bin, run_grid_bin_with, CellResult, GridRun, Knobs};
+use ekya_baselines::{standard_policies, HoldoutPick, PolicyBuildCtx, PolicySpec};
+use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig};
+use ekya_video::{DatasetKind, StreamSet};
+use std::sync::OnceLock;
+
+/// The Δ axis of the Figure 10 sweep (allocation-quantum sensitivity).
+pub const FIG10_DELTAS: [f64; 4] = [0.1, 0.2, 0.5, 1.0];
+
+/// The GPU axis of the Figure 10 sweep.
+pub const FIG10_GPUS: [f64; 2] = [4.0, 8.0];
+
+/// The Table 3 grid (capacity vs provisioned GPUs): Cityscapes,
+/// streams × {1, 2} GPUs, all standard policies.
+pub fn table3_grid(windows: usize, base_seed: u64) -> Grid {
+    Grid::new(windows, base_seed)
+        .datasets(&[DatasetKind::Cityscapes])
+        .stream_counts(&[2, 4, 6, 8])
+        .gpu_counts(&[1.0, 2.0])
+        .policies(standard_policies())
+}
+
+/// The Figure 10 grid (Δ sensitivity): Cityscapes, one stream count,
+/// [`FIG10_GPUS`] × [`FIG10_DELTAS`] via `PolicySpec::EkyaDelta`.
+pub fn fig10_grid(windows: usize, streams: usize, base_seed: u64) -> Grid {
+    Grid::new(windows, base_seed)
+        .datasets(&[DatasetKind::Cityscapes])
+        .stream_counts(&[streams])
+        .gpu_counts(&FIG10_GPUS)
+        .policies(FIG10_DELTAS.iter().map(|&delta| PolicySpec::EkyaDelta { delta }).collect())
+}
+
+/// The Figure 8 factor-analysis policies: full Ekya, its two ablations,
+/// and the uniform reference.
+pub fn fig08_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Uniform { pick: HoldoutPick::Config2, inference_share: 0.5 },
+        PolicySpec::FixedRes { inference_share: 0.5 },
+        PolicySpec::FixedConfig { pick: HoldoutPick::Config2 },
+        PolicySpec::Ekya,
+    ]
+}
+
+/// The Figure 8 grid (factor analysis): Cityscapes, one stream count,
+/// a GPU axis (shrunk under quick mode) × [`fig08_policies`]. Cells are
+/// evaluated by trace replay ([`run_fig08_bin`]), but their *identity*
+/// is an ordinary [`Scenario`](crate::Scenario) — which is what makes
+/// `EKYA_SHARD`/`EKYA_RESUME` (and the orchestrator) work on fig08.
+pub fn fig08_grid(quick: bool, windows: usize, streams: usize, base_seed: u64) -> Grid {
+    let gpus: &[f64] = if quick { &[2.0, 8.0] } else { &[2.0, 4.0, 6.0, 8.0] };
+    Grid::new(windows, base_seed)
+        .datasets(&[DatasetKind::Cityscapes])
+        .stream_counts(&[streams])
+        .gpu_counts(gpus)
+        .policies(fig08_policies())
+}
+
+/// [`fig08_grid`] under the shared env knobs — the *single* place the
+/// fig08 defaults (6 windows, 10 streams) are applied, used by the
+/// planner ([`bin_workload`]), the runner ([`run_fig08_bin`]), and the
+/// `fig08_factors` binary's presentation, so none of them can describe
+/// a different grid than the one that executes.
+pub fn fig08_grid_for(knobs: &Knobs) -> Grid {
+    fig08_grid(knobs.quick(), knobs.windows(6), knobs.streams(10), knobs.seed())
+}
+
+/// Runs the Figure 8 sweep under the shared env knobs: records the
+/// mechanistic trace once (lazily — a fully resumed run never pays for
+/// it), then replays every (GPUs × policy) cell through
+/// [`run_grid_bin_with`], which gives fig08 the full shard / resume /
+/// checkpoint machinery of the scenario-grid bins.
+pub fn run_fig08_bin(knobs: &Knobs) -> GridRun {
+    let kind = DatasetKind::Cityscapes;
+    let windows = knobs.windows(6);
+    let streams = knobs.streams(10);
+    let grid = fig08_grid_for(knobs);
+    // All cells share one workload: the seed hash excludes policy and
+    // GPUs, so every cell's scenario seed is this one value.
+    let workload_seed = cell_seed(knobs.seed(), kind, streams, windows);
+    let trace = OnceLock::new();
+    run_grid_bin_with("fig08_factors", &grid, knobs, |sc| {
+        let trace = trace.get_or_init(|| {
+            eprintln!("[fig08_factors: recording trace — {streams} streams x {windows} windows]");
+            let set = StreamSet::generate(kind, streams, windows, workload_seed);
+            let cfg = RunnerConfig { seed: workload_seed, ..RunnerConfig::default() };
+            record_trace(&set, &cfg, windows, 6)
+        });
+        let ctx = PolicyBuildCtx::new(sc.dataset, sc.gpus, grid.holdout_seed(sc.dataset));
+        let mut policy = sc.policy.build(&ctx);
+        let report = ReplayPolicyHarness::new(sc.gpus).run(policy.as_mut(), trace);
+        CellResult {
+            scenario: sc.clone(),
+            policy: report.policy.clone(),
+            mean_accuracy: report.mean_accuracy(),
+            retrain_rate: report.retrain_rate(),
+            report: Some(report),
+            error: None,
+        }
+    })
+}
+
+/// The declarative workload of one shardable bin.
+#[derive(Debug, Clone)]
+pub enum BinWorkload {
+    /// A scenario grid (fig06/table3/fig10/fig08): cells are
+    /// [`Scenario`](crate::Scenario)s, reports are
+    /// [`HarnessReport`](crate::HarnessReport)s.
+    Scenarios(Grid),
+    /// The fig03 configuration sweep: cells are retraining
+    /// configurations, shard reports are
+    /// [`ConfigShard`](crate::ConfigShard)s (no checkpoints — retries
+    /// re-profile the shard).
+    Configs {
+        /// Configurations in the full sweep.
+        total: usize,
+    },
+}
+
+impl BinWorkload {
+    /// Cells in the full (unsharded) enumeration — the quantity
+    /// [`ShardSpec::range`](crate::ShardSpec::range) partitions.
+    pub fn total_cells(&self) -> usize {
+        match self {
+            BinWorkload::Scenarios(grid) => grid.cells().len(),
+            BinWorkload::Configs { total } => *total,
+        }
+    }
+
+    /// True when shards checkpoint per-cell progress (`.partial.json`)
+    /// — the heartbeat the orchestrator's stall detector watches.
+    pub fn checkpoints(&self) -> bool {
+        matches!(self, BinWorkload::Scenarios(_))
+    }
+}
+
+/// Every bin [`bin_workload`]/[`run_bin`] know — i.e. every bin
+/// `ekya_grid` can orchestrate.
+pub fn shardable_bins() -> [&'static str; 5] {
+    ["fig06_streams", "table3_capacity", "fig10_delta", "fig08_factors", "fig03_configs"]
+}
+
+/// The declarative workload of `bin` under `knobs`, or `None` for a
+/// bin this registry does not know (bespoke bins that do not shard).
+pub fn bin_workload(bin: &str, knobs: &Knobs) -> Option<BinWorkload> {
+    match bin {
+        "fig06_streams" => {
+            Some(BinWorkload::Scenarios(fig06_grid(knobs.quick(), knobs.windows(4), knobs.seed())))
+        }
+        "table3_capacity" => {
+            Some(BinWorkload::Scenarios(table3_grid(knobs.windows(4), knobs.seed())))
+        }
+        "fig10_delta" => Some(BinWorkload::Scenarios(fig10_grid(
+            knobs.windows(4),
+            knobs.streams(10),
+            knobs.seed(),
+        ))),
+        "fig08_factors" => Some(BinWorkload::Scenarios(fig08_grid_for(knobs))),
+        "fig03_configs" => Some(BinWorkload::Configs { total: config_grid(knobs.quick()).len() }),
+        _ => None,
+    }
+}
+
+/// Executes `bin`'s sweep under `knobs`, writing exactly the report
+/// files (and checkpoints) the bin binary writes — the in-process worker
+/// entry point `ekya_grid worker` calls for each spawned shard.
+/// Presentation (tables, headlines) stays in the binaries; report bytes
+/// are identical because both paths run this same code.
+pub fn run_bin(bin: &str, knobs: &Knobs) -> Result<(), String> {
+    // The workload comes from bin_workload — the same call the planner
+    // makes — so a plan and its workers cannot disagree on the grid even
+    // if a bin's defaults change. Only the *evaluator* is dispatched
+    // here (fig08 replays a trace, fig03 profiles configurations; every
+    // other scenario grid takes the default simulator path).
+    let workload = bin_workload(bin, knobs).ok_or_else(|| {
+        format!(
+            "unknown or non-shardable bin `{bin}` — shardable bins: {}",
+            shardable_bins().join(", ")
+        )
+    })?;
+    match (bin, workload) {
+        ("fig08_factors", _) => {
+            run_fig08_bin(knobs);
+        }
+        (_, BinWorkload::Configs { .. }) => {
+            run_config_bin(knobs);
+        }
+        (_, BinWorkload::Scenarios(grid)) => {
+            run_grid_bin(bin, &grid, knobs);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_shardable_bin() {
+        let knobs = Knobs::default();
+        for bin in shardable_bins() {
+            let workload = bin_workload(bin, &knobs).expect("registered bin has a workload");
+            assert!(workload.total_cells() > 0, "{bin} plans zero cells");
+        }
+        assert!(bin_workload("fig02_motivation", &knobs).is_none());
+        assert!(run_bin("nope", &knobs).is_err());
+    }
+
+    #[test]
+    fn workloads_respond_to_knobs() {
+        let full = bin_workload("fig08_factors", &Knobs::default()).unwrap().total_cells();
+        let quick = bin_workload("fig08_factors", &Knobs::default().with_quick(true))
+            .unwrap()
+            .total_cells();
+        assert!(quick < full, "quick fig08 grid should shrink ({quick} vs {full})");
+
+        // The seed flows into the planned grid, so a plan and its
+        // workers can never silently disagree on cell identity.
+        let a = bin_workload("fig06_streams", &Knobs::default()).unwrap();
+        let b = bin_workload("fig06_streams", &Knobs::default().with_seed(7)).unwrap();
+        let (BinWorkload::Scenarios(ga), BinWorkload::Scenarios(gb)) = (a, b) else {
+            panic!("fig06 is a scenario grid")
+        };
+        assert_ne!(ga.cells()[0].seed, gb.cells()[0].seed);
+    }
+
+    #[test]
+    fn fig03_workload_is_configs_without_checkpoints() {
+        let w = bin_workload("fig03_configs", &Knobs::default()).unwrap();
+        assert!(!w.checkpoints());
+        assert_eq!(w.total_cells(), config_grid(false).len());
+        assert!(bin_workload("fig06_streams", &Knobs::default()).unwrap().checkpoints());
+    }
+}

@@ -16,7 +16,18 @@
 //! over the complete set ([`pareto_flags`]), by the unsharded bin run or
 //! by the merge.
 
-use crate::grid::{coverage_order, ShardSpec};
+use crate::grid::{coverage_order, fnv1a, ShardSpec};
+use crate::harness::{run_parallel, Knobs};
+use crate::save_json;
+use ekya_core::{
+    default_retrain_grid, extended_retrain_grid, profile_config, RetrainConfig, RetrainExecution,
+    TrainHyper,
+};
+use ekya_nn::cost::CostModel;
+use ekya_nn::data::Sample;
+use ekya_nn::golden::{distill_labels, OracleTeacher};
+use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
 use serde::{Deserialize, Serialize};
 
 /// One profiled retraining configuration: its GPU cost, its final
@@ -103,12 +114,188 @@ pub fn merge_config_shards(shards: &[ConfigShard]) -> Result<Vec<ConfigPoint>, S
     Ok(points)
 }
 
+/// The configuration grid fig03 profiles: the paper's extended
+/// 54-configuration grid, or the 18-configuration default grid under
+/// quick mode (`EKYA_QUICK=1`) — the slice `harness_bench` measures and
+/// the CI perf gate tracks as `fig03_quick_configs`.
+pub fn config_grid(quick: bool) -> Vec<RetrainConfig> {
+    if quick {
+        default_retrain_grid()
+    } else {
+        extended_retrain_grid()
+    }
+}
+
+/// The profiling context of the fig03 configuration sweep: one warm
+/// steady-state model plus the window data every configuration is
+/// profiled against.
+///
+/// Preparing it is the sweep's one-off cost (a full 30-epoch warm-up
+/// retraining); [`ConfigSweep::measure`] then profiles any list of
+/// configurations on the work-stealing pool with **per-config seeding**
+/// (`base_seed ^ fnv1a("cfg|" + label)`), so every configuration's
+/// numbers are a pure function of (model, data, config) — independent of
+/// which other configurations run alongside it. That purity is what lets
+/// `EKYA_SHARD` split the configuration list across processes, and what
+/// lets the `ekya-orchestrate` worker run a fig03 shard in-process with
+/// output byte-identical to the `fig03_configs` binary's.
+pub struct ConfigSweep {
+    model: Mlp,
+    train: Vec<Sample>,
+    val: Vec<Sample>,
+    num_classes: usize,
+    cost: CostModel,
+    base_seed: u64,
+}
+
+impl ConfigSweep {
+    /// Builds the steady-state profiling context for `base_seed`:
+    /// generates the two-window Cityscapes dataset, distills teacher
+    /// labels, and warms the edge model with one full retraining on
+    /// window 0 — exactly the setup `fig03_configs` has always used.
+    pub fn prepare(base_seed: u64) -> Self {
+        let cost = CostModel::default();
+        let ds = VideoDataset::generate(DatasetSpec::new(DatasetKind::Cityscapes, 2, base_seed));
+        let nc = ds.num_classes;
+        let mut teacher = OracleTeacher::new(0.02, nc, base_seed ^ 0xAA);
+        let w0 = distill_labels(&mut teacher, &ds.window(0).train_pool);
+        let train = distill_labels(&mut teacher, &ds.window(1).train_pool);
+        let val = distill_labels(&mut teacher, &ds.window(1).val);
+
+        let base = Mlp::new(MlpArch::edge(ds.feature_dim, nc, 16), base_seed);
+        let mut warm = RetrainExecution::new(
+            &base,
+            &w0,
+            RetrainConfig {
+                epochs: 30,
+                batch_size: 32,
+                last_layer_neurons: 16,
+                layers_trained: 3,
+                data_fraction: 1.0,
+            },
+            nc,
+            TrainHyper::default(),
+            base_seed,
+        );
+        warm.run_to_completion();
+        let mut model = warm.model().clone();
+        model.set_layers_trained(usize::MAX);
+
+        Self { model, train, val, num_classes: nc, cost, base_seed }
+    }
+
+    /// Profiles `configs` across `workers` threads, one [`ConfigPoint`]
+    /// per configuration in input order. A panicking configuration is
+    /// isolated into its point's `error` field — the same isolation a
+    /// grid cell gets — so one poisoned config cannot sink the sweep.
+    pub fn measure(&self, configs: &[RetrainConfig], workers: usize) -> Vec<ConfigPoint> {
+        let jobs: Vec<RetrainConfig> = configs.to_vec();
+        run_parallel(jobs, workers, |_, c: RetrainConfig| {
+            let cfg_seed = self.base_seed ^ fnv1a(format!("cfg|{}", c.label()).as_bytes());
+            let (accuracy, gpu_seconds) = profile_config(
+                &self.model,
+                &self.train,
+                &self.val,
+                c,
+                self.num_classes,
+                TrainHyper::default(),
+                &self.cost,
+                cfg_seed,
+            );
+            ConfigPoint { label: c.label(), gpu_seconds, accuracy, on_pareto: false, error: None }
+        })
+        .into_iter()
+        .zip(configs)
+        .map(|(r, c)| {
+            r.unwrap_or_else(|message| {
+                eprintln!("[fig03: config {} poisoned — {message}]", c.label());
+                ConfigPoint {
+                    label: c.label(),
+                    gpu_seconds: 0.0,
+                    accuracy: 0.0,
+                    on_pareto: false,
+                    error: Some(message),
+                }
+            })
+        })
+        .collect()
+    }
+}
+
+/// The environment-driven front door for the fig03 configuration sweep —
+/// the config-grid sibling of
+/// [`run_grid_bin`](crate::harness::run_grid_bin), shared by the
+/// `fig03_configs` binary and the `ekya-orchestrate` worker.
+///
+/// Prepares the sweep, then:
+///
+/// * **sharded** (`EKYA_SHARD=i/N`): profiles only this shard's slice of
+///   [`config_grid`], writes the [`ConfigShard`] envelope to
+///   `results/fig03_configs_shardIofN.json`, and returns `None` — merge
+///   the shards with `grid_merge` or `ekya_grid`;
+/// * **unsharded**: profiles the whole grid, computes the Pareto flags,
+///   writes the point list to `results/fig03_configs.json`, and returns
+///   it for the bin's tables.
+///
+/// The returned [`ConfigSweep`] lets the caller profile extra
+/// configurations (fig03's panel (a) axes) without paying the warm-up
+/// again. The sweep shards but does not checkpoint (its cells are
+/// cheap), so `EKYA_RESUME` warns and recomputes.
+pub fn run_config_bin(knobs: &Knobs) -> (ConfigSweep, Option<Vec<ConfigPoint>>) {
+    knobs.warn_if_resume("fig03_configs");
+    let grid = config_grid(knobs.quick());
+    let sweep = ConfigSweep::prepare(knobs.seed());
+
+    if let Some(shard) = knobs.shard() {
+        let range = shard.range(grid.len());
+        eprintln!(
+            "[fig03: shard {shard} → configs {}..{} of {} across {} workers]",
+            range.start,
+            range.end,
+            grid.len(),
+            knobs.workers()
+        );
+        let points = sweep.measure(&grid[range], knobs.workers());
+        let envelope =
+            ConfigShard { name: "fig03_configs".into(), total: grid.len(), shard, points };
+        save_json(&format!("fig03_configs{}", shard.suffix()), &envelope);
+        println!(
+            "[shard output: {} of {} configs — tables, spread, and the Pareto frontier are \
+             whole-grid; merge the shards with `grid_merge` first]",
+            envelope.points.len(),
+            envelope.total
+        );
+        return (sweep, None);
+    }
+
+    let mut points = sweep.measure(&grid, knobs.workers());
+    let flags = pareto_flags(&points);
+    for (p, on) in points.iter_mut().zip(flags) {
+        p.on_pareto = on;
+    }
+    save_json("fig03_configs", &points);
+    (sweep, Some(points))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn pt(label: &str, gpu_seconds: f64, accuracy: f64) -> ConfigPoint {
         ConfigPoint { label: label.into(), gpu_seconds, accuracy, on_pareto: false, error: None }
+    }
+
+    #[test]
+    fn config_grid_quick_is_a_smaller_sweep() {
+        let quick = config_grid(true);
+        let full = config_grid(false);
+        assert!(!quick.is_empty());
+        assert!(quick.len() < full.len());
+        // Every quick config exists in the full grid, so quick results
+        // are a genuine subset of the paper sweep.
+        for c in &quick {
+            assert!(full.contains(c), "quick config {c:?} missing from full grid");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! `EKYA_RESUME` environment knobs for the fig/table binaries.
 
 use crate::grid::{coverage_order, Grid, Scenario, ShardSpec};
-use crate::{results_dir, save_json};
+use crate::results_dir;
 use ekya_baselines::PolicyBuildCtx;
 use ekya_sim::{run_windows, RunReport, RunnerConfig};
 use ekya_video::StreamSet;
@@ -69,6 +69,23 @@ pub struct Knobs {
     resume: Option<String>,
 }
 
+impl Default for Knobs {
+    /// The knob values an empty environment resolves to: seed 42, no
+    /// window/stream overrides, full-size sweeps, hardware-parallelism
+    /// workers, unsharded, no resume.
+    fn default() -> Self {
+        Self {
+            windows: None,
+            streams: None,
+            seed: 42,
+            quick: false,
+            workers: default_workers(),
+            shard: None,
+            resume: None,
+        }
+    }
+}
+
 impl Knobs {
     /// Reads every knob from the environment.
     ///
@@ -94,6 +111,64 @@ impl Knobs {
             shard,
             resume,
         }
+    }
+
+    /// Sets the window override (the programmatic `EKYA_WINDOWS`) —
+    /// these builder-style setters are what lets a supervisor like
+    /// `ekya-orchestrate` drive [`run_grid_bin`] and the bin registry
+    /// without mutating its own process environment.
+    pub fn with_windows(mut self, windows: Option<usize>) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Sets the stream-count override (the programmatic `EKYA_STREAMS`).
+    pub fn with_streams(mut self, streams: Option<usize>) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Sets the base RNG seed (the programmatic `EKYA_SEED`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets quick mode (the programmatic `EKYA_QUICK`).
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Sets the worker-thread count (the programmatic `EKYA_WORKERS`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the shard slice (the programmatic `EKYA_SHARD`).
+    pub fn with_shard(mut self, shard: Option<ShardSpec>) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Sets the resume request (the programmatic `EKYA_RESUME`).
+    pub fn with_resume(mut self, resume: Option<String>) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The raw window override (`EKYA_WINDOWS`), `None` when the bin's
+    /// default applies — what a supervisor records in its plan so
+    /// respawned shards inherit exactly the launch-time knobs.
+    pub fn windows_override(&self) -> Option<usize> {
+        self.windows
+    }
+
+    /// The raw stream-count override (`EKYA_STREAMS`), `None` when the
+    /// bin's default applies.
+    pub fn streams_override(&self) -> Option<usize> {
+        self.streams
     }
 
     /// Number of retraining windows (`EKYA_WINDOWS`, else the bin's
@@ -408,6 +483,12 @@ pub struct GridExec {
     /// completed cell (atomically, via a `.tmp` sibling), so a killed
     /// run loses at most the cells in flight.
     pub checkpoint: Option<PathBuf>,
+    /// Fault injection: exit the whole process (code 17) once this many
+    /// cells have completed in this run. Wired to the
+    /// `EKYA_ORCH_CRASH_AFTER` env knob by [`run_grid_bin`] so the
+    /// orchestrator's tests and CI can kill a shard mid-grid and prove
+    /// retry-with-resume converges. Never set in normal operation.
+    pub crash_after: Option<usize>,
 }
 
 impl GridExec {
@@ -434,7 +515,16 @@ impl GridExec {
         self
     }
 
-    /// Executes the configured slice of `grid` and assembles the report.
+    /// Enables fault injection: the process exits after `n` completed
+    /// cells (see the field docs).
+    pub fn crash_after(mut self, n: Option<usize>) -> Self {
+        self.crash_after = n;
+        self
+    }
+
+    /// Executes the configured slice of `grid` with the default cell
+    /// evaluator ([`run_scenario`] under the grid's hold-out seed) and
+    /// assembles the report.
     ///
     /// Cells whose fingerprint hits `prior` are reused verbatim (and
     /// count as `resumed` in the stats); the remainder fan out across
@@ -442,6 +532,20 @@ impl GridExec {
     /// The returned report is identical to what an unresumed run of the
     /// same slice produces — resume can only skip work, never change it.
     pub fn run(&self, grid: &Grid) -> GridRun {
+        self.run_with(grid, |sc| run_scenario(sc, grid.holdout_seed(sc.dataset)))
+    }
+
+    /// [`GridExec::run`] with a custom cell evaluator.
+    ///
+    /// `eval` must be a pure function of the scenario (plus state fixed
+    /// for the whole run, e.g. a pre-recorded trace) — that purity is
+    /// what keeps sharding, resume, and parallel ≡ serial byte-exact.
+    /// This is how bins whose cells are not plain simulations
+    /// (fig08's trace replay) ride the same shard/resume machinery.
+    pub fn run_with<F>(&self, grid: &Grid, eval: F) -> GridRun
+    where
+        F: Fn(&Scenario) -> CellResult + Sync,
+    {
         let all = grid.cells();
         let total = all.len();
         let range = self.shard.map_or(0..total, |s| s.range(total));
@@ -468,12 +572,12 @@ impl GridExec {
             .as_ref()
             .map(|path| (path.as_path(), Mutex::new(done.clone()), Mutex::new(0usize)));
         let envelope = (self.name.as_str(), total, self.shard);
+        let completed = std::sync::atomic::AtomicUsize::new(0);
 
         let started = Instant::now();
         let results =
             run_parallel(pending.clone(), self.workers, |_, (idx, sc): (usize, Scenario)| {
-                let holdout = grid.holdout_seed(sc.dataset);
-                let cell = run_scenario(&sc, holdout);
+                let cell = eval(&sc);
                 if let Some((path, state, written)) = &ckpt {
                     // Record under the state lock; serialize and write
                     // under a separate IO lock so other cells keep
@@ -495,6 +599,17 @@ impl GridExec {
                         *written = snapshot.len();
                         write_checkpoint(path, envelope, snapshot);
                     }
+                }
+                // Fault injection: die *after* the checkpoint landed, so
+                // the kill the orchestrator's tests simulate is the
+                // realistic one — progress survives, the run does not.
+                let n = completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                if self.crash_after.is_some_and(|k| n >= k) {
+                    eprintln!(
+                        "[{}: injected crash after {n} cells (EKYA_ORCH_CRASH_AFTER)]",
+                        self.name
+                    );
+                    std::process::exit(17);
                 }
                 cell
             });
@@ -708,6 +823,20 @@ fn load_prior(final_path: &Path, partial_path: &Path) -> (HashMap<u64, CellResul
 /// Returns the run so the bin can print tables (gated on
 /// [`HarnessReport::is_complete`]) and stats.
 pub fn run_grid_bin(name: &str, grid: &Grid, knobs: &Knobs) -> GridRun {
+    run_grid_bin_with(name, grid, knobs, |sc| run_scenario(sc, grid.holdout_seed(sc.dataset)))
+}
+
+/// [`run_grid_bin`] with a custom cell evaluator (see
+/// [`GridExec::run_with`]) — the front door for grid bins whose cells
+/// are not plain simulations, e.g. fig08's trace replay.
+///
+/// Also honors `EKYA_ORCH_CRASH_AFTER=n` (fault injection: exit after
+/// `n` completed cells), which the `ekya-orchestrate` supervisor sets on
+/// a shard's first attempt to prove retry-with-resume converges.
+pub fn run_grid_bin_with<F>(name: &str, grid: &Grid, knobs: &Knobs, eval: F) -> GridRun
+where
+    F: Fn(&Scenario) -> CellResult + Sync,
+{
     let shard = knobs.shard();
     let out = report_path(name, shard);
     let partial = out.with_extension("partial.json");
@@ -748,11 +877,14 @@ pub fn run_grid_bin(name: &str, grid: &Grid, knobs: &Knobs) -> GridRun {
     // or every per-cell checkpoint write on a fresh checkout fails
     // silently and a killed first run has nothing to resume from.
     let _ = std::fs::create_dir_all(results_dir());
+    let crash_after =
+        std::env::var("EKYA_ORCH_CRASH_AFTER").ok().and_then(|v| v.parse::<usize>().ok());
     let run = GridExec::new(name, knobs.workers())
         .shard(shard)
         .prior(prior)
         .checkpoint(Some(partial.clone()))
-        .run(grid);
+        .crash_after(crash_after)
+        .run_with(grid, eval);
 
     if run.stats.resumed > 0 {
         eprintln!("[{name}: resumed {} cells, executed {}]", run.stats.resumed, run.stats.executed);
@@ -773,9 +905,12 @@ pub fn run_grid_bin(name: &str, grid: &Grid, knobs: &Knobs) -> GridRun {
 // Perf trajectory
 // ---------------------------------------------------------------------
 
-/// Machine-readable harness throughput record, written to
-/// `results/BENCH_harness.json`. CI's perf gate (`ci/check_bench.sh`)
-/// compares `cells_per_sec` against the committed baseline.
+/// Machine-readable harness throughput record. `harness_bench` measures
+/// one record per gated grid (the quick fig06 scenario grid and the
+/// quick fig03 config sweep) and appends them — as one
+/// [`BenchSeriesEntry`] — to `results/BENCH_series.json`; CI's perf gate
+/// (`ci/check_bench.sh`) compares each record's `cells_per_sec` against
+/// the matching entry of the committed baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
     /// Benchmark identity (grid name).
@@ -794,9 +929,64 @@ pub struct BenchRecord {
     pub cells_per_sec: f64,
 }
 
-/// Writes the throughput record to `results/BENCH_harness.json`.
-pub fn save_bench_record(record: &BenchRecord) {
-    save_json("BENCH_harness", record);
+/// One run of `harness_bench` in the perf trajectory: which revision was
+/// measured and the records it produced. `results/BENCH_series.json`
+/// holds the full history (a JSON array of these, appended to — never
+/// overwritten), so throughput over time can be plotted per machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSeriesEntry {
+    /// `git describe --always --dirty` of the measured tree (or
+    /// `"unknown"` outside a git checkout).
+    pub git: String,
+    /// One record per measured grid, `fig06_quick_grid` first.
+    pub records: Vec<BenchRecord>,
+}
+
+/// The perf-trajectory file: `results/BENCH_series.json`.
+pub fn bench_series_path() -> PathBuf {
+    results_dir().join("BENCH_series.json")
+}
+
+/// Appends one run's records to the perf trajectory (stamped with
+/// [`git_describe`]) and returns the series path. Refuses to clobber an
+/// unparseable series file — history is the point of the series.
+pub fn append_bench_series(records: Vec<BenchRecord>) -> Result<PathBuf, String> {
+    let path = bench_series_path();
+    let mut series: Vec<BenchSeriesEntry> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).map_err(|e| {
+            format!("cannot parse {}: {e} — move it aside to start a fresh series", path.display())
+        })?,
+        Err(_) => Vec::new(),
+    };
+    series.push(BenchSeriesEntry { git: git_describe(), records });
+    crate::write_json(&path, &series)?;
+    Ok(path)
+}
+
+/// The latest entry of a perf-trajectory file — what the perf gate
+/// compares against the committed baseline.
+pub fn latest_bench_entry(path: &Path) -> Result<BenchSeriesEntry, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let series: Vec<BenchSeriesEntry> = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse {} as a bench series: {e}", path.display()))?;
+    series.last().cloned().ok_or_else(|| format!("{} holds no entries", path.display()))
+}
+
+/// `git describe --always --dirty` of the workspace, `"unknown"` when
+/// git is unavailable — the revision stamp of a [`BenchSeriesEntry`].
+pub fn git_describe() -> String {
+    let root = results_dir().parent().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]

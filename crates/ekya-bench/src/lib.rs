@@ -23,22 +23,37 @@
 //! * `EKYA_SHARD=i/N` — run shard `i` of `N` of a grid bin's cell range
 //!   (merge the per-shard reports with the `grid_merge` bin);
 //! * `EKYA_RESUME` — resume a killed or partial run from its previous
-//!   report/checkpoint (`1`), or from an explicit report path.
+//!   report/checkpoint (`1`), or from an explicit report path;
+//! * `EKYA_RESULTS_DIR` — redirect `results/` (used by the
+//!   `ekya-orchestrate` supervisor to give each run its own directory).
+//!
+//! The shardable bins also have a declarative identity ([`bins`]) that
+//! the `ekya-orchestrate` crate's `ekya_grid` launcher uses to plan,
+//! spawn, supervise, and merge a whole sharded run with one command.
 //!
 //! The full operator guide — every knob, the report JSON schema, worked
 //! sharding/resume examples, and the determinism guarantees — lives in
 //! `crates/ekya-bench/README.md`.
 
+pub mod bins;
 pub mod config_profile;
 pub mod grid;
 pub mod harness;
 
-pub use config_profile::{merge_config_shards, pareto_flags, ConfigPoint, ConfigShard};
+pub use bins::{
+    bin_workload, fig08_grid, fig08_grid_for, fig08_policies, fig10_grid, run_bin, run_fig08_bin,
+    shardable_bins, table3_grid, BinWorkload, FIG10_DELTAS, FIG10_GPUS,
+};
+pub use config_profile::{
+    config_grid, merge_config_shards, pareto_flags, run_config_bin, ConfigPoint, ConfigShard,
+    ConfigSweep,
+};
 pub use grid::{cell_seed, coverage_order, fig06_grid, fnv1a, Grid, Scenario, ShardSpec};
 pub use harness::{
-    default_workers, load_report, merge_reports, report_path, run_grid, run_grid_bin, run_parallel,
-    run_scenario, save_bench_record, BenchRecord, CellResult, GridExec, GridRun, HarnessReport,
-    Knobs, RunStats,
+    append_bench_series, bench_series_path, default_workers, git_describe, latest_bench_entry,
+    load_report, merge_reports, report_path, run_grid, run_grid_bin, run_grid_bin_with,
+    run_parallel, run_scenario, BenchRecord, BenchSeriesEntry, CellResult, GridExec, GridRun,
+    HarnessReport, Knobs, RunStats,
 };
 
 use serde::Serialize;
@@ -136,7 +151,17 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
 
 /// The workspace `results/` directory (resolved via `CARGO_MANIFEST_DIR`
 /// when run through cargo, else relative to the current directory).
+///
+/// `EKYA_RESULTS_DIR` overrides the resolution entirely — the
+/// `ekya-orchestrate` supervisor points each shard worker (and its
+/// hermetic tests) at a per-run directory this way, so orchestrated
+/// shard reports and checkpoints never collide with a foreground run's.
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("EKYA_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         // crates/ekya-bench -> workspace root two levels up.
         let p = PathBuf::from(manifest);

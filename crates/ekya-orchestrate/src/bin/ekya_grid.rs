@@ -1,0 +1,330 @@
+//! `ekya_grid` — one command instead of N terminals for a sharded grid.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! ekya_grid run --bin fig06_streams --shards 4 [--max-retries 2] ...
+//! ekya_grid status [--run NAME | --run-dir PATH]
+//! ekya_grid resume [--run NAME | --run-dir PATH] [--max-retries K]
+//! ekya_grid worker --bin BIN          (internal: one shard, env-driven)
+//! ```
+//!
+//! `run` plans the grid (`plan.json`), spawns one worker process per
+//! shard (this same binary in `worker` mode), supervises them —
+//! heartbeat monitoring via the `.partial.json` checkpoints, bounded
+//! retry-with-resume on crash/stall/kill — and, when every shard
+//! completes, merges the shard reports in-process and (by default)
+//! promotes the merged file to `results/<bin>.json`. All run artifacts
+//! (plan, status, shard reports, checkpoints, per-shard logs, merged
+//! report) live under the run directory, default
+//! `results/orchestrate/<run>/`.
+//!
+//! `run` flags: `--bin` (required; see `ekya_bench::shardable_bins`),
+//! `--shards N` (default 2), `--max-retries K` (default 2),
+//! `--stall-timeout SECS` (default 600), `--backoff-ms MS` (default
+//! 500), `--poll-ms MS` (default 200), `--run NAME` / `--run-dir PATH`,
+//! `--workers-per-shard W` (default: `EKYA_WORKERS` — or hardware
+//! parallelism — divided by the shard count),
+//! `--seed`/`--windows`/`--streams`/`--quick` (override the `EKYA_*`
+//! env, which is otherwise inherited into the plan),
+//! `--verify-against FILE` (fail unless the merged report is
+//! byte-identical to FILE), `--no-promote`, and `--inject-crash I:K`
+//! (fault injection: shard I's first attempt exits after K cells — the
+//! retry-with-resume proof CI runs).
+//!
+//! Exit codes: 0 on success, 1 on a failed run or supervisor error,
+//! 2 on usage errors.
+
+use ekya_orchestrate::{
+    read_status, supervise, Plan, PlanEnv, RunState, Spawner, Status, SuperviseOpts,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first().map(|(cmd, rest)| (cmd.as_str(), rest)) {
+        Some(("run", rest)) => cmd_run(rest),
+        Some(("status", rest)) => cmd_status(rest),
+        Some(("resume", rest)) => cmd_resume(rest),
+        Some(("worker", rest)) => cmd_worker(rest),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ekya_grid: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: ekya_grid run --bin BIN --shards N [options] | \
+     status [--run NAME | --run-dir PATH] | \
+     resume [--run NAME | --run-dir PATH] [--max-retries K] | \
+     worker --bin BIN (internal)"
+        .to_string()
+}
+
+/// A parsed flag list: `--key value` pairs plus boolean switches.
+struct Flags(Vec<(String, Option<String>)>);
+
+const SWITCHES: [&str; 3] = ["--quick", "--no-promote", "--help"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument `{flag}` — {}", usage()));
+            }
+            if SWITCHES.contains(&flag.as_str()) {
+                out.push((flag.clone(), None));
+            } else {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                out.push((flag.clone(), Some(value.clone())));
+            }
+        }
+        Ok(Self(out))
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.0.iter().rev().find(|(f, _)| f == flag).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|(f, _)| f == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        self.get(flag)
+            .map(|v| v.parse().map_err(|_| format!("{flag}: cannot parse `{v}`")))
+            .transpose()
+    }
+}
+
+/// The run directory: explicit `--run-dir`, else
+/// `results/orchestrate/<--run | bin>`.
+fn run_dir_of(flags: &Flags, bin_for_default: Option<&str>) -> Result<PathBuf, String> {
+    if let Some(dir) = flags.get("--run-dir") {
+        return Ok(PathBuf::from(dir));
+    }
+    let name = flags
+        .get("--run")
+        .map(str::to_string)
+        .or_else(|| bin_for_default.map(str::to_string))
+        .ok_or("need --run NAME or --run-dir PATH")?;
+    Ok(ekya_bench::results_dir().join("orchestrate").join(name))
+}
+
+fn supervise_opts(flags: &Flags, resume: bool) -> Result<SuperviseOpts, String> {
+    let inject_crash = match flags.get("--inject-crash") {
+        None => None,
+        Some(v) => {
+            let parts: Vec<&str> = v.split(':').collect();
+            let parsed = match parts.as_slice() {
+                [i, k] => i.parse::<usize>().ok().zip(k.parse::<usize>().ok()),
+                _ => None,
+            };
+            Some(parsed.ok_or_else(|| format!("--inject-crash: expected I:K, got `{v}`"))?)
+        }
+    };
+    Ok(SuperviseOpts {
+        poll_interval: Duration::from_millis(flags.parsed("--poll-ms")?.unwrap_or(200)),
+        resume,
+        inject_crash,
+        verify_against: flags.get("--verify-against").map(PathBuf::from),
+        promote: !flags.has("--no-promote"),
+    })
+}
+
+fn finish(status: Status) -> ExitCode {
+    match status.state {
+        RunState::Complete => {
+            let merged = status.merged.expect("complete run has a merge");
+            println!(
+                "ekya_grid: COMPLETE — {} cells across {} shards → {} (fingerprint {}){}{}",
+                status.total_cells,
+                status.shards.len(),
+                merged.path,
+                merged.fingerprint,
+                merged
+                    .verified_against
+                    .as_deref()
+                    .map(|r| format!(", verified ≡ {r}"))
+                    .unwrap_or_default(),
+                merged
+                    .promoted_to
+                    .as_deref()
+                    .map(|p| format!(", promoted to {p}"))
+                    .unwrap_or_default(),
+            );
+            ExitCode::SUCCESS
+        }
+        state => {
+            eprintln!(
+                "ekya_grid: run ended {state:?} — {} of {} cells done; see status.json \
+                 and the shard logs in the run directory",
+                status.cells_done, status.total_cells
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("--help") {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let bin = flags.get("--bin").ok_or("run: --bin is required")?.to_string();
+    let shards: usize = flags.parsed("--shards")?.unwrap_or(2);
+    let run_dir = run_dir_of(&flags, Some(&bin))?;
+    if Plan::path(&run_dir).exists() {
+        return Err(format!(
+            "{} already holds a plan — `ekya_grid resume --run-dir {}` to continue it, \
+             or pick a fresh --run/--run-dir",
+            run_dir.display(),
+            run_dir.display()
+        ));
+    }
+
+    // Knobs: the environment is the base, CLI flags win, and the result
+    // is pinned into the plan for every subsequent spawn and resume.
+    let mut knobs = ekya_bench::Knobs::from_env();
+    if let Some(seed) = flags.parsed("--seed")? {
+        knobs = knobs.with_seed(seed);
+    }
+    if let Some(windows) = flags.parsed("--windows")? {
+        knobs = knobs.with_windows(Some(windows));
+    }
+    if let Some(streams) = flags.parsed("--streams")? {
+        knobs = knobs.with_streams(Some(streams));
+    }
+    if flags.has("--quick") {
+        knobs = knobs.with_quick(true);
+    }
+    // Default worker split honors EKYA_WORKERS (knobs.workers()), not
+    // raw hardware parallelism — the shard processes together use what
+    // one foreground run would have used.
+    let workers_per_shard = flags
+        .parsed("--workers-per-shard")?
+        .unwrap_or_else(|| (knobs.workers() / shards.max(1)).max(1));
+
+    let plan = Plan::new(
+        &bin,
+        shards,
+        PlanEnv::from_knobs(&knobs, workers_per_shard),
+        flags.parsed("--max-retries")?.unwrap_or(2),
+        flags.parsed("--stall-timeout")?.unwrap_or(600),
+        flags.parsed("--backoff-ms")?.unwrap_or(500),
+    )?;
+    plan.save(&run_dir)?;
+    println!(
+        "ekya_grid: planned {} — {} cells across {} shards, {} worker(s) each → {}",
+        plan.bin,
+        plan.total_cells,
+        plan.shards.len(),
+        plan.env.workers,
+        run_dir.display()
+    );
+
+    let spawner = Spawner::current_exe(&run_dir)?;
+    let status = supervise(&plan, &run_dir, &spawner, &supervise_opts(&flags, false)?)?;
+    Ok(finish(status))
+}
+
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("--help") {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let run_dir = run_dir_of(&flags, None)?;
+    let mut plan = Plan::load(&run_dir)?;
+    if let Some(max_retries) = flags.parsed("--max-retries")? {
+        plan.max_retries = max_retries;
+    }
+    println!(
+        "ekya_grid: resuming {} — {} cells across {} shards ({})",
+        plan.bin,
+        plan.total_cells,
+        plan.shards.len(),
+        run_dir.display()
+    );
+    let spawner = Spawner::current_exe(&run_dir)?;
+    let status = supervise(&plan, &run_dir, &spawner, &supervise_opts(&flags, true)?)?;
+    Ok(finish(status))
+}
+
+fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("--help") {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let run_dir = run_dir_of(&flags, None)?;
+    let status = read_status(&run_dir)?;
+    let rate = if status.cells_per_sec > 0.0 {
+        format!(" · {:.2} cells/s", status.cells_per_sec)
+    } else {
+        String::new()
+    };
+    println!(
+        "{} [{:?}] — {}/{} cells{rate}{}",
+        status.bin,
+        status.state,
+        status.cells_done,
+        status.total_cells,
+        status.eta_secs.map(|eta| format!(" · ETA {eta:.0}s")).unwrap_or_default(),
+    );
+    for s in &status.shards {
+        let failures = if s.failures.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " · {} failure(s), last: {}",
+                s.failures.len(),
+                s.failures.last().map(|f| f.reason.as_str()).unwrap_or("-")
+            )
+        };
+        println!(
+            "  shard {:>7} [{:?}] attempt {} — {}/{} cells{}{failures}",
+            s.shard,
+            s.state,
+            s.attempt,
+            s.cells_done,
+            s.end - s.start,
+            s.pid.map(|p| format!(" · pid {p}")).unwrap_or_default(),
+        );
+    }
+    if let Some(m) = &status.merged {
+        println!("  merged: {} (fingerprint {})", m.path, m.fingerprint);
+    }
+    // Exit code mirrors run health so scripts can poll `status`.
+    Ok(match status.state {
+        RunState::Failed => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    })
+}
+
+/// Internal worker mode: run one shard of a bin in-process, entirely
+/// driven by the env the supervisor set (`EKYA_SHARD`, `EKYA_RESUME`,
+/// `EKYA_RESULTS_DIR`, …). Kept as a subcommand of this same binary so
+/// the supervisor has no build-time dependency on the bin binaries and
+/// tests can spawn it via `CARGO_BIN_EXE_ekya_grid`.
+fn cmd_worker(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("--help") {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let bin = flags.get("--bin").ok_or("worker: --bin is required")?;
+    let knobs = ekya_bench::Knobs::from_env();
+    ekya_bench::run_bin(bin, &knobs)?;
+    Ok(ExitCode::SUCCESS)
+}

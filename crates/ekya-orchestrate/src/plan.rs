@@ -1,0 +1,265 @@
+//! The run plan: a bin's shard partition plus the pinned env knobs,
+//! serialized to `<run_dir>/plan.json`.
+//!
+//! The plan is computed **once**, at launch, from the bin's declarative
+//! workload (`ekya_bench::bin_workload`) — every spawn, retry, and
+//! `ekya_grid resume` afterwards reads the knobs back from the plan
+//! instead of the (possibly drifted) environment, so all attempts of
+//! all shards of a run are guaranteed to agree on cell identity. That
+//! is the precondition for the merge's byte-identity guarantee.
+
+use ekya_bench::{bin_workload, shardable_bins, BinWorkload, Knobs, ShardSpec};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Which kind of workload the bin computes — decides the shard report
+/// schema the monitor probes and the merge path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Scenario grid: `HarnessReport` shards with `.partial.json`
+    /// checkpoints (fig06, table3, fig10, fig08).
+    Scenarios,
+    /// fig03 configuration sweep: `ConfigShard` shards, no checkpoints
+    /// (a retry re-profiles the whole shard; stall detection is off).
+    Configs,
+}
+
+/// The launch-time values of the shared env knobs, pinned into the plan
+/// (the serialized counterpart of `ekya_bench::Knobs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEnv {
+    /// Base RNG seed (`EKYA_SEED`).
+    pub seed: u64,
+    /// Window override (`EKYA_WINDOWS`), `None` = the bin's default.
+    pub windows: Option<usize>,
+    /// Stream override (`EKYA_STREAMS`), `None` = the bin's default.
+    pub streams: Option<usize>,
+    /// Quick mode (`EKYA_QUICK=1`).
+    pub quick: bool,
+    /// Worker threads **per shard process** (`EKYA_WORKERS`).
+    pub workers: usize,
+}
+
+impl PlanEnv {
+    /// Captures knobs (typically `Knobs::from_env()` plus CLI overrides)
+    /// with an explicit per-shard worker count.
+    pub fn from_knobs(knobs: &Knobs, workers_per_shard: usize) -> Self {
+        Self {
+            seed: knobs.seed(),
+            windows: knobs.windows_override(),
+            streams: knobs.streams_override(),
+            quick: knobs.quick(),
+            workers: workers_per_shard.max(1),
+        }
+    }
+
+    /// The programmatic `Knobs` these pinned values resolve to — what
+    /// the planner hands to `bin_workload` so plan and workers see the
+    /// same grid.
+    pub fn to_knobs(&self) -> Knobs {
+        Knobs::default()
+            .with_seed(self.seed)
+            .with_windows(self.windows)
+            .with_streams(self.streams)
+            .with_quick(self.quick)
+            .with_workers(self.workers)
+    }
+}
+
+/// One shard of the plan: its `ShardSpec` and the contiguous cell slice
+/// it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Shard coordinates (`i/N`), the `EKYA_SHARD` value its workers
+    /// receive.
+    pub shard: ShardSpec,
+    /// First cell of the slice (inclusive).
+    pub start: usize,
+    /// One past the last cell of the slice.
+    pub end: usize,
+}
+
+impl ShardPlan {
+    /// Cells this shard owns.
+    pub fn cells(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// A complete supervised-run plan, serialized to `<run_dir>/plan.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The shardable bin this run executes (`ekya_bench::shardable_bins`).
+    pub bin: String,
+    /// The bin's workload kind (report schema + merge path).
+    pub kind: WorkloadKind,
+    /// Cells in the full (unsharded) enumeration.
+    pub total_cells: usize,
+    /// The shard partition, in index order; slices tile `0..total_cells`.
+    pub shards: Vec<ShardPlan>,
+    /// Pinned env knobs every attempt of every shard runs under.
+    pub env: PlanEnv,
+    /// Retries allowed per shard beyond its first attempt.
+    pub max_retries: usize,
+    /// Kill-and-retry a shard after this long without checkpoint
+    /// progress (scenario bins only — fig03 does not checkpoint).
+    pub stall_timeout_secs: u64,
+    /// Base of the exponential retry backoff (doubles per retry).
+    pub backoff_ms: u64,
+}
+
+impl Plan {
+    /// Plans `bin` across `shards` processes under the pinned `env`.
+    ///
+    /// Fails on an unknown/non-shardable bin or a zero shard count. More
+    /// shards than cells is allowed (the surplus shards own empty slices
+    /// and complete immediately), same as hand-set `EKYA_SHARD`.
+    pub fn new(
+        bin: &str,
+        shards: usize,
+        env: PlanEnv,
+        max_retries: usize,
+        stall_timeout_secs: u64,
+        backoff_ms: u64,
+    ) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("cannot plan a run with 0 shards".into());
+        }
+        let workload = bin_workload(bin, &env.to_knobs()).ok_or_else(|| {
+            format!(
+                "unknown or non-shardable bin `{bin}` — shardable bins: {}",
+                shardable_bins().join(", ")
+            )
+        })?;
+        let kind = match workload {
+            BinWorkload::Scenarios(_) => WorkloadKind::Scenarios,
+            BinWorkload::Configs { .. } => WorkloadKind::Configs,
+        };
+        let total_cells = workload.total_cells();
+        let shards = (0..shards)
+            .map(|index| {
+                let shard = ShardSpec { index, count: shards };
+                let range = shard.range(total_cells);
+                ShardPlan { shard, start: range.start, end: range.end }
+            })
+            .collect();
+        Ok(Self {
+            bin: bin.to_string(),
+            kind,
+            total_cells,
+            shards,
+            env,
+            max_retries,
+            stall_timeout_secs,
+            backoff_ms,
+        })
+    }
+
+    /// `<run_dir>/plan.json`.
+    pub fn path(run_dir: &Path) -> PathBuf {
+        run_dir.join("plan.json")
+    }
+
+    /// Serializes the plan into the run directory (creating it).
+    pub fn save(&self, run_dir: &Path) -> Result<(), String> {
+        ekya_bench::write_json(&Self::path(run_dir), self)
+    }
+
+    /// Loads the plan of an existing run directory.
+    pub fn load(run_dir: &Path) -> Result<Self, String> {
+        let path = Self::path(run_dir);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!("cannot read {}: {e} — is this a run directory?", path.display())
+        })?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
+
+    /// True when shards checkpoint per-cell progress — the heartbeat
+    /// stall detection needs.
+    pub fn checkpoints(&self) -> bool {
+        self.kind == WorkloadKind::Scenarios
+    }
+
+    /// Shard `i`'s final report: `<run_dir>/<bin>_shardIofN.json` — the
+    /// same naming `report_path` gives a worker whose
+    /// `EKYA_RESULTS_DIR` points at the run directory.
+    pub fn shard_report_path(&self, run_dir: &Path, i: usize) -> PathBuf {
+        run_dir.join(format!("{}{}.json", self.bin, self.shards[i].shard.suffix()))
+    }
+
+    /// Shard `i`'s live checkpoint: the `.partial.json` sibling of its
+    /// report (scenario bins only).
+    pub fn shard_partial_path(&self, run_dir: &Path, i: usize) -> PathBuf {
+        self.shard_report_path(run_dir, i).with_extension("partial.json")
+    }
+
+    /// Shard `i`'s log file (stdout+stderr of every attempt, appended):
+    /// `<run_dir>/logs/shardI.log`.
+    pub fn shard_log_path(&self, run_dir: &Path, i: usize) -> PathBuf {
+        run_dir.join("logs").join(format!("shard{i}.log"))
+    }
+
+    /// The merged whole-grid report: `<run_dir>/<bin>.json`.
+    pub fn merged_path(&self, run_dir: &Path) -> PathBuf {
+        run_dir.join(format!("{}.json", self.bin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_env() -> PlanEnv {
+        PlanEnv { seed: 42, windows: Some(1), streams: None, quick: true, workers: 1 }
+    }
+
+    #[test]
+    fn plan_partitions_the_grid_exactly() {
+        let plan = Plan::new("fig06_streams", 4, quick_env(), 2, 600, 500).unwrap();
+        assert_eq!(plan.kind, WorkloadKind::Scenarios);
+        assert!(plan.checkpoints());
+        assert_eq!(plan.shards.len(), 4);
+        // The slices tile 0..total_cells contiguously.
+        assert_eq!(plan.shards[0].start, 0);
+        for w in plan.shards.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(plan.shards.last().unwrap().end, plan.total_cells);
+        assert_eq!(plan.shards.iter().map(ShardPlan::cells).sum::<usize>(), plan.total_cells);
+    }
+
+    #[test]
+    fn plan_rejects_unknown_bins_and_zero_shards() {
+        let err = Plan::new("fig02_motivation", 2, quick_env(), 2, 600, 500).unwrap_err();
+        assert!(err.contains("non-shardable"), "{err}");
+        assert!(Plan::new("fig06_streams", 0, quick_env(), 2, 600, 500).is_err());
+    }
+
+    #[test]
+    fn fig03_plans_as_configs_without_checkpoints() {
+        let plan = Plan::new("fig03_configs", 2, quick_env(), 2, 600, 500).unwrap();
+        assert_eq!(plan.kind, WorkloadKind::Configs);
+        assert!(!plan.checkpoints());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_the_run_directory() {
+        let plan = Plan::new("fig08_factors", 3, quick_env(), 1, 120, 250).unwrap();
+        let dir = std::env::temp_dir().join(format!("ekya_orch_plan_{}", std::process::id()));
+        plan.save(&dir).unwrap();
+        let back = Plan::load(&dir).unwrap();
+        assert_eq!(back, plan);
+        // Paths use the shard suffix convention the workers write under.
+        let report = plan.shard_report_path(&dir, 1);
+        assert!(report.ends_with("fig08_factors_shard1of3.json"), "{report:?}");
+        assert!(plan.shard_partial_path(&dir, 1).ends_with("fig08_factors_shard1of3.partial.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_env_roundtrips_to_knobs() {
+        let env = quick_env();
+        let knobs = env.to_knobs();
+        assert_eq!(PlanEnv::from_knobs(&knobs, 1), env);
+    }
+}

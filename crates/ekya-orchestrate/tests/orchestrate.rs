@@ -1,0 +1,252 @@
+//! Integration tests for the supervised launcher's failure paths — the
+//! guarantees the ISSUE prescribes:
+//!
+//! 1. a shard killed mid-grid (crash injection) is retried with resume
+//!    and the run converges to a merged report **byte-identical** to an
+//!    unsharded single-process run;
+//! 2. a stalled shard (no checkpoint progress within the timeout) is
+//!    killed and retried, and bounded attempts eventually exclude it;
+//! 3. a shard that keeps exiting nonzero exhausts its retries, leaves
+//!    `excluded`-style failure records in `status.json`, and the run
+//!    ends Failed without merging.
+//!
+//! The real-worker test spawns the actual `ekya_grid` binary
+//! (`CARGO_BIN_EXE_ekya_grid`) in worker mode; the fault-simulation
+//! tests substitute tiny shell scripts as the worker program, which is
+//! exactly what the `Spawner.program` indirection exists for.
+
+use ekya_orchestrate::{
+    read_status, supervise, Plan, PlanEnv, RunState, ShardState, Spawner, SuperviseOpts,
+};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn ekya_grid_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_ekya_grid"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ekya_orch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The quick fig08 workload: one trace recording plus 8 cheap replay
+/// cells — the lightest real grid, and it exercises the fig08 port onto
+/// the shard/resume machinery at the same time.
+fn quick_env() -> PlanEnv {
+    PlanEnv { seed: 42, windows: Some(1), streams: Some(2), quick: true, workers: 1 }
+}
+
+#[cfg(unix)]
+fn fake_worker(dir: &Path, name: &str, body: &str) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt;
+    let path = dir.join(name);
+    std::fs::write(&path, format!("#!/bin/sh\n{body}\n")).unwrap();
+    std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+    path
+}
+
+#[test]
+fn crashed_shard_resumes_and_merge_is_byte_identical_to_unsharded() {
+    let run_dir = temp_dir("crash");
+
+    // Reference: a plain unsharded single-process worker run — no
+    // supervisor, no shards, no retries.
+    let ref_dir = temp_dir("crash_ref");
+    let status = std::process::Command::new(ekya_grid_bin())
+        .args(["worker", "--bin", "fig08_factors"])
+        .env_remove("EKYA_SHARD")
+        .env_remove("EKYA_RESUME")
+        .env("EKYA_QUICK", "1")
+        .env("EKYA_WINDOWS", "1")
+        .env("EKYA_STREAMS", "2")
+        .env("EKYA_SEED", "42")
+        .env("EKYA_WORKERS", "1")
+        .env("EKYA_RESULTS_DIR", &ref_dir)
+        .status()
+        .expect("reference worker spawns");
+    assert!(status.success(), "reference worker failed");
+    let reference = ref_dir.join("fig08_factors.json");
+    assert!(reference.is_file(), "reference report missing");
+
+    // Supervised run: 2 shards, shard 0's first attempt is killed after
+    // 1 completed cell. Verification against the reference runs inside
+    // the merge driver — a mismatch would fail the supervise call.
+    let plan = Plan::new("fig08_factors", 2, quick_env(), 2, 600, 10).unwrap();
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(ekya_grid_bin(), &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        inject_crash: Some((0, 1)),
+        verify_against: Some(reference.clone()),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).expect("supervised run succeeds");
+
+    assert_eq!(status.state, RunState::Complete);
+    assert_eq!(status.cells_done, status.total_cells);
+    let shard0 = &status.shards[0];
+    assert!(shard0.attempt >= 2, "the crashed shard must have been retried");
+    assert!(
+        shard0.failures.iter().any(|f| f.reason.contains("exit code 17")),
+        "injected crash must be recorded: {:?}",
+        shard0.failures
+    );
+    assert!(status.shards.iter().all(|s| s.state == ShardState::Done));
+
+    // Byte-identity, asserted directly on top of the in-merge verify.
+    let merged = std::fs::read(plan.merged_path(&run_dir)).unwrap();
+    let expect = std::fs::read(&reference).unwrap();
+    assert_eq!(merged, expect, "merged report must be byte-identical to the unsharded run");
+    let info = status.merged.as_ref().expect("merge info recorded");
+    assert_eq!(info.verified_against.as_deref(), Some(reference.to_str().unwrap()));
+
+    // status.json on disk matches what supervise returned, and the logs
+    // tell the retry story.
+    assert_eq!(read_status(&run_dir).unwrap(), status);
+    let log = std::fs::read_to_string(plan.shard_log_path(&run_dir, 0)).unwrap();
+    assert!(log.contains("attempt 1"), "log records the first attempt");
+    assert!(log.contains("attempt 2 (resume)"), "log records the resumed retry");
+
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn fig03_config_shards_supervise_and_merge_byte_identical() {
+    // The Configs workload kind end to end: ConfigShard probing (no
+    // checkpoints), the merge_config_shards path with whole-grid Pareto
+    // recomputation, and byte-identity against an unsharded run.
+    let run_dir = temp_dir("fig03");
+    let ref_dir = temp_dir("fig03_ref");
+    let env = PlanEnv { seed: 42, windows: None, streams: None, quick: true, workers: 1 };
+
+    let status = std::process::Command::new(ekya_grid_bin())
+        .args(["worker", "--bin", "fig03_configs"])
+        .env_remove("EKYA_SHARD")
+        .env_remove("EKYA_RESUME")
+        .env_remove("EKYA_WINDOWS")
+        .env_remove("EKYA_STREAMS")
+        .env("EKYA_QUICK", "1")
+        .env("EKYA_SEED", "42")
+        .env("EKYA_WORKERS", "1")
+        .env("EKYA_RESULTS_DIR", &ref_dir)
+        .status()
+        .expect("reference worker spawns");
+    assert!(status.success(), "reference fig03 worker failed");
+    let reference = ref_dir.join("fig03_configs.json");
+
+    let plan = Plan::new("fig03_configs", 2, env, 1, 600, 10).unwrap();
+    assert!(!plan.checkpoints(), "fig03 must plan without checkpoints");
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(ekya_grid_bin(), &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        verify_against: Some(reference.clone()),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).expect("fig03 supervised run");
+    assert_eq!(status.state, RunState::Complete);
+    assert_eq!(
+        std::fs::read(plan.merged_path(&run_dir)).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "merged config sweep must be byte-identical to the unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn stalled_shard_is_killed_retried_and_eventually_excluded() {
+    let run_dir = temp_dir("stall");
+    // A worker that never writes a checkpoint: heartbeat silence.
+    let script = fake_worker(&run_dir, "hang.sh", "sleep 60");
+
+    let mut plan = Plan::new("fig08_factors", 1, quick_env(), 1, 600, 10).unwrap();
+    plan.stall_timeout_secs = 1;
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(script, &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).unwrap();
+
+    assert_eq!(status.state, RunState::Failed);
+    let shard = &status.shards[0];
+    assert_eq!(shard.state, ShardState::Failed);
+    assert_eq!(shard.attempt, 2, "one retry beyond the first attempt");
+    assert_eq!(shard.failures.len(), 2);
+    assert!(
+        shard.failures.iter().all(|f| f.reason.contains("stalled")),
+        "both failures must be stalls: {:?}",
+        shard.failures
+    );
+    assert!(status.merged.is_none());
+    let _ = std::fs::remove_dir_all(&run_dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn exit_code_failures_exhaust_retries_without_merging() {
+    let run_dir = temp_dir("exitcode");
+    let script = fake_worker(&run_dir, "die.sh", "exit 3");
+
+    let plan = Plan::new("fig08_factors", 2, quick_env(), 2, 600, 10).unwrap();
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(script, &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).unwrap();
+
+    assert_eq!(status.state, RunState::Failed);
+    for shard in &status.shards {
+        assert_eq!(shard.state, ShardState::Failed);
+        assert_eq!(shard.attempt, 3, "max_retries=2 → 3 attempts");
+        assert_eq!(shard.failures.len(), 3);
+        assert!(shard.failures.iter().all(|f| f.reason == "exit code 3"), "{:?}", shard.failures);
+    }
+    assert!(status.merged.is_none());
+    assert!(!plan.merged_path(&run_dir).exists(), "a failed run must not merge");
+    // The on-disk status carries the full failure records for post-mortem.
+    assert_eq!(read_status(&run_dir).unwrap(), status);
+    let _ = std::fs::remove_dir_all(&run_dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn clean_exit_without_a_report_counts_as_a_failure() {
+    let run_dir = temp_dir("noreport");
+    let script = fake_worker(&run_dir, "noop.sh", "true");
+
+    let plan = Plan::new("fig08_factors", 1, quick_env(), 0, 600, 10).unwrap();
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(script, &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).unwrap();
+
+    assert_eq!(status.state, RunState::Failed);
+    assert_eq!(status.shards[0].attempt, 1, "max_retries=0 → a single attempt");
+    assert!(
+        status.shards[0]
+            .failures
+            .iter()
+            .all(|f| f.reason.contains("exited 0 without a complete shard report")),
+        "{:?}",
+        status.shards[0].failures
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+}

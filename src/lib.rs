@@ -14,6 +14,13 @@
 //! * [`baselines`] (`ekya-baselines`) — uniform/ablation/cloud/cache
 //!   comparisons.
 //!
+//! Two experiment-layer crates ride on top (dev-dependencies of this
+//! facade, guarded by `tests/workspace_smoke.rs`): `ekya-bench` — the
+//! parallel experiment harness with one binary per paper table/figure —
+//! and `ekya-orchestrate` — the `ekya_grid` launcher that plans,
+//! spawns, supervises, retries, and merges a sharded grid run as one
+//! command.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -111,6 +111,55 @@ fn harness_symbols_importable() {
     assert_send::<dyn Policy>();
 }
 
+/// The orchestration surface: the shardable-bin registry + custom-eval
+/// grid execution in `ekya-bench`, the perf trajectory, and the
+/// plan/spawn/monitor/retry/merge layers of `ekya-orchestrate` that the
+/// `ekya_grid` launcher (and its tests) ride on.
+#[test]
+fn orchestrator_symbols_importable() {
+    // ekya-bench: bin registry + programmatic knob surface.
+    let _ = std::any::type_name::<ekya_bench::BinWorkload>();
+    let _ = std::any::type_name::<ekya_bench::ConfigSweep>();
+    let _ = ekya_bench::bin_workload as *const ();
+    let _ = ekya_bench::run_bin as *const ();
+    let _ = ekya_bench::run_config_bin as *const ();
+    let _ = ekya_bench::run_fig08_bin as *const ();
+    let _ = ekya_bench::shardable_bins as fn() -> [&'static str; 5];
+    let _ = ekya_bench::config_grid as *const ();
+    let _ = ekya_bench::table3_grid as *const ();
+    let _ = ekya_bench::fig08_grid as *const ();
+    let _ = ekya_bench::fig10_grid as *const ();
+    let _ = ekya_bench::run_grid_bin_with::<fn(&ekya_bench::Scenario) -> ekya_bench::CellResult>
+        as *const ();
+
+    // ekya-bench: perf trajectory.
+    let _ = std::any::type_name::<ekya_bench::BenchSeriesEntry>();
+    let _ = ekya_bench::append_bench_series as *const ();
+    let _ = ekya_bench::latest_bench_entry as *const ();
+    let _ = ekya_bench::git_describe as fn() -> String;
+
+    // ekya-orchestrate: plan / spawn / monitor / retry / merge.
+    let _ = std::any::type_name::<ekya_orchestrate::Plan>();
+    let _ = std::any::type_name::<ekya_orchestrate::PlanEnv>();
+    let _ = std::any::type_name::<ekya_orchestrate::ShardPlan>();
+    let _ = std::any::type_name::<ekya_orchestrate::WorkloadKind>();
+    let _ = std::any::type_name::<ekya_orchestrate::Spawner>();
+    let _ = std::any::type_name::<ekya_orchestrate::Status>();
+    let _ = std::any::type_name::<ekya_orchestrate::ShardStatus>();
+    let _ = std::any::type_name::<ekya_orchestrate::ShardState>();
+    let _ = std::any::type_name::<ekya_orchestrate::ShardFailure>();
+    let _ = std::any::type_name::<ekya_orchestrate::RunState>();
+    let _ = std::any::type_name::<ekya_orchestrate::SuperviseOpts>();
+    let _ = std::any::type_name::<ekya_orchestrate::MergedInfo>();
+    let _ = ekya_orchestrate::supervise as *const ();
+    let _ = ekya_orchestrate::merge_run as *const ();
+    let _ = ekya_orchestrate::promote as *const ();
+    let _ = ekya_orchestrate::probe_shard as *const ();
+    let _ = ekya_orchestrate::read_status as *const ();
+    let _ = ekya_orchestrate::write_status as *const ();
+    let _ = ekya_orchestrate::backoff_delay as fn(u64, usize) -> std::time::Duration;
+}
+
 /// The facade re-exports all eight sub-crates as modules.
 #[test]
 fn facade_modules_present() {
