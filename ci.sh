@@ -60,20 +60,28 @@ case "$MODE" in
     echo "    shard union ≡ unsharded ✓"
 
     # Supervised execution smoke: one ekya_grid command replaces the
-    # N-terminal workflow above — it plans the same quick grid across 4
-    # shard processes, kills shard 0 on purpose after its first cell,
-    # retries it with resume, merges in-process, and verifies the merged
-    # report against the unsharded reference. The plain cmp repeats the
-    # byte-identity check independently of the supervisor's own verify.
-    echo "==> orchestrator smoke: ekya_grid run (4 shards, 1 injected kill) ≡ unsharded"
+    # N-terminal workflow above. It runs fig07_provisioning — the
+    # per-dataset trace-record + replay bin ported onto Scenario cells —
+    # across 4 shard processes, kills shard 0 on purpose after its first
+    # cell, retries it with resume, merges in-process, and verifies the
+    # merged report against an unsharded reference run. The plain cmp
+    # repeats the byte-identity check independently of the supervisor's
+    # own verify.
+    echo "==> harness smoke: fig07_provisioning (quick replay grid, unsharded reference)"
+    EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \
+      cargo run --release -q -p ekya-bench --bin fig07_provisioning
+    cp results/fig07_provisioning.json target/fig07_unsharded.json
+
+    echo "==> orchestrator smoke: ekya_grid run fig07 (4 shards, 1 injected kill) ≡ unsharded"
     rm -rf target/orchestrate_smoke
-    EKYA_QUICK=1 EKYA_WINDOWS=2 cargo run --release -q -p ekya-orchestrate --bin ekya_grid -- \
-      run --bin fig06_streams --shards 4 --max-retries 2 --inject-crash 0:1 \
+    EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \
+      cargo run --release -q -p ekya-orchestrate --bin ekya_grid -- \
+      run --bin fig07_provisioning --shards 4 --max-retries 2 --inject-crash 0:1 \
       --backoff-ms 100 --run-dir target/orchestrate_smoke --no-promote \
-      --verify-against target/fig06_unsharded.json
+      --verify-against target/fig07_unsharded.json
     cargo run --release -q -p ekya-orchestrate --bin ekya_grid -- \
       status --run-dir target/orchestrate_smoke
-    cmp target/orchestrate_smoke/fig06_streams.json target/fig06_unsharded.json
+    cmp target/orchestrate_smoke/fig07_provisioning.json target/fig07_unsharded.json
     echo "    supervised run (crash-retried) ≡ unsharded ✓"
 
     echo "==> harness smoke: fig08_factors (quick replay grid)"

@@ -32,5 +32,8 @@ pub use cloud::{run_cloud_retraining, CloudRunConfig};
 pub use model_cache::run_model_cache;
 pub use oneshot::{run_fig2b, Fig2bResult};
 pub use oracle::OraclePolicy;
-pub use registry::{standard_policies, HoldoutPick, PolicyBuildCtx, PolicySpec};
+pub use registry::{
+    standard_policies, CloudNetwork, DesignToggle, HoldoutPick, InferenceOnlyPolicy,
+    PolicyBuildCtx, PolicySpec,
+};
 pub use uniform::{holdout_configs, UniformPolicy};

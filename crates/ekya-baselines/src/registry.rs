@@ -16,8 +16,13 @@
 use crate::ablations::{EkyaFixedConfig, EkyaFixedRes};
 use crate::uniform::{holdout_configs, UniformPolicy};
 use crate::OraclePolicy;
-use ekya_core::{default_retrain_grid, EkyaPolicy, Policy, RetrainConfig, SchedulerParams};
+use ekya_core::{
+    default_retrain_grid, fnv1a, EkyaPolicy, InferenceConfig, Policy, PolicyCtx, RetrainConfig,
+    SchedulerParams, StreamPlan, WindowPlan,
+};
+use ekya_net::LinkModel;
 use ekya_nn::cost::CostModel;
+use ekya_sim::RunnerConfig;
 use ekya_video::DatasetKind;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -38,6 +43,96 @@ impl HoldoutPick {
         match self {
             HoldoutPick::Config1 => "Config 1",
             HoldoutPick::Config2 => "Config 2",
+        }
+    }
+}
+
+/// The Table 4 network presets as plain serializable data — the
+/// [`LinkModel`] itself embeds a `&'static str` name, so this enum is
+/// what travels inside a [`PolicySpec`] (and therefore inside cell
+/// results on disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloudNetwork {
+    /// 4G cellular (5.1 / 17.5 Mbps).
+    Cellular,
+    /// Satellite broadband (8.5 / 15 Mbps).
+    Satellite,
+    /// Two bonded cellular subscriptions (10.2 / 35 Mbps).
+    Cellular2x,
+}
+
+impl CloudNetwork {
+    /// All presets, in Table 4's row order.
+    pub const ALL: [CloudNetwork; 3] =
+        [CloudNetwork::Cellular, CloudNetwork::Satellite, CloudNetwork::Cellular2x];
+
+    /// The concrete link model this preset names.
+    pub fn link(self) -> LinkModel {
+        match self {
+            CloudNetwork::Cellular => LinkModel::cellular(),
+            CloudNetwork::Satellite => LinkModel::satellite(),
+            CloudNetwork::Cellular2x => LinkModel::cellular_2x(),
+        }
+    }
+
+    /// The link's human-readable name (matches the paper's table rows).
+    pub fn name(self) -> &'static str {
+        self.link().name
+    }
+}
+
+/// One §5 implementation mechanism the `ablation_design` sweep can
+/// switch off independently (see [`PolicySpec::DesignAblation`]). The
+/// toggle itself acts on the *runner* configuration — the scheduling
+/// policy stays full Ekya — so [`DesignToggle::apply`] is what the bin's
+/// cell evaluator calls before executing the windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignToggle {
+    /// Disable checkpoint hot-swaps (§5 "model checkpointing and
+    /// reloading").
+    NoCheckpointSwaps,
+    /// Disable mid-window estimate correction + rescheduling (§5).
+    NoAdaptEstimates,
+    /// Disable the iCaRL exemplar memory (§2.2).
+    NoExemplarMemory,
+    /// Quantise allocations to inverse powers of two before placement
+    /// (§5 "placement onto GPUs").
+    QuantizedPlacement,
+    /// Do not charge micro-profiling GPU time (idealised profiler, §4.3).
+    FreeProfiling,
+}
+
+impl DesignToggle {
+    /// Every toggle, in the ablation table's row order.
+    pub const ALL: [DesignToggle; 5] = [
+        DesignToggle::NoCheckpointSwaps,
+        DesignToggle::NoAdaptEstimates,
+        DesignToggle::NoExemplarMemory,
+        DesignToggle::QuantizedPlacement,
+        DesignToggle::FreeProfiling,
+    ];
+
+    /// Human-readable row label (matches the original ablation table).
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignToggle::NoCheckpointSwaps => "no checkpoint hot-swaps",
+            DesignToggle::NoAdaptEstimates => "no mid-window estimate correction",
+            DesignToggle::NoExemplarMemory => "no exemplar memory (iCaRL off)",
+            DesignToggle::QuantizedPlacement => "quantised MPS placement (inverse powers of two)",
+            DesignToggle::FreeProfiling => "profiling not charged (idealised)",
+        }
+    }
+
+    /// Returns `cfg` with this mechanism toggled.
+    pub fn apply(self, cfg: RunnerConfig) -> RunnerConfig {
+        match self {
+            DesignToggle::NoCheckpointSwaps => {
+                RunnerConfig { checkpoint_every_epochs: None, ..cfg }
+            }
+            DesignToggle::NoAdaptEstimates => RunnerConfig { adapt_estimates: false, ..cfg },
+            DesignToggle::NoExemplarMemory => RunnerConfig { exemplar_per_class: 0, ..cfg },
+            DesignToggle::QuantizedPlacement => RunnerConfig { quantize_placement: true, ..cfg },
+            DesignToggle::FreeProfiling => RunnerConfig { charge_profiling: false, ..cfg },
         }
     }
 }
@@ -73,6 +168,46 @@ pub enum PolicySpec {
     },
     /// The exact accuracy-optimal scheduler (knapsack DP).
     Oracle,
+    /// Cloud-offload retraining over a constrained link (Table 4): the
+    /// edge keeps every GPU on inference while the cloud retrains and
+    /// ships models back over `network`. Builds an
+    /// [`InferenceOnlyPolicy`] for the edge side; the network-arrival
+    /// accuracy simulation lives in
+    /// [`run_cloud_retraining`](crate::run_cloud_retraining), which the
+    /// `table4_cloud` bin's cell evaluator drives keyed on this spec.
+    CloudDelay {
+        /// Which network connects the edge to the cloud.
+        network: CloudNetwork,
+        /// Bandwidth multiplier on both directions of the link (Table 4's
+        /// "how much fatter must the link get" axis); `1.0` is the preset
+        /// as measured.
+        bandwidth_scale: f64,
+    },
+    /// Cached-model reuse by nearest class distribution (§6.5): no
+    /// retraining, every GPU on inference. Builds an
+    /// [`InferenceOnlyPolicy`]; the cache simulation lives in
+    /// [`run_model_cache`](crate::run_model_cache), driven by the
+    /// `table5_cache` bin's evaluator keyed on this spec.
+    ModelCache,
+    /// Full Ekya under controlled Gaussian noise ε injected into the
+    /// micro-profiler's accuracy estimates (Fig 11b). The noise is a
+    /// *runner* property (`RunnerConfig::profiler.noise_std`), applied by
+    /// the `fig11_profiler` evaluator; `build` returns plain
+    /// [`EkyaPolicy`], so — like [`PolicySpec::EkyaDelta`] — the label
+    /// disambiguates and lookups must use spec equality.
+    EkyaNoise {
+        /// Standard deviation of the injected estimate noise.
+        noise_std: f64,
+    },
+    /// Full Ekya with one §5 implementation mechanism switched off
+    /// (the `ablation_design` sweep). The toggle acts on the runner
+    /// configuration ([`DesignToggle::apply`], called by the bin's
+    /// evaluator); `build` returns plain [`EkyaPolicy`] — label
+    /// disambiguates, lookups use spec equality.
+    DesignAblation {
+        /// Which mechanism is off.
+        toggle: DesignToggle,
+    },
 }
 
 /// Everything a [`PolicySpec`] needs to turn into a live policy.
@@ -137,24 +272,15 @@ fn cached_holdout(
     pair
 }
 
-/// FNV-1a 64-bit (duplicated from `ekya-bench`'s grid module to keep
-/// the dependency direction bench → baselines).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
 impl PolicySpec {
     /// Stable display label, also used in reports (matches the paper's
-    /// figure legends). For every variant except [`PolicySpec::EkyaDelta`]
-    /// this equals the built policy's `name()`, so bins may key result
-    /// lookups by either; `EkyaDelta` disambiguates the Δ in its label
-    /// (several Δs share one grid), so lookups for it must use spec
-    /// equality, not the label.
+    /// figure legends). For most variants this equals the built policy's
+    /// `name()`, so bins may key result lookups by either. The documented
+    /// exceptions — [`PolicySpec::EkyaDelta`], [`PolicySpec::EkyaNoise`],
+    /// and [`PolicySpec::DesignAblation`], whose built policy is plain
+    /// Ekya, and [`PolicySpec::CloudDelay`] with a non-unit
+    /// `bandwidth_scale` — disambiguate the variant parameter in the
+    /// label, so lookups for them must use spec equality, not the label.
     pub fn label(&self) -> String {
         match self {
             PolicySpec::Ekya => "Ekya".into(),
@@ -165,6 +291,16 @@ impl PolicySpec {
             PolicySpec::FixedRes { .. } => "Ekya-FixedRes".into(),
             PolicySpec::FixedConfig { .. } => "Ekya-FixedConfig".into(),
             PolicySpec::Oracle => "Accuracy-optimal (oracle)".into(),
+            // The ×1.0 label matches run_cloud_retraining's report name.
+            PolicySpec::CloudDelay { network, bandwidth_scale } if *bandwidth_scale == 1.0 => {
+                format!("Cloud ({})", network.name())
+            }
+            PolicySpec::CloudDelay { network, bandwidth_scale } => {
+                format!("Cloud ({} ×{bandwidth_scale})", network.name())
+            }
+            PolicySpec::ModelCache => "Model cache".into(),
+            PolicySpec::EkyaNoise { noise_std } => format!("Ekya (ε={noise_std})"),
+            PolicySpec::DesignAblation { toggle } => format!("Ekya ({})", toggle.label()),
         }
     }
 
@@ -194,7 +330,70 @@ impl PolicySpec {
                 Box::new(EkyaFixedConfig::new(params, holdout(*pick)))
             }
             PolicySpec::Oracle => Box::new(OraclePolicy::new(params)),
+            PolicySpec::CloudDelay { .. } | PolicySpec::ModelCache => {
+                Box::new(InferenceOnlyPolicy::new(self.label()))
+            }
+            // Noise and design toggles are runner-side (see the variant
+            // docs); the edge scheduling policy is full Ekya.
+            PolicySpec::EkyaNoise { .. } | PolicySpec::DesignAblation { .. } => {
+                Box::new(EkyaPolicy::new(params))
+            }
         }
+    }
+}
+
+/// The edge-side schedule of the §6.5 alternative designs (cloud
+/// offload, cached models): never retrain, split every GPU evenly across
+/// the streams, serve each with its best feasible inference
+/// configuration. [`PolicySpec::CloudDelay`] and
+/// [`PolicySpec::ModelCache`] build this, so their cells carry a live
+/// `Policy` like every other spec; the designs' *accuracy* simulations
+/// (network arrival delays, cache lookups) stay in
+/// [`run_cloud_retraining`](crate::run_cloud_retraining) and
+/// [`run_model_cache`](crate::run_model_cache), which the table bins'
+/// evaluators drive keyed on the spec.
+#[derive(Debug, Clone)]
+pub struct InferenceOnlyPolicy {
+    name: String,
+}
+
+impl InferenceOnlyPolicy {
+    /// A policy reporting under `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Policy for InferenceOnlyPolicy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn needs_profiles(&self) -> bool {
+        false
+    }
+
+    fn plan_window(&mut self, ctx: &PolicyCtx<'_>) -> WindowPlan {
+        let share = ctx.total_gpus / ctx.streams.len().max(1) as f64;
+        let streams = ctx
+            .streams
+            .iter()
+            .map(|s| {
+                let infer_config = s
+                    .infer_profiles
+                    .iter()
+                    .filter(|p| p.gpu_demand <= share + 1e-9)
+                    .max_by(|a, b| {
+                        a.accuracy_factor
+                            .partial_cmp(&b.accuracy_factor)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|p| p.config)
+                    .unwrap_or(InferenceConfig { frame_sampling: 0.05, resolution: 0.5 });
+                StreamPlan { retrain: None, infer_config, infer_gpus: share }
+            })
+            .collect();
+        WindowPlan { streams }
     }
 }
 
@@ -222,15 +421,91 @@ mod tests {
             "Uniform (Config 2, 90%)"
         );
         assert_eq!(PolicySpec::EkyaDelta { delta: 0.25 }.label(), "Ekya (Δ=0.25)");
+        // ×1.0 cloud labels match run_cloud_retraining's report names.
+        assert_eq!(
+            PolicySpec::CloudDelay { network: CloudNetwork::Cellular, bandwidth_scale: 1.0 }
+                .label(),
+            "Cloud (Cellular)"
+        );
+        assert_eq!(
+            PolicySpec::CloudDelay { network: CloudNetwork::Satellite, bandwidth_scale: 2.0 }
+                .label(),
+            "Cloud (Satellite ×2)"
+        );
+        assert_eq!(PolicySpec::ModelCache.label(), "Model cache");
+        assert_eq!(PolicySpec::EkyaNoise { noise_std: 0.2 }.label(), "Ekya (ε=0.2)");
+        assert_eq!(
+            PolicySpec::DesignAblation { toggle: DesignToggle::NoExemplarMemory }.label(),
+            "Ekya (no exemplar memory (iCaRL off))"
+        );
     }
 
     #[test]
     fn specs_roundtrip_through_json() {
-        for spec in standard_policies() {
+        let mut specs = standard_policies();
+        specs.push(PolicySpec::CloudDelay {
+            network: CloudNetwork::Cellular2x,
+            bandwidth_scale: 1.5,
+        });
+        specs.push(PolicySpec::ModelCache);
+        specs.push(PolicySpec::EkyaNoise { noise_std: 0.05 });
+        specs.push(PolicySpec::DesignAblation { toggle: DesignToggle::FreeProfiling });
+        for spec in specs {
             let json = serde_json::to_string(&spec).expect("serialises");
             let back: PolicySpec = serde_json::from_str(&json).expect("parses");
             assert_eq!(spec, back);
         }
+    }
+
+    #[test]
+    fn inference_only_policy_never_retrains_and_splits_evenly() {
+        use ekya_core::{build_inference_profiles, PolicyStream};
+        use ekya_nn::cost::CostModel;
+        use ekya_video::StreamId;
+        let infer = build_inference_profiles(
+            &CostModel::default(),
+            1.0,
+            30.0,
+            &ekya_core::default_inference_grid(),
+        );
+        let class_dist = vec![1.0 / 6.0; 6];
+        let ctx = PolicyCtx {
+            window_idx: 0,
+            window_secs: 200.0,
+            total_gpus: 4.0,
+            streams: (0..2)
+                .map(|i| PolicyStream {
+                    id: StreamId(i),
+                    fps: 30.0,
+                    serving_accuracy: 0.5,
+                    class_dist: &class_dist,
+                    drift_magnitude: 0.1,
+                    retrain_profiles: &[],
+                    infer_profiles: &infer,
+                })
+                .collect(),
+        };
+        let spec = PolicySpec::CloudDelay { network: CloudNetwork::Cellular, bandwidth_scale: 1.0 };
+        let build_ctx = PolicyBuildCtx::new(DatasetKind::Cityscapes, 4.0, 7);
+        let mut policy = spec.build(&build_ctx);
+        assert_eq!(policy.name(), spec.label());
+        assert!(!policy.needs_profiles());
+        let plan = policy.plan_window(&ctx);
+        assert!(plan.streams.iter().all(|s| s.retrain.is_none()));
+        assert!(plan.streams.iter().all(|s| (s.infer_gpus - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn design_toggles_act_on_the_runner_config() {
+        let base = RunnerConfig::default();
+        assert!(DesignToggle::NoCheckpointSwaps
+            .apply(base.clone())
+            .checkpoint_every_epochs
+            .is_none());
+        assert!(!DesignToggle::NoAdaptEstimates.apply(base.clone()).adapt_estimates);
+        assert_eq!(DesignToggle::NoExemplarMemory.apply(base.clone()).exemplar_per_class, 0);
+        assert!(DesignToggle::QuantizedPlacement.apply(base.clone()).quantize_placement);
+        assert!(!DesignToggle::FreeProfiling.apply(base).charge_profiling);
     }
 
     #[test]

@@ -11,15 +11,21 @@
 //!   GPUs");
 //! * charging micro-profiling GPU time (§4.3).
 //!
-//! The variants are independent cells, fanned out on the harness pool.
+//! Every variant is a grid cell (`PolicySpec::DesignAblation`, applied
+//! to the runner by
+//! [`DesignToggle::apply`](ekya_baselines::DesignToggle::apply)), so the
+//! sweep shards, resumes, and orchestrates like any grid bin
+//! ([`run_ablation_bin`]). The harness
+//! report lands in `results/ablation_design.json` (`_shardIofN` when
+//! sharded); the derived delta rows move to
+//! `results/ablation_design_rows.json`.
+//!
 //! Run: `cargo run --release -p ekya-bench --bin ablation_design`
 //! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 6),
-//!        EKYA_WORKERS.
+//!        EKYA_WORKERS, EKYA_SHARD, EKYA_RESUME
+//!        (see crates/ekya-bench/README.md).
 
-use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
-use ekya_core::{EkyaPolicy, SchedulerParams};
-use ekya_sim::{run_windows, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_bench::{ablation_policies, f3, run_ablation_bin, save_json, Knobs, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,57 +37,64 @@ struct Row {
 
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("ablation_design");
-    knobs.warn_if_resume("ablation_design");
-    let windows = knobs.windows(4);
-    let num_streams = knobs.streams(6);
-    let seed = knobs.seed();
-    let gpus = 2.0;
-    let streams = StreamSet::generate(DatasetKind::Cityscapes, num_streams, windows, seed);
+    let run = run_ablation_bin(&knobs);
+    let report = &run.report;
 
-    let base = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-    let variants: Vec<(&str, RunnerConfig)> = vec![
-        ("full Ekya", base.clone()),
-        ("no checkpoint hot-swaps", RunnerConfig { checkpoint_every_epochs: None, ..base.clone() }),
-        (
-            "no mid-window estimate correction",
-            RunnerConfig { adapt_estimates: false, ..base.clone() },
-        ),
-        ("no exemplar memory (iCaRL off)", RunnerConfig { exemplar_per_class: 0, ..base.clone() }),
-        (
-            "quantised MPS placement (inverse powers of two)",
-            RunnerConfig { quantize_placement: true, ..base.clone() },
-        ),
-        (
-            "profiling not charged (idealised)",
-            RunnerConfig { charge_profiling: false, ..base.clone() },
-        ),
-    ];
+    if report.is_complete() {
+        if report.failed > 0 {
+            // A poisoned cell (worst: full Ekya) would read as accuracy
+            // 0.0 and corrupt every delta; fail loudly instead (the
+            // pre-port behaviour).
+            eprintln!(
+                "[ablations: {} poisoned cell(s) — delta table not computed; \
+                 see the errors in the JSON report]",
+                report.failed
+            );
+            run.print_footer();
+            std::process::exit(1);
+        }
+        // One row per policy-axis entry, in grid order; lookups by spec
+        // equality (every variant reports under the plain "Ekya" name).
+        let accs: Vec<(String, f64)> = ablation_policies()
+            .iter()
+            .map(|spec| {
+                let acc = report
+                    .cells
+                    .iter()
+                    .find(|c| c.error.is_none() && c.scenario.policy == *spec)
+                    .map(|c| c.mean_accuracy)
+                    .unwrap_or(0.0);
+                let label = if *spec == ekya_baselines::PolicySpec::Ekya {
+                    "full Ekya".to_string()
+                } else {
+                    spec.label()
+                };
+                (label, acc)
+            })
+            .collect();
+        let full = accs[0].1;
 
-    eprintln!("[ablations: {} cells across {} workers]", variants.len(), knobs.workers());
-    let streams_ref = &streams;
-    let results = run_parallel(variants, knobs.workers(), move |_, (name, cfg)| {
-        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
-        (name, run_windows(&mut policy, streams_ref, &cfg, windows).mean_accuracy())
-    });
-    let accs: Vec<(&str, f64)> = results.into_iter().map(|r| r.expect("variant cell")).collect();
-    let full = accs[0].1;
+        let num_streams = report.cells.first().map(|c| c.scenario.streams).unwrap_or(6);
+        let gpus = report.cells.first().map(|c| c.scenario.gpus).unwrap_or(2.0);
+        let mut t = Table::new(
+            format!("Design ablations ({num_streams} streams, {gpus} GPUs, Cityscapes)"),
+            &["variant", "accuracy", "delta vs full Ekya"],
+        );
+        let mut rows = Vec::new();
+        for (i, (name, acc)) in accs.iter().enumerate() {
+            let delta = if i == 0 { "-".into() } else { format!("{:+.3}", acc - full) };
+            t.row(vec![name.clone(), f3(*acc), delta]);
+            rows.push(Row { variant: name.clone(), accuracy: *acc, delta_vs_full: acc - full });
+        }
+        t.print();
+        println!(
+            "\nExpected directions: removing checkpoints/adaptation/memory costs accuracy; \
+             quantised placement costs a little; not charging profiling gains a little."
+        );
 
-    let mut t = Table::new(
-        format!("Design ablations ({num_streams} streams, {gpus} GPUs, Cityscapes)"),
-        &["variant", "accuracy", "delta vs full Ekya"],
-    );
-    let mut rows = Vec::new();
-    for (i, (name, acc)) in accs.iter().enumerate() {
-        let delta = if i == 0 { "-".into() } else { format!("{:+.3}", acc - full) };
-        t.row(vec![(*name).into(), f3(*acc), delta]);
-        rows.push(Row { variant: (*name).into(), accuracy: *acc, delta_vs_full: acc - full });
+        save_json("ablation_design_rows", &rows);
+    } else {
+        report.print_shard_notice("the delta table is");
     }
-    t.print();
-    println!(
-        "\nExpected directions: removing checkpoints/adaptation/memory costs accuracy; \
-         quantised placement costs a little; not charging profiling gains a little."
-    );
-
-    save_json("ablation_design", &rows);
+    run.print_footer();
 }

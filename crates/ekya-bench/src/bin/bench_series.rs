@@ -1,0 +1,114 @@
+//! Prints the cells/sec trajectory per gated record across the
+//! append-only perf series `results/BENCH_series.json` — the
+//! "plot cells/sec over the series" companion to `harness_bench`
+//! (which appends entries) and `perf_gate` (which gates the latest).
+//!
+//! For every record name, one row per series entry: the revision
+//! (`git describe`), cell count, workers, speedup, throughput, and the
+//! change vs the previous entry of the same record; plus a sparkline of
+//! the whole trajectory so a drift is visible at a glance.
+//!
+//! Usage:
+//!   bench_series [series.json]      (default results/BENCH_series.json)
+//!
+//! Run: `cargo run --release -p ekya-bench --bin bench_series`
+
+use ekya_bench::{bench_series_path, f1, BenchSeriesEntry, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// A bar-chart string of the throughput trajectory, scaled to its max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return String::new();
+    }
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(bench_series_path);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "bench_series: cannot read {}: {e} (run `harness_bench` to start a series)",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let series: Vec<BenchSeriesEntry> = match serde_json::from_str(&text) {
+        Ok(series) => series,
+        Err(e) => {
+            eprintln!("bench_series: cannot parse {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if series.is_empty() {
+        println!("bench_series: {} holds no entries yet", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // Record names in order of first appearance across the series (old
+    // entries may predate newly gated records).
+    let mut names: Vec<String> = Vec::new();
+    for entry in &series {
+        for r in &entry.records {
+            if !names.contains(&r.name) {
+                names.push(r.name.clone());
+            }
+        }
+    }
+
+    println!(
+        "perf trajectory: {} entries, {} record(s) — {}",
+        series.len(),
+        names.len(),
+        path.display()
+    );
+    for name in &names {
+        let mut t = Table::new(
+            format!("{name} — cells/sec over the series"),
+            &["git", "cells", "workers", "speedup", "cells/s", "Δ vs prev"],
+        );
+        let mut prev: Option<f64> = None;
+        let mut trajectory = Vec::new();
+        for entry in &series {
+            let Some(r) = entry.records.iter().find(|r| r.name == *name) else { continue };
+            let delta = match prev {
+                Some(p) if p > 0.0 => format!("{:+.1}%", (r.cells_per_sec / p - 1.0) * 100.0),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                entry.git.clone(),
+                r.cells.to_string(),
+                r.workers.to_string(),
+                format!("{:.2}x", r.speedup),
+                f1(r.cells_per_sec),
+                delta,
+            ]);
+            prev = Some(r.cells_per_sec);
+            trajectory.push(r.cells_per_sec);
+        }
+        t.print();
+        if trajectory.len() > 1 {
+            let first = trajectory.first().copied().unwrap_or(0.0);
+            let last = trajectory.last().copied().unwrap_or(0.0);
+            let overall = if first > 0.0 {
+                format!(" ({:+.1}% since first entry)", (last / first - 1.0) * 100.0)
+            } else {
+                String::new()
+            };
+            println!("{}  {:.1} → {:.1} cells/s{overall}", sparkline(&trajectory), first, last);
+        }
+    }
+    ExitCode::SUCCESS
+}

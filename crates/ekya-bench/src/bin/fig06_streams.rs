@@ -20,7 +20,7 @@ fn main() {
     let knobs = Knobs::from_env();
     let grid = fig06_grid(knobs.quick(), knobs.windows(4), knobs.seed());
     let run = run_grid_bin("fig06_streams", &grid, &knobs);
-    let (report, stats) = (&run.report, &run.stats);
+    let report = &run.report;
 
     if report.is_complete() {
         // Print one table per (dataset, gpus).
@@ -88,20 +88,7 @@ fn main() {
             }
         }
     } else {
-        println!(
-            "[shard report: {} of {} cells — tables and headlines are whole-grid; \
-             merge the shards with `grid_merge` first]",
-            report.cells.len(),
-            report.total_cells
-        );
+        report.print_shard_notice("tables and headlines are");
     }
-    println!(
-        "\n[{} cells executed (+{} resumed) in {:.1} s — {:.2} cells/s on {} workers, {} failed]",
-        stats.executed,
-        stats.resumed,
-        stats.wall_secs,
-        stats.cells_per_sec,
-        stats.workers,
-        report.failed
-    );
+    run.print_footer();
 }

@@ -3,20 +3,27 @@
 //!
 //! Uses the trace-driven simulator exactly as the paper does ("to scale
 //! to more GPUs, we use the simulator, which uses profiles recorded from
-//! real tests"): one mechanistic recording per dataset — the recordings
-//! fan out across the harness worker pool — then fast replay of every
-//! scheduler x GPU-count combination. Also derives the headline "4x
-//! resource saving": the GPU count where the best baseline finally
-//! matches Ekya's accuracy at 4 GPUs.
+//! real tests"): one mechanistic recording per dataset — recorded lazily
+//! by whichever worker needs it first — then fast replay of every
+//! (dataset × GPU count × scheduler) cell. The cells carry ordinary
+//! [`Scenario`](ekya_bench::Scenario) identities
+//! ([`run_fig07_bin`]), so the full
+//! shard/resume machinery applies: `EKYA_SHARD=i/N` runs one slice of
+//! the grid (merge with `grid_merge` or drive the whole run with
+//! `ekya_grid`), `EKYA_RESUME=1` continues a killed run. The harness
+//! report lands in `results/fig07_provisioning.json` (`_shardIofN` when
+//! sharded); the derived figure points move to
+//! `results/fig07_provisioning_points.json`.
+//!
+//! Also derives the headline "4x resource saving": the GPU count where
+//! the best baseline finally matches Ekya's accuracy at 4 GPUs.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig07_provisioning`
 //! Knobs: EKYA_WINDOWS (default 6), EKYA_STREAMS (default 10),
-//!        EKYA_QUICK=1 (2 datasets, fewer GPUs), EKYA_WORKERS.
+//!        EKYA_QUICK=1 (2 datasets, fewer GPUs), EKYA_WORKERS,
+//!        EKYA_SHARD, EKYA_RESUME (see crates/ekya-bench/README.md).
 
-use ekya_baselines::{standard_policies, PolicyBuildCtx, PolicySpec};
-use ekya_bench::{f3, grid, run_parallel, save_json, Knobs, Table};
-use ekya_sim::{record_trace, ReplayPolicyHarness, RunnerConfig, Trace};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_bench::{f3, fig07_grid_for, run_fig07_bin, save_json, Knobs, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,117 +36,95 @@ struct Point {
 
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("fig07_provisioning");
-    knobs.warn_if_resume("fig07_provisioning");
-    let windows = knobs.windows(6);
-    let num_streams = knobs.streams(10);
-    let seed = knobs.seed();
-    let datasets: Vec<DatasetKind> = if knobs.quick() {
-        vec![DatasetKind::Cityscapes, DatasetKind::UrbanTraffic]
-    } else {
-        DatasetKind::ALL.to_vec()
-    };
-    let gpu_grid: Vec<f64> =
-        if knobs.quick() { vec![1.0, 4.0, 8.0] } else { vec![1.0, 2.0, 4.0, 6.0, 8.0, 16.0] };
-    let policies = standard_policies();
+    // Same single grid definition the runner and the orchestrator's
+    // planner use — the tables can never describe a different sweep.
+    let grid = fig07_grid_for(&knobs);
+    let run = run_fig07_bin(&knobs);
+    let report = &run.report;
 
-    // ---- Stage 1: one mechanistic recording per dataset, in parallel. --
-    eprintln!(
-        "[recording {} traces ({} streams x {} windows) across {} workers]",
-        datasets.len(),
-        num_streams,
-        windows,
-        knobs.workers()
-    );
-    let traces: Vec<Trace> = run_parallel(datasets.clone(), knobs.workers(), |_, kind| {
-        let cell_seed = grid::cell_seed(seed, kind, num_streams, windows);
-        let streams = StreamSet::generate(kind, num_streams, windows, cell_seed);
-        let cfg = RunnerConfig { seed: cell_seed, ..RunnerConfig::default() };
-        record_trace(&streams, &cfg, windows, 6)
-    })
-    .into_iter()
-    .map(|r| r.expect("trace recording"))
-    .collect();
+    if report.is_complete() {
+        let points: Vec<Point> = report
+            .cells
+            .iter()
+            .filter(|c| c.error.is_none())
+            .map(|c| Point {
+                dataset: c.scenario.dataset.name().to_string(),
+                gpus: c.scenario.gpus,
+                scheduler: c.policy.clone(),
+                accuracy: c.mean_accuracy,
+            })
+            .collect();
 
-    // ---- Stage 2: replay every (dataset, gpus, policy) cell. ----
-    let mut cells: Vec<(usize, f64, PolicySpec)> = Vec::new();
-    for d in 0..datasets.len() {
-        for &gpus in &gpu_grid {
-            for p in &policies {
-                cells.push((d, gpus, p.clone()));
+        // The column axis is the grid's own GPU axis, so the table can
+        // never show a different sweep than the one that ran (no
+        // permanently empty quick-mode columns, no silently dropped
+        // points if the axis changes).
+        let gpu_headers: Vec<String> = grid.gpu_counts.iter().map(|g| format!("{g}")).collect();
+        let headers: Vec<&str> =
+            std::iter::once("scheduler").chain(gpu_headers.iter().map(String::as_str)).collect();
+        for &kind in &grid.datasets {
+            let mut t = Table::new(
+                format!(
+                    "Fig 7 — {} ({} streams): accuracy vs provisioned GPUs",
+                    kind.name(),
+                    grid.stream_counts.first().copied().unwrap_or_default()
+                ),
+                &headers,
+            );
+            for sched in grid.policies.iter().map(|p| p.label()) {
+                let mut row = vec![sched.clone()];
+                for &g in &grid.gpu_counts {
+                    let v = points
+                        .iter()
+                        .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == sched)
+                        .map(|p| f3(p.accuracy))
+                        .unwrap_or_else(|| "-".into());
+                    row.push(v);
+                }
+                t.row(row);
             }
-        }
-    }
-    eprintln!("[replaying {} cells]", cells.len());
-    let traces_ref = &traces;
-    let datasets_ref = &datasets;
-    let results = run_parallel(cells, knobs.workers(), move |_, (d, gpus, spec)| {
-        let kind = datasets_ref[d];
-        let ctx = PolicyBuildCtx::new(kind, gpus, grid::holdout_seed(seed, kind));
-        let mut policy = spec.build(&ctx);
-        let harness = ReplayPolicyHarness::new(gpus);
-        let report = harness.run(policy.as_mut(), &traces_ref[d]);
-        Point {
-            dataset: kind.name().to_string(),
-            gpus,
-            scheduler: report.policy.clone(),
-            accuracy: report.mean_accuracy(),
-        }
-    });
-    let points: Vec<Point> = results.into_iter().map(|r| r.expect("replay cell")).collect();
+            t.print();
 
-    for kind in &datasets {
-        let mut t = Table::new(
-            format!("Fig 7 — {} (10 streams): accuracy vs provisioned GPUs", kind.name()),
-            &["scheduler", "1", "2", "4", "6", "8", "16"],
-        );
-        for sched in policies.iter().map(|p| p.label()) {
-            let mut row = vec![sched.clone()];
-            for &g in &[1.0f64, 2.0, 4.0, 6.0, 8.0, 16.0] {
-                let v = points
+            // The 4x headline: Ekya@4 GPUs vs best baseline per GPU count.
+            let ekya_at = |g: f64| {
+                points
                     .iter()
-                    .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == sched)
-                    .map(|p| f3(p.accuracy))
-                    .unwrap_or_else(|| "-".into());
-                row.push(v);
+                    .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == "Ekya")
+                    .map(|p| p.accuracy)
+            };
+            let best_uniform_at = |g: f64| {
+                points
+                    .iter()
+                    .filter(|p| {
+                        p.dataset == kind.name()
+                            && p.gpus == g
+                            && p.scheduler.starts_with("Uniform")
+                    })
+                    .map(|p| p.accuracy)
+                    .fold(f64::MIN, f64::max)
+            };
+            if let Some(ekya4) = ekya_at(4.0) {
+                let needed =
+                    grid.gpu_counts.iter().find(|&&g| best_uniform_at(g) >= ekya4).copied();
+                match needed {
+                    Some(g) => println!(
+                        "{}: best uniform needs {}x the GPUs to match Ekya@4 GPUs (paper: 4x)",
+                        kind.name(),
+                        g / 4.0
+                    ),
+                    None => println!(
+                        "{}: no uniform variant matches Ekya@4 GPUs even at {} GPUs (> {:.0}x)",
+                        kind.name(),
+                        grid.gpu_counts.last().unwrap(),
+                        grid.gpu_counts.last().unwrap() / 4.0
+                    ),
+                }
             }
-            t.row(row);
         }
-        t.print();
 
-        // The 4x headline: Ekya@4 GPUs vs best baseline per GPU count.
-        let ekya_at = |g: f64| {
-            points
-                .iter()
-                .find(|p| p.dataset == kind.name() && p.gpus == g && p.scheduler == "Ekya")
-                .map(|p| p.accuracy)
-        };
-        let best_uniform_at = |g: f64| {
-            points
-                .iter()
-                .filter(|p| {
-                    p.dataset == kind.name() && p.gpus == g && p.scheduler.starts_with("Uniform")
-                })
-                .map(|p| p.accuracy)
-                .fold(f64::MIN, f64::max)
-        };
-        if let Some(ekya4) = ekya_at(4.0) {
-            let needed = gpu_grid.iter().find(|&&g| best_uniform_at(g) >= ekya4).copied();
-            match needed {
-                Some(g) => println!(
-                    "{}: best uniform needs {}x the GPUs to match Ekya@4 GPUs (paper: 4x)",
-                    kind.name(),
-                    g / 4.0
-                ),
-                None => println!(
-                    "{}: no uniform variant matches Ekya@4 GPUs even at {} GPUs (> {:.0}x)",
-                    kind.name(),
-                    gpu_grid.last().unwrap(),
-                    gpu_grid.last().unwrap() / 4.0
-                ),
-            }
-        }
+        save_json("fig07_provisioning_points", &points);
+    } else {
+        report.print_shard_notice("tables and the 4x headline are");
     }
-
-    save_json("fig07_provisioning", &points);
+    run.print_footer();
 }

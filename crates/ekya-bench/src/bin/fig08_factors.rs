@@ -37,7 +37,7 @@ fn main() {
     // planner use — the table can never describe a different sweep.
     let grid = fig08_grid_for(&knobs);
     let run = run_fig08_bin(&knobs);
-    let (report, stats) = (&run.report, &run.stats);
+    let report = &run.report;
 
     if report.is_complete() {
         let points: Vec<Point> = report
@@ -78,20 +78,7 @@ fn main() {
 
         save_json("fig08_factors_points", &points);
     } else {
-        println!(
-            "[shard report: {} of {} cells — the factor table is whole-grid; \
-             merge the shards with `grid_merge` first]",
-            report.cells.len(),
-            report.total_cells
-        );
+        report.print_shard_notice("the factor table is");
     }
-    println!(
-        "\n[{} cells executed (+{} resumed) in {:.1} s — {:.2} cells/s on {} workers, {} failed]",
-        stats.executed,
-        stats.resumed,
-        stats.wall_secs,
-        stats.cells_per_sec,
-        stats.workers,
-        report.failed
-    );
+    run.print_footer();
 }

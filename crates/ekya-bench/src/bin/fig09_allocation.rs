@@ -5,16 +5,20 @@
 //! gives the stream with the larger expected gain more GPU (the paper's
 //! example diverts more to stream #1 and both reach ~0.82-0.83).
 //!
-//! A single harness cell: the same [`Scenario`]/seeding machinery as the
-//! big grids, so its numbers line up with any grid containing this cell.
+//! A single-cell scenario grid
+//! ([`run_fig09_bin`]): the same
+//! [`Scenario`](ekya_bench::Scenario)/seeding machinery as the big
+//! grids, so its numbers line up with any grid containing this cell —
+//! and `ekya_grid` can orchestrate it (surplus shards own empty slices
+//! and complete immediately). The harness report lands in
+//! `results/fig09_allocation.json`; the derived per-window allocation
+//! series moves to `results/fig09_allocation_points.json`.
+//!
 //! Run: `cargo run --release -p ekya-bench --bin fig09_allocation`
-//! Knobs: EKYA_WINDOWS (default 8).
+//! Knobs: EKYA_WINDOWS (default 8), EKYA_SHARD, EKYA_RESUME
+//!        (see crates/ekya-bench/README.md).
 
-use ekya_baselines::PolicySpec;
-use ekya_bench::{
-    f3, grid::cell_seed, grid::holdout_seed, run_scenario, save_json, Knobs, Scenario, Table,
-};
-use ekya_video::DatasetKind;
+use ekya_bench::{f3, run_fig09_bin, save_json, Knobs, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -28,64 +32,60 @@ struct WindowAlloc {
 
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("fig09_allocation");
-    knobs.warn_if_resume("fig09_allocation");
-    let windows = knobs.windows(8);
-    let kind = DatasetKind::UrbanBuilding;
-    let scenario = Scenario {
-        dataset: kind,
-        streams: 2,
-        gpus: 1.0,
-        windows,
-        policy: PolicySpec::Ekya,
-        seed: cell_seed(knobs.seed(), kind, 2, windows),
-    };
-    let cell = run_scenario(&scenario, holdout_seed(knobs.seed(), kind));
-    let report = cell.report.as_ref().expect("cell ran");
+    let run = run_fig09_bin(&knobs);
+    let harness_report = &run.report;
 
-    let mut t = Table::new(
-        "Fig 9 — Ekya's allocation across two Urban Building streams (1 GPU)",
-        &["window", "s0 train", "s0 infer", "s1 train", "s1 infer", "s0 acc", "s1 acc"],
-    );
-    let mut out = Vec::new();
-    for w in &report.windows {
-        let (s0, s1) = (&w.streams[0], &w.streams[1]);
-        t.row(vec![
-            w.window_idx.to_string(),
-            if s0.retrained { f3(s0.train_gpus) } else { "-".into() },
-            f3(s0.infer_gpus),
-            if s1.retrained { f3(s1.train_gpus) } else { "-".into() },
-            f3(s1.infer_gpus),
-            f3(s0.avg_accuracy),
-            f3(s1.avg_accuracy),
-        ]);
-        out.push(WindowAlloc {
-            window: w.window_idx,
-            train_gpus: w.streams.iter().map(|s| s.train_gpus).collect(),
-            infer_gpus: w.streams.iter().map(|s| s.infer_gpus).collect(),
-            retrained: w.streams.iter().map(|s| s.retrained).collect(),
-            accuracy: w.streams.iter().map(|s| s.avg_accuracy).collect(),
-        });
+    if harness_report.is_complete() {
+        let cell = &harness_report.cells[0];
+        let report = cell.report.as_ref().expect("cell ran");
+
+        let mut t = Table::new(
+            "Fig 9 — Ekya's allocation across two Urban Building streams (1 GPU)",
+            &["window", "s0 train", "s0 infer", "s1 train", "s1 infer", "s0 acc", "s1 acc"],
+        );
+        let mut out = Vec::new();
+        for w in &report.windows {
+            let (s0, s1) = (&w.streams[0], &w.streams[1]);
+            t.row(vec![
+                w.window_idx.to_string(),
+                if s0.retrained { f3(s0.train_gpus) } else { "-".into() },
+                f3(s0.infer_gpus),
+                if s1.retrained { f3(s1.train_gpus) } else { "-".into() },
+                f3(s1.infer_gpus),
+                f3(s0.avg_accuracy),
+                f3(s1.avg_accuracy),
+            ]);
+            out.push(WindowAlloc {
+                window: w.window_idx,
+                train_gpus: w.streams.iter().map(|s| s.train_gpus).collect(),
+                infer_gpus: w.streams.iter().map(|s| s.infer_gpus).collect(),
+                retrained: w.streams.iter().map(|s| s.retrained).collect(),
+                accuracy: w.streams.iter().map(|s| s.avg_accuracy).collect(),
+            });
+        }
+        t.print();
+
+        // Post-bootstrap per-stream accuracy (the paper's 0.82 / 0.83).
+        let mean = |idx: usize| -> f64 {
+            let vals: Vec<f64> =
+                report.windows[1..].iter().map(|w| w.streams[idx].avg_accuracy).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        println!(
+            "\nPost-bootstrap accuracy: stream#0 {:.3}, stream#1 {:.3} (paper: 0.82, 0.83)",
+            mean(0),
+            mean(1)
+        );
+        let skipped: usize =
+            report.windows.iter().flat_map(|w| &w.streams).filter(|s| !s.retrained).count();
+        println!(
+            "Windows where a stream's retraining was skipped: {skipped} \
+             (the uniform baseline always retrains — Ekya adapts per stream)"
+        );
+
+        save_json("fig09_allocation_points", &out);
+    } else {
+        harness_report.print_shard_notice("the allocation table is");
     }
-    t.print();
-
-    // Post-bootstrap per-stream accuracy (the paper's 0.82 / 0.83).
-    let mean = |idx: usize| -> f64 {
-        let vals: Vec<f64> =
-            report.windows[1..].iter().map(|w| w.streams[idx].avg_accuracy).collect();
-        vals.iter().sum::<f64>() / vals.len() as f64
-    };
-    println!(
-        "\nPost-bootstrap accuracy: stream#0 {:.3}, stream#1 {:.3} (paper: 0.82, 0.83)",
-        mean(0),
-        mean(1)
-    );
-    let skipped: usize =
-        report.windows.iter().flat_map(|w| &w.streams).filter(|s| !s.retrained).count();
-    println!(
-        "Windows where a stream's retraining was skipped: {skipped} \
-         (the uniform baseline always retrains — Ekya adapts per stream)"
-    );
-
-    save_json("fig09_allocation", &out);
+    run.print_footer();
 }

@@ -3,19 +3,27 @@
 //! (a) Distribution of the micro-profiler's accuracy-estimation errors
 //!     against ground truth (train every configuration to completion):
 //!     the paper reports largely unbiased errors with a median absolute
-//!     error of 5.8%.
+//!     error of 5.8%. Derived from one trace recording at presentation
+//!     time (whole-grid runs only).
 //! (b) Robustness: inject controlled Gaussian noise ε into the profiler's
 //!     predictions and measure Ekya's end-to-end accuracy; the paper sees
-//!     at most ~3% drop up to ε = 20%. The (ε × GPUs) sweep fans out on
-//!     the harness worker pool.
+//!     at most ~3% drop up to ε = 20%. Every (ε × GPUs) point is a grid
+//!     cell (`PolicySpec::EkyaNoise`), so the sweep shards, resumes, and
+//!     orchestrates like any grid bin
+//!     ([`run_fig11_bin`]).
+//!
+//! The harness report lands in `results/fig11_profiler.json`
+//! (`_shardIofN` when sharded); the derived error distribution and noise
+//! curves move to `results/fig11_profiler_points.json`.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin fig11_profiler`
 //! Knobs: EKYA_WINDOWS (default 4), EKYA_STREAMS (default 4),
-//!        EKYA_WORKERS.
+//!        EKYA_QUICK=1 (fewer ε points), EKYA_WORKERS, EKYA_SHARD,
+//!        EKYA_RESUME (see crates/ekya-bench/README.md).
 
-use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
-use ekya_core::{EkyaPolicy, SchedulerParams};
-use ekya_sim::{record_trace, run_windows, RunnerConfig};
+use ekya_baselines::PolicySpec;
+use ekya_bench::{f3, fig11_eps, run_fig11_bin, save_json, Knobs, Table, FIG11_GPUS};
+use ekya_sim::{record_trace, RunnerConfig};
 use ekya_video::{stats, DatasetKind, StreamSet};
 use serde::Serialize;
 
@@ -29,8 +37,26 @@ struct Fig11Output {
 
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("fig11_profiler");
-    knobs.warn_if_resume("fig11_profiler");
+    let run = run_fig11_bin(&knobs);
+    let report = &run.report;
+
+    if !report.is_complete() {
+        report.print_shard_notice("the error distribution and noise tables are");
+        run.print_footer();
+        return;
+    }
+    if report.failed > 0 {
+        // A poisoned cell would silently read as accuracy 0.0 in the
+        // noise tables; fail loudly instead (the pre-port behaviour).
+        eprintln!(
+            "[fig11: {} poisoned cell(s) — derived tables not computed; \
+             see the errors in the JSON report]",
+            report.failed
+        );
+        run.print_footer();
+        std::process::exit(1);
+    }
+
     let windows = knobs.windows(4);
     let num_streams = knobs.streams(4);
     let seed = knobs.seed();
@@ -78,50 +104,38 @@ fn main() {
     );
 
     // ---- (b) robustness to controlled estimate noise ----
-    let eps_grid = [0.0f64, 0.05, 0.10, 0.20, 0.50];
-    let gpu_axis = [1.0f64, 4.0];
-    let mut cells: Vec<(f64, f64)> = Vec::new();
-    for &eps in &eps_grid {
-        for &gpus in &gpu_axis {
-            cells.push((eps, gpus));
-        }
-    }
-    eprintln!("[fig11b: {} cells across {} workers]", cells.len(), knobs.workers());
-    let streams_ref = &streams;
-    let results = run_parallel(cells, knobs.workers(), move |_, (eps, gpus)| {
-        let mut run_cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
-        run_cfg.profiler.noise_std = eps;
-        let mut policy = EkyaPolicy::new(SchedulerParams::new(gpus));
-        let report = run_windows(&mut policy, streams_ref, &run_cfg, windows);
-        (eps, gpus, report.mean_accuracy())
-    });
-    let noise_accuracy: Vec<(f64, f64, f64)> =
-        results.into_iter().map(|r| r.expect("noise cell")).collect();
+    // Pure lookups into the harness report (by spec equality — every
+    // EkyaNoise cell reports under the plain "Ekya" policy name).
+    let eps_grid = fig11_eps(knobs.quick());
+    let at = |eps: f64, gpus: f64| {
+        report
+            .cells
+            .iter()
+            .find(|c| {
+                c.error.is_none()
+                    && c.scenario.gpus == gpus
+                    && c.scenario.policy == PolicySpec::EkyaNoise { noise_std: eps }
+            })
+            .map(|c| c.mean_accuracy)
+            .unwrap_or(0.0)
+    };
+    let noise_accuracy: Vec<(f64, f64, f64)> = eps_grid
+        .iter()
+        .flat_map(|&eps| FIG11_GPUS.iter().map(move |&gpus| (eps, gpus, at(eps, gpus))))
+        .collect();
 
     let mut hb = Table::new(
         "Fig 11b — Ekya accuracy under controlled estimate noise ε",
         &["ε", "1 GPU", "4 GPUs"],
     );
-    for &eps in &eps_grid {
+    for &eps in eps_grid {
         let mut row = vec![format!("{:.0}%", eps * 100.0)];
-        for &gpus in &gpu_axis {
-            let acc = noise_accuracy
-                .iter()
-                .find(|(e, g, _)| *e == eps && *g == gpus)
-                .map(|(_, _, a)| *a)
-                .unwrap_or(0.0);
-            row.push(f3(acc));
+        for &gpus in &FIG11_GPUS {
+            row.push(f3(at(eps, gpus)));
         }
         hb.row(row);
     }
     hb.print();
-    let at = |eps: f64, gpus: f64| {
-        noise_accuracy
-            .iter()
-            .find(|(e, g, _)| *e == eps && *g == gpus)
-            .map(|(_, _, a)| *a)
-            .unwrap_or(0.0)
-    };
     println!(
         "\nAccuracy drop at ε=20% vs ε=0: {:+.1}% @1 GPU, {:+.1}% @4 GPUs (paper: <= 3%)",
         (at(0.2, 1.0) - at(0.0, 1.0)) * 100.0,
@@ -129,7 +143,8 @@ fn main() {
     );
 
     save_json(
-        "fig11_profiler",
+        "fig11_profiler_points",
         &Fig11Output { errors, median_abs_error: median, mean_error: mean, noise_accuracy },
     );
+    run.print_footer();
 }

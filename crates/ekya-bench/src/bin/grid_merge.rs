@@ -3,9 +3,9 @@
 //!
 //! Two input formats are auto-detected per file:
 //!
-//! * harness reports ([`HarnessReport`]) written by the grid bins
-//!   (`fig06_streams`, `table3_capacity`, `fig10_delta`) under
-//!   `EKYA_SHARD=i/N`;
+//! * harness reports ([`HarnessReport`]) written by the scenario-grid
+//!   bins — every fig/table bin except `fig03_configs` (see
+//!   `ekya_bench::shardable_bins`) — under `EKYA_SHARD=i/N`;
 //! * configuration-sweep shards ([`ConfigShard`]) written by
 //!   `fig03_configs` (the merge recomputes the whole-grid Pareto flags).
 //!

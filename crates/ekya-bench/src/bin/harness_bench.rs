@@ -1,12 +1,14 @@
 //! Harness throughput benchmark + determinism guard.
 //!
-//! Measures the two gated workloads — the quick-mode Figure 6 scenario
-//! grid and the quick-mode fig03 configuration sweep — each twice:
-//! serial (1 worker) and parallel (≥4 workers), asserting the two passes
-//! produce **byte-identical** results. The run's records are appended as
-//! one entry (stamped with `git describe`) to the perf trajectory
+//! Measures the three gated workloads — the quick-mode Figure 6
+//! scenario grid, the quick-mode fig03 configuration sweep, and the
+//! quick-mode fig07 trace-replay grid — each twice: serial (1 worker)
+//! and parallel (≥4 workers), asserting the two passes produce
+//! **byte-identical** results. The run's records are appended as one
+//! entry (stamped with `git describe`) to the perf trajectory
 //! `results/BENCH_series.json`; the CI perf gate (`ci/check_bench.sh` /
-//! `perf_gate`) gates the latest entry against `ci/bench_baseline.json`.
+//! `perf_gate`) gates the latest entry against `ci/bench_baseline.json`,
+//! and `bench_series` prints the trajectory.
 //!
 //! Run: `cargo run --release -p ekya-bench --bin harness_bench`
 //! Knobs: EKYA_WINDOWS (default 2), EKYA_SEED, EKYA_WORKERS (floored at
@@ -17,19 +19,15 @@
 
 use ekya_baselines::{PolicyBuildCtx, PolicySpec};
 use ekya_bench::{
-    append_bench_series, config_grid, fig06_grid, run_grid, BenchRecord, ConfigSweep, Knobs,
+    append_bench_series, config_grid, fig06_grid, fig07_grid, run_grid, BenchRecord, ConfigSweep,
+    Grid, GridExec, Knobs, ReplayTraces,
 };
 use std::time::Instant;
 
-fn main() {
-    let knobs = Knobs::from_env();
-    let grid = fig06_grid(true, knobs.windows(2), knobs.seed());
-    let workers = knobs.workers().max(4);
-    let n = grid.cells().len();
-
-    // Warm the process-wide hold-out config cache before timing either
-    // pass — otherwise the first pass pays the one-off derivation and
-    // the speedup/throughput numbers measure the cache, not the harness.
+/// Warm the process-wide hold-out config cache for `grid` before timing
+/// — otherwise the first pass pays the one-off derivation and the
+/// speedup/throughput numbers measure the cache, not the harness.
+fn warm_holdout_cache(grid: &Grid) {
     for &dataset in &grid.datasets {
         for spec in &grid.policies {
             if matches!(spec, PolicySpec::Uniform { .. } | PolicySpec::FixedConfig { .. }) {
@@ -38,6 +36,15 @@ fn main() {
             }
         }
     }
+}
+
+fn main() {
+    let knobs = Knobs::from_env();
+    let grid = fig06_grid(true, knobs.windows(2), knobs.seed());
+    let workers = knobs.workers().max(4);
+    let n = grid.cells().len();
+
+    warm_holdout_cache(&grid);
 
     eprintln!("[harness_bench: fig06 quick grid — {n} cells, serial pass]");
     let serial = run_grid(&grid, 1);
@@ -109,7 +116,58 @@ fn main() {
         fig03.serial_wall_secs, fig03.parallel_wall_secs, fig03.speedup, fig03.cells_per_sec
     );
 
-    match append_bench_series(vec![fig06, fig03]) {
+    // Third gated workload: the quick fig07 trace-replay grid — the
+    // record/replay cell shape (shared ReplayTraces, custom evaluator
+    // through GridExec::run_with). The traces are recorded once, outside
+    // the timed region (recording is the workload's one-off cost, replay
+    // throughput is the gated metric), and each pass replays the grid
+    // REPS times: a single quick replay finishes in milliseconds, far
+    // inside timer noise at a 25% gate.
+    const REPS: usize = 64;
+    let grid07 = fig07_grid(true, knobs.windows(2), knobs.streams(4), knobs.seed());
+    let k = grid07.cells().len();
+    warm_holdout_cache(&grid07);
+    eprintln!("[harness_bench: fig07 quick replay — recording {} traces]", grid07.datasets.len());
+    let traces = ReplayTraces::for_grid(&grid07);
+    for &kind in &grid07.datasets {
+        let _ = traces.trace(kind);
+    }
+    let replay_pass = |pass_workers: usize| {
+        let mut wall = 0.0;
+        let mut report = None;
+        for _ in 0..REPS {
+            let run = GridExec::new("fig07_quick_replay", pass_workers)
+                .run_with(&grid07, |sc| traces.replay(&grid07, sc));
+            wall += run.stats.wall_secs;
+            report = Some(run.report);
+        }
+        (report.expect("at least one repetition"), wall)
+    };
+    eprintln!("[harness_bench: fig07 quick replay — {k} cells x{REPS}, serial pass]");
+    let (serial07, serial07_secs) = replay_pass(1);
+    eprintln!("[harness_bench: fig07 quick replay — parallel pass on {workers} workers]");
+    let (parallel07, parallel07_secs) = replay_pass(workers);
+    assert_eq!(serial07, parallel07, "parallel fig07 replay diverged from serial replay");
+    assert_eq!(serial07.failed, 0, "serial fig07 replay had poisoned cells");
+
+    let fig07 = BenchRecord {
+        name: "fig07_quick_replay".into(),
+        // The record's fields must reconcile with each other: the wall
+        // clocks cover all REPS repetitions, so `cells` does too.
+        cells: k * REPS,
+        workers,
+        serial_wall_secs: serial07_secs,
+        parallel_wall_secs: parallel07_secs,
+        speedup: serial07_secs / parallel07_secs.max(1e-9),
+        cells_per_sec: (k * REPS) as f64 / parallel07_secs.max(1e-9),
+    };
+    println!(
+        "harness_bench: fig07 {k} replay cells x{REPS} · serial {:.2} s · parallel {:.2} s on \
+         {workers} workers · speedup {:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
+        fig07.serial_wall_secs, fig07.parallel_wall_secs, fig07.speedup, fig07.cells_per_sec
+    );
+
+    match append_bench_series(vec![fig06, fig03, fig07]) {
         Ok(path) => println!("\n[perf trajectory appended to {}]", path.display()),
         Err(e) => {
             eprintln!("harness_bench: cannot append the perf trajectory — {e}");

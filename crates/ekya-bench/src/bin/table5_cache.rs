@@ -7,17 +7,23 @@
 //! class distributions recur, but object *appearances* keep drifting, so
 //! cached models go stale anyway.
 //!
-//! The two designs run as independent harness cells (they share no
-//! state — both consume the same immutable stream set).
+//! The two designs are two grid cells (`PolicySpec::ModelCache` and
+//! `PolicySpec::Ekya`) over one shared stream set, both scored on the
+//! post-cache evaluation windows
+//! ([`run_table5_bin`]) — so the bin shards,
+//! resumes, and orchestrates like any other. The harness report lands in
+//! `results/table5_cache.json` (`_shardIofN` when sharded); the derived
+//! summary moves to `results/table5_cache_rows.json`.
+//!
 //! Run: `cargo run --release -p ekya-bench --bin table5_cache`
-//! Knobs: EKYA_WINDOWS (total; default 8, first half builds the cache),
-//!        EKYA_STREAMS (default 6), EKYA_WORKERS.
+//! Knobs: EKYA_WINDOWS (total; default 8, floored at 2 — first half
+//!        builds the cache), EKYA_STREAMS (default 6), EKYA_WORKERS,
+//!        EKYA_SHARD, EKYA_RESUME (see crates/ekya-bench/README.md).
 
-use ekya_baselines::run_model_cache;
-use ekya_bench::{f3, run_parallel, save_json, Knobs, Table};
-use ekya_core::{EkyaPolicy, SchedulerParams};
-use ekya_sim::{run_windows, RunnerConfig};
-use ekya_video::{DatasetKind, StreamSet};
+use ekya_baselines::PolicySpec;
+use ekya_bench::{
+    f3, run_table5_bin, save_json, table5_pretrain_windows, Knobs, Table, TABLE5_GPUS,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,63 +32,72 @@ struct Output {
     ekya_accuracy: f64,
 }
 
-enum Design {
-    Cache,
-    Ekya,
-}
-
 fn main() {
     let knobs = Knobs::from_env();
-    knobs.warn_if_sharded("table5_cache");
-    knobs.warn_if_resume("table5_cache");
-    let windows = knobs.windows(8);
-    let num_streams = knobs.streams(6);
-    let seed = knobs.seed();
-    let gpus = 8.0;
-    let pretrain = windows / 2;
-    let kind = DatasetKind::Cityscapes;
-    let streams = StreamSet::generate(kind, num_streams, windows, seed);
-    let cfg = RunnerConfig { total_gpus: gpus, seed, ..RunnerConfig::default() };
+    let run = run_table5_bin(&knobs);
+    let report = &run.report;
 
-    let streams_ref = &streams;
-    let cfg_ref = &cfg;
-    let results =
-        run_parallel(vec![Design::Cache, Design::Ekya], knobs.workers(), move |_, design| {
-            match design {
-                // Model-cache baseline: windows 0..pretrain build the
-                // cache; the rest are evaluated.
-                Design::Cache => {
-                    run_model_cache(streams_ref, cfg_ref, windows, pretrain).mean_accuracy()
-                }
-                // Ekya over the same evaluation windows.
-                Design::Ekya => {
-                    let mut ekya = EkyaPolicy::new(SchedulerParams::new(gpus));
-                    let report = run_windows(&mut ekya, streams_ref, cfg_ref, windows);
-                    report.windows[pretrain..].iter().map(|w| w.mean_accuracy()).sum::<f64>()
-                        / (windows - pretrain) as f64
-                }
-            }
-        });
-    let accs: Vec<f64> = results.into_iter().map(|r| r.expect("design cell")).collect();
-    let (cache_acc, ekya_acc) = (accs[0], accs[1]);
+    if report.is_complete() {
+        if report.failed > 0 {
+            // A poisoned design cell would read as accuracy 0.0 in the
+            // comparison; fail loudly instead (the pre-port behaviour).
+            eprintln!(
+                "[table5: {} poisoned cell(s) — comparison not computed; \
+                 see the errors in the JSON report]",
+                report.failed
+            );
+            run.print_footer();
+            std::process::exit(1);
+        }
+        let acc_of = |spec: &PolicySpec| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.error.is_none() && c.scenario.policy == *spec)
+                .map(|c| c.mean_accuracy)
+                .unwrap_or(0.0)
+        };
+        let cache_acc = acc_of(&PolicySpec::ModelCache);
+        let ekya_acc = acc_of(&PolicySpec::Ekya);
+        let windows = report.cells.first().map(|c| c.scenario.windows).unwrap_or(8);
+        let num_streams = report.cells.first().map(|c| c.scenario.streams).unwrap_or(6);
+        let pretrain = table5_pretrain_windows(windows);
 
-    let mut t = Table::new(
-        format!(
-            "Ekya vs cached-model reuse ({num_streams} streams, {gpus} GPUs, eval windows {pretrain}..{windows})"
-        ),
-        &["design", "accuracy"],
-    );
-    t.row(vec!["Model cache (nearest class distribution)".into(), f3(cache_acc)]);
-    t.row(vec!["Ekya (continuous retraining)".into(), f3(ekya_acc)]);
-    t.print();
-    println!(
-        "\nPaper: cache 0.72 vs Ekya 0.78 — class mixes recur but appearances drift, \
-         so cached models underperform."
-    );
-    assert!(
-        ekya_acc > cache_acc,
-        "Ekya must beat the cache baseline: {ekya_acc:.3} vs {cache_acc:.3}"
-    );
+        let mut t = Table::new(
+            format!(
+                "Ekya vs cached-model reuse ({num_streams} streams, {TABLE5_GPUS} GPUs, \
+                 eval windows {pretrain}..{windows})"
+            ),
+            &["design", "accuracy"],
+        );
+        t.row(vec!["Model cache (nearest class distribution)".into(), f3(cache_acc)]);
+        t.row(vec!["Ekya (continuous retraining)".into(), f3(ekya_acc)]);
+        t.print();
+        println!(
+            "\nPaper: cache 0.72 vs Ekya 0.78 — class mixes recur but appearances drift, \
+             so cached models underperform."
+        );
+        // The paper's claim is checked at the full setting; a shrunken
+        // smoke run (one eval window, few streams) has no margin to
+        // assert on.
+        if windows >= 8 && num_streams >= 6 {
+            assert!(
+                ekya_acc > cache_acc,
+                "Ekya must beat the cache baseline: {ekya_acc:.3} vs {cache_acc:.3}"
+            );
+        } else if ekya_acc <= cache_acc {
+            eprintln!(
+                "[table5: Ekya {ekya_acc:.3} did not beat the cache {cache_acc:.3} at this \
+                 reduced size — the paper's claim is only asserted at the full setting]"
+            );
+        }
 
-    save_json("table5_cache", &Output { cache_accuracy: cache_acc, ekya_accuracy: ekya_acc });
+        save_json(
+            "table5_cache_rows",
+            &Output { cache_accuracy: cache_acc, ekya_accuracy: ekya_acc },
+        );
+    } else {
+        report.print_shard_notice("the comparison is");
+    }
+    run.print_footer();
 }

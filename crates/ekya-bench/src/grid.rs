@@ -177,17 +177,11 @@ pub fn coverage_order(parts: &[(ShardSpec, usize)], total: usize) -> Result<Vec<
     Ok(order)
 }
 
-/// FNV-1a over a byte string — stable, dependency-free cell hashing.
-/// (`std::hash` is seeded per-process, so it cannot provide run-to-run
-/// determinism.)
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+// Stable, dependency-free cell hashing: the workspace-wide FNV-1a from
+// `ekya_core::hash`, re-exported here so cell seeding, registry memo
+// keys, and merge fingerprints share one implementation (and one set of
+// reference test vectors).
+pub use ekya_core::fnv1a;
 
 /// Deterministic per-cell seed: `base ^ fnv1a(dataset, streams, windows)`.
 pub fn cell_seed(base: u64, dataset: DatasetKind, streams: usize, windows: usize) -> u64 {

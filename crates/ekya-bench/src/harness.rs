@@ -414,6 +414,19 @@ impl HarnessReport {
             .map(|c| (c.scenario.fingerprint(), c.clone()))
             .collect()
     }
+
+    /// Prints the standard sharded-run notice a bin shows instead of its
+    /// whole-grid presentation; `what` names what was skipped, as a
+    /// plural-aware phrase ending in "is"/"are" (e.g. `"the factor
+    /// table is"`, `"tables and headlines are"`).
+    pub fn print_shard_notice(&self, what: &str) {
+        println!(
+            "[shard report: {} of {} cells — {what} whole-grid; \
+             merge the shards with `grid_merge` first]",
+            self.cells.len(),
+            self.total_cells
+        );
+    }
 }
 
 /// Timing and resume bookkeeping for one [`GridExec::run`] — printed by
@@ -441,6 +454,24 @@ pub struct GridRun {
     pub report: HarnessReport,
     /// How the run went (timing, resume counts).
     pub stats: RunStats,
+}
+
+impl GridRun {
+    /// Prints the standard end-of-bin stats footer (executed/resumed
+    /// counts, wall clock, throughput, failures) every grid bin ends
+    /// with.
+    pub fn print_footer(&self) {
+        println!(
+            "\n[{} cells executed (+{} resumed) in {:.1} s — {:.2} cells/s on {} workers, \
+             {} failed]",
+            self.stats.executed,
+            self.stats.resumed,
+            self.stats.wall_secs,
+            self.stats.cells_per_sec,
+            self.stats.workers,
+            self.report.failed
+        );
+    }
 }
 
 /// Runs one scenario end to end: generate its streams, build its policy

@@ -20,12 +20,15 @@
 //! * [`exec`] — real retraining execution shared by profiling and the
 //!   simulator;
 //! * [`policy`] — the policy trait the window runner is generic over, and
-//!   [`policy::EkyaPolicy`] combining all of the above.
+//!   [`policy::EkyaPolicy`] combining all of the above;
+//! * [`hash`] — the workspace's one FNV-1a implementation (cell seeds,
+//!   registry memo keys, trace and merge fingerprints).
 
 pub mod adapt;
 pub mod config;
 pub mod estimator;
 pub mod exec;
+pub mod hash;
 pub mod knapsack;
 pub mod microprofiler;
 pub mod policy;
@@ -38,6 +41,7 @@ pub use config::{
 };
 pub use estimator::{estimate_window, AccuracyEstimate, EstimateParams, RetrainWork};
 pub use exec::{build_variant, RetrainExecution, TrainHyper};
+pub use hash::fnv1a;
 pub use knapsack::optimal_schedule;
 pub use microprofiler::{
     exhaustive_profile, profile_config, MicroProfiler, MicroProfilerParams, ProfileOutput,

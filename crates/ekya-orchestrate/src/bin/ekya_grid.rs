@@ -27,6 +27,9 @@
 //! parallelism — divided by the shard count),
 //! `--seed`/`--windows`/`--streams`/`--quick` (override the `EKYA_*`
 //! env, which is otherwise inherited into the plan),
+//! `--worker-program PATH` (substitute the shard worker executable —
+//! e.g. the `examples/ssh_worker.sh` wrapper for multi-machine fan-out;
+//! default: this very binary in `worker` mode),
 //! `--verify-against FILE` (fail unless the merged report is
 //! byte-identical to FILE), `--no-promote`, and `--inject-crash I:K`
 //! (fault injection: shard I's first attempt exits after K cells — the
@@ -118,6 +121,34 @@ fn run_dir_of(flags: &Flags, bin_for_default: Option<&str>) -> Result<PathBuf, S
         .or_else(|| bin_for_default.map(str::to_string))
         .ok_or("need --run NAME or --run-dir PATH")?;
     Ok(ekya_bench::results_dir().join("orchestrate").join(name))
+}
+
+/// The shard-worker launcher: `--worker-program` substitutes any
+/// executable speaking the worker protocol (argv `worker --bin BIN`,
+/// knobs via `EKYA_*` env) — the hook multi-machine fan-out rides (see
+/// `examples/ssh_worker.sh`); the default is this very binary re-invoked
+/// in `worker` mode. The program is pinned into the plan, so `resume`
+/// respawns through the same program a run was launched with.
+fn spawner_for(plan: &Plan, run_dir: &std::path::Path) -> Result<Spawner, String> {
+    match &plan.worker_program {
+        Some(program) => Ok(Spawner::new(PathBuf::from(program), run_dir)),
+        None => Spawner::current_exe(run_dir),
+    }
+}
+
+/// Resolves a `--worker-program` value for pinning into the plan:
+/// path-like values are canonicalized — the pinned value must keep
+/// resolving when `resume` later runs from a different working
+/// directory — and a nonexistent path fails here, at launch, instead of
+/// burning every shard's retries. Bare names (no separator) are kept
+/// verbatim for PATH lookup.
+fn resolve_worker_program(program: &str) -> Result<String, String> {
+    if !program.contains(std::path::MAIN_SEPARATOR) {
+        return Ok(program.to_string());
+    }
+    std::fs::canonicalize(program)
+        .map(|p| p.display().to_string())
+        .map_err(|e| format!("--worker-program {program}: {e}"))
 }
 
 fn supervise_opts(flags: &Flags, resume: bool) -> Result<SuperviseOpts, String> {
@@ -215,7 +246,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         .parsed("--workers-per-shard")?
         .unwrap_or_else(|| (knobs.workers() / shards.max(1)).max(1));
 
-    let plan = Plan::new(
+    let mut plan = Plan::new(
         &bin,
         shards,
         PlanEnv::from_knobs(&knobs, workers_per_shard),
@@ -223,6 +254,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         flags.parsed("--stall-timeout")?.unwrap_or(600),
         flags.parsed("--backoff-ms")?.unwrap_or(500),
     )?;
+    plan.worker_program = flags.get("--worker-program").map(resolve_worker_program).transpose()?;
     plan.save(&run_dir)?;
     println!(
         "ekya_grid: planned {} — {} cells across {} shards, {} worker(s) each → {}",
@@ -233,7 +265,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         run_dir.display()
     );
 
-    let spawner = Spawner::current_exe(&run_dir)?;
+    let spawner = spawner_for(&plan, &run_dir)?;
     let status = supervise(&plan, &run_dir, &spawner, &supervise_opts(&flags, false)?)?;
     Ok(finish(status))
 }
@@ -249,6 +281,12 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
     if let Some(max_retries) = flags.parsed("--max-retries")? {
         plan.max_retries = max_retries;
     }
+    // The pinned worker program carries over from the launch by default
+    // (an ssh-fanned run must not silently respawn local workers); an
+    // explicit --worker-program on resume overrides it.
+    if let Some(program) = flags.get("--worker-program") {
+        plan.worker_program = Some(resolve_worker_program(program)?);
+    }
     println!(
         "ekya_grid: resuming {} — {} cells across {} shards ({})",
         plan.bin,
@@ -256,7 +294,7 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
         plan.shards.len(),
         run_dir.display()
     );
-    let spawner = Spawner::current_exe(&run_dir)?;
+    let spawner = spawner_for(&plan, &run_dir)?;
     let status = supervise(&plan, &run_dir, &spawner, &supervise_opts(&flags, true)?)?;
     Ok(finish(status))
 }

@@ -17,7 +17,9 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Scenario grid: `HarnessReport` shards with `.partial.json`
-    /// checkpoints (fig06, table3, fig10, fig08).
+    /// checkpoints — every fig/table bin except fig03 (the bespoke bins
+    /// were all ported onto `Scenario` cell identities; trace-replay,
+    /// cloud/cache, and toggle sweeps included).
     Scenarios,
     /// fig03 configuration sweep: `ConfigShard` shards, no checkpoints
     /// (a retry re-profiles the whole shard; stall detection is off).
@@ -106,6 +108,12 @@ pub struct Plan {
     pub stall_timeout_secs: u64,
     /// Base of the exponential retry backoff (doubles per retry).
     pub backoff_ms: u64,
+    /// Worker executable override (`ekya_grid run --worker-program`,
+    /// e.g. the ssh fan-out wrapper), pinned at launch like every other
+    /// knob — so `ekya_grid resume` respawns shards through the same
+    /// program instead of silently falling back to local workers.
+    /// `None` = the supervisor binary itself in `worker` mode.
+    pub worker_program: Option<String>,
 }
 
 impl Plan {
@@ -152,6 +160,7 @@ impl Plan {
             max_retries,
             stall_timeout_secs,
             backoff_ms,
+            worker_program: None,
         })
     }
 
@@ -244,7 +253,11 @@ mod tests {
 
     #[test]
     fn plan_roundtrips_through_the_run_directory() {
-        let plan = Plan::new("fig08_factors", 3, quick_env(), 1, 120, 250).unwrap();
+        let mut plan = Plan::new("fig08_factors", 3, quick_env(), 1, 120, 250).unwrap();
+        // The pinned worker program must survive the round-trip — it is
+        // what `ekya_grid resume` reads back so an ssh-fanned run does
+        // not silently respawn local workers.
+        plan.worker_program = Some("examples/ssh_worker.sh".into());
         let dir = std::env::temp_dir().join(format!("ekya_orch_plan_{}", std::process::id()));
         plan.save(&dir).unwrap();
         let back = Plan::load(&dir).unwrap();

@@ -116,6 +116,153 @@ fn crashed_shard_resumes_and_merge_is_byte_identical_to_unsharded() {
 }
 
 #[test]
+fn fig07_crashed_shard_resumes_and_merge_is_byte_identical_to_unsharded() {
+    // The per-dataset trace-replay port (fig07) under the full failure
+    // path: 4 shards (slices spanning both quick datasets), shard 0
+    // killed after its first cell, retried with resume — the merged
+    // report must equal an unsharded single-process run byte for byte.
+    let run_dir = temp_dir("fig07");
+    let ref_dir = temp_dir("fig07_ref");
+
+    let status = std::process::Command::new(ekya_grid_bin())
+        .args(["worker", "--bin", "fig07_provisioning"])
+        .env_remove("EKYA_SHARD")
+        .env_remove("EKYA_RESUME")
+        .env("EKYA_QUICK", "1")
+        .env("EKYA_WINDOWS", "1")
+        .env("EKYA_STREAMS", "2")
+        .env("EKYA_SEED", "42")
+        .env("EKYA_WORKERS", "1")
+        .env("EKYA_RESULTS_DIR", &ref_dir)
+        .status()
+        .expect("reference worker spawns");
+    assert!(status.success(), "reference fig07 worker failed");
+    let reference = ref_dir.join("fig07_provisioning.json");
+    assert!(reference.is_file(), "reference report missing");
+
+    let plan = Plan::new("fig07_provisioning", 4, quick_env(), 2, 600, 10).unwrap();
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(ekya_grid_bin(), &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        inject_crash: Some((0, 1)),
+        verify_against: Some(reference.clone()),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).expect("fig07 supervised run");
+
+    assert_eq!(status.state, RunState::Complete);
+    assert!(status.shards[0].attempt >= 2, "the crashed shard must have been retried");
+    assert!(
+        status.shards[0].failures.iter().any(|f| f.reason.contains("exit code 17")),
+        "injected crash must be recorded: {:?}",
+        status.shards[0].failures
+    );
+    // Byte-identity, asserted directly on top of the in-merge verify.
+    assert_eq!(
+        std::fs::read(plan.merged_path(&run_dir)).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "merged fig07 report must be byte-identical to the unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn table4_shard_union_is_byte_identical_to_unsharded() {
+    // The cloud-delay port (table4): (network × bandwidth-scale) cells
+    // plus the Ekya reference cell, supervised across 4 shards and
+    // merged — byte-identical to an unsharded single-process run.
+    let run_dir = temp_dir("table4");
+    let ref_dir = temp_dir("table4_ref");
+
+    let status = std::process::Command::new(ekya_grid_bin())
+        .args(["worker", "--bin", "table4_cloud"])
+        .env_remove("EKYA_SHARD")
+        .env_remove("EKYA_RESUME")
+        .env("EKYA_QUICK", "1")
+        .env("EKYA_WINDOWS", "1")
+        .env("EKYA_STREAMS", "2")
+        .env("EKYA_SEED", "42")
+        .env("EKYA_WORKERS", "1")
+        .env("EKYA_RESULTS_DIR", &ref_dir)
+        .status()
+        .expect("reference worker spawns");
+    assert!(status.success(), "reference table4 worker failed");
+    let reference = ref_dir.join("table4_cloud.json");
+
+    let plan = Plan::new("table4_cloud", 4, quick_env(), 1, 600, 10).unwrap();
+    assert!(plan.checkpoints(), "table4 plans as a scenario grid with checkpoints");
+    plan.save(&run_dir).unwrap();
+    let spawner = Spawner::new(ekya_grid_bin(), &run_dir);
+    let opts = SuperviseOpts {
+        poll_interval: Duration::from_millis(25),
+        verify_against: Some(reference.clone()),
+        promote: false,
+        ..SuperviseOpts::default()
+    };
+    let status = supervise(&plan, &run_dir, &spawner, &opts).expect("table4 supervised run");
+    assert_eq!(status.state, RunState::Complete);
+    assert_eq!(
+        std::fs::read(plan.merged_path(&run_dir)).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "merged table4 report must be byte-identical to the unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn every_newly_ported_small_bin_merges_byte_identical_across_4_shards() {
+    // The remaining ports — table5 (2 cells), fig09 (1 cell: surplus
+    // shards own empty slices), fig11 (4 quick cells), and the design
+    // ablations (6 cells) — each supervised across 4 shards and merged
+    // byte-identical to an unsharded single-process run.
+    for bin in ["table5_cache", "fig09_allocation", "fig11_profiler", "ablation_design"] {
+        let run_dir = temp_dir(&format!("small_{bin}"));
+        let ref_dir = temp_dir(&format!("small_{bin}_ref"));
+
+        let status = std::process::Command::new(ekya_grid_bin())
+            .args(["worker", "--bin", bin])
+            .env_remove("EKYA_SHARD")
+            .env_remove("EKYA_RESUME")
+            .env("EKYA_QUICK", "1")
+            .env("EKYA_WINDOWS", "2")
+            .env("EKYA_STREAMS", "2")
+            .env("EKYA_SEED", "42")
+            .env("EKYA_WORKERS", "1")
+            .env("EKYA_RESULTS_DIR", &ref_dir)
+            .status()
+            .expect("reference worker spawns");
+        assert!(status.success(), "reference {bin} worker failed");
+        let reference = ref_dir.join(format!("{bin}.json"));
+        assert!(reference.is_file(), "reference {bin} report missing");
+
+        let env = PlanEnv { seed: 42, windows: Some(2), streams: Some(2), quick: true, workers: 1 };
+        let plan = Plan::new(bin, 4, env, 1, 600, 10).unwrap();
+        plan.save(&run_dir).unwrap();
+        let spawner = Spawner::new(ekya_grid_bin(), &run_dir);
+        let opts = SuperviseOpts {
+            poll_interval: Duration::from_millis(25),
+            verify_against: Some(reference.clone()),
+            promote: false,
+            ..SuperviseOpts::default()
+        };
+        let status = supervise(&plan, &run_dir, &spawner, &opts)
+            .unwrap_or_else(|e| panic!("{bin} supervised run failed: {e}"));
+        assert_eq!(status.state, RunState::Complete, "{bin} did not complete");
+        assert_eq!(
+            std::fs::read(plan.merged_path(&run_dir)).unwrap(),
+            std::fs::read(&reference).unwrap(),
+            "merged {bin} report must be byte-identical to the unsharded run"
+        );
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+}
+
+#[test]
 fn fig03_config_shards_supervise_and_merge_byte_identical() {
     // The Configs workload kind end to end: ConfigShard probing (no
     // checkpoints), the merge_config_shards path with whole-grid Pareto

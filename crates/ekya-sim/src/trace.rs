@@ -109,6 +109,22 @@ impl Trace {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Stable content fingerprint (FNV-1a over the canonical JSON
+    /// serialisation) — the recording's identity.
+    ///
+    /// A recording is a pure function of (stream set, runner config,
+    /// windows, staleness), so two processes that record the same
+    /// workload must land on the same fingerprint. That is what lets
+    /// recorded-then-replayed grids (fig 7/8) shard across processes:
+    /// each shard re-records its traces independently, and the
+    /// fingerprint — logged at recording time — is the cross-machine
+    /// witness that every shard replayed against identical data. Two
+    /// runs that disagree here cannot produce byte-identical replay
+    /// cells and must not be merged.
+    pub fn fingerprint(&self) -> u64 {
+        ekya_core::fnv1a(self.to_json().as_bytes())
+    }
 }
 
 /// Records a trace by running the reference pipeline (full retraining
@@ -136,6 +152,13 @@ pub fn record_trace(
             *e = *c;
         }
     }
+    // Iterate the variants in a stable order: replay looks curves up by
+    // key, so ordering never changes results — but it IS the recorded
+    // `true_curves` ordering, and the trace fingerprint (the
+    // cross-process recording identity) hashes the content. HashMap
+    // order would make byte-identical workloads fingerprint differently.
+    let mut richest: Vec<(CurveKey, ekya_core::RetrainConfig)> = richest.into_iter().collect();
+    richest.sort_by_key(|(k, _)| (k.batch_size, k.last_layer_neurons, k.layers_trained));
     // The reference chain adopts the deepest (most layers, widest k)
     // variant each window.
     let reference_cfg = *cfg
@@ -190,7 +213,8 @@ pub fn record_trace(
             // real accuracy-vs-k points on ground truth.
             let mut true_curves = Vec::with_capacity(richest.len());
             let mut reference_next: Option<Mlp> = None;
-            for (&key, config) in &richest {
+            for (key, config) in &richest {
+                let key = *key;
                 let mut exec = RetrainExecution::new(
                     &model,
                     &fresh,
@@ -473,5 +497,19 @@ mod tests {
             parsed.windows[1].streams[0].stale_accuracy,
             trace.windows[1].streams[0].stale_accuracy
         );
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_recorded_workload() {
+        // Same workload → same fingerprint (including through a JSON
+        // round-trip — the cross-process identity the fig 7/8 shards
+        // rely on); a different seed → a different recording.
+        let trace = small_trace();
+        assert_eq!(trace.fingerprint(), small_trace().fingerprint());
+        assert_eq!(Trace::from_json(&trace.to_json()).unwrap().fingerprint(), trace.fingerprint());
+        let streams = StreamSet::generate(DatasetKind::Cityscapes, 2, 4, 31);
+        let cfg = RunnerConfig { seed: 4, ..RunnerConfig::default() };
+        let reseeded = record_trace(&streams, &cfg, 4, 4);
+        assert_ne!(reseeded.fingerprint(), trace.fingerprint());
     }
 }

@@ -124,11 +124,28 @@ fn orchestrator_symbols_importable() {
     let _ = ekya_bench::run_bin as *const ();
     let _ = ekya_bench::run_config_bin as *const ();
     let _ = ekya_bench::run_fig08_bin as *const ();
-    let _ = ekya_bench::shardable_bins as fn() -> [&'static str; 5];
+    let _ = ekya_bench::run_fig07_bin as *const ();
+    let _ = ekya_bench::run_table4_bin as *const ();
+    let _ = ekya_bench::run_table5_bin as *const ();
+    let _ = ekya_bench::run_fig09_bin as *const ();
+    let _ = ekya_bench::run_fig11_bin as *const ();
+    let _ = ekya_bench::run_ablation_bin as *const ();
+    let _ = ekya_bench::shardable_bins as fn() -> [&'static str; 11];
     let _ = ekya_bench::config_grid as *const ();
     let _ = ekya_bench::table3_grid as *const ();
     let _ = ekya_bench::fig08_grid as *const ();
+    let _ = ekya_bench::fig07_grid as *const ();
     let _ = ekya_bench::fig10_grid as *const ();
+    let _ = ekya_bench::table4_grid_for as *const ();
+    let _ = ekya_bench::table5_grid_for as *const ();
+    let _ = ekya_bench::fig09_grid_for as *const ();
+    let _ = ekya_bench::fig11_grid_for as *const ();
+    let _ = ekya_bench::ablation_grid_for as *const ();
+    let _ = std::any::type_name::<ekya_bench::ReplayTraces>();
+    // The registry-buildable §6.5 / ablation policy surface.
+    let _ = std::any::type_name::<ekya::baselines::CloudNetwork>();
+    let _ = std::any::type_name::<ekya::baselines::DesignToggle>();
+    let _ = std::any::type_name::<ekya::baselines::InferenceOnlyPolicy>();
     let _ = ekya_bench::run_grid_bin_with::<fn(&ekya_bench::Scenario) -> ekya_bench::CellResult>
         as *const ();
 
