@@ -24,6 +24,12 @@ lint() {
 
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
+
+  # Determinism & reproducibility rules (unordered-iter, ambient-env,
+  # wallclock-in-cell, ambient-rng, silent-default-metric) — see
+  # crates/ekya-bench/README.md, "Determinism invariants and ekya-lint".
+  echo "==> ekya-lint (workspace determinism rules)"
+  cargo run --release -q -p ekya-lint --bin ekya_lint
 }
 
 case "$MODE" in

@@ -255,12 +255,16 @@ fn cached_holdout(
 ) -> (RetrainConfig, RetrainConfig) {
     type ConfigPair = (RetrainConfig, RetrainConfig);
     type Key = (DatasetKind, u64, u64);
+    // Keyed get/insert only — nothing ever iterates this memo, so hash
+    // order cannot reach any serialized byte (and DatasetKind has no Ord
+    // for a BTreeMap to use).
+    // ekya-lint: allow(unordered-iter)
     static CACHE: OnceLock<Mutex<HashMap<Key, ConfigPair>>> = OnceLock::new();
     // Debug output is a complete rendering of both inputs (all fields
     // are plain data), giving a stable within-process fingerprint.
     let fingerprint = fnv1a(format!("{grid:?}|{cost:?}").as_bytes());
     let key = (kind, seed, fingerprint);
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new())); // ekya-lint: allow(unordered-iter)
     if let Some(hit) = cache.lock().expect("holdout cache lock").get(&key) {
         return *hit;
     }

@@ -63,7 +63,9 @@ fn main() {
                     .iter()
                     .find(|c| c.error.is_none() && c.scenario.policy == *spec)
                     .map(|c| c.mean_accuracy)
-                    .unwrap_or(0.0);
+                    // Poisoned cells already aborted the bin above; every
+                    // ablation policy has exactly one cell in the grid.
+                    .expect("ablation grid includes every toggled-design cell");
                 let label = if *spec == ekya_baselines::PolicySpec::Ekya {
                     "full Ekya".to_string()
                 } else {

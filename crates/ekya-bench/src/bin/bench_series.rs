@@ -100,8 +100,8 @@ fn main() -> ExitCode {
         }
         t.print();
         if trajectory.len() > 1 {
-            let first = trajectory.first().copied().unwrap_or(0.0);
-            let last = trajectory.last().copied().unwrap_or(0.0);
+            let first = trajectory[0];
+            let last = trajectory[trajectory.len() - 1];
             let overall = if first > 0.0 {
                 format!(" ({:+.1}% since first entry)", (last / first - 1.0) * 100.0)
             } else {

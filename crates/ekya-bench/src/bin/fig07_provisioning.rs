@@ -67,7 +67,7 @@ fn main() {
                 format!(
                     "Fig 7 — {} ({} streams): accuracy vs provisioned GPUs",
                     kind.name(),
-                    grid.stream_counts.first().copied().unwrap_or_default()
+                    grid.stream_counts.first().copied().expect("fig07 grid has a streams axis")
                 ),
                 &headers,
             );

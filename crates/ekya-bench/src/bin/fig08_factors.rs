@@ -54,7 +54,7 @@ fn main() {
         let mut t = Table::new(
             format!(
                 "Fig 8 — factor analysis ({} streams, Cityscapes)",
-                grid.stream_counts.first().copied().unwrap_or_default()
+                grid.stream_counts.first().copied().expect("fig08 grid has a streams axis")
             ),
             &["scheduler", "2 GPUs", "4 GPUs", "6 GPUs", "8 GPUs"],
         );

@@ -117,7 +117,10 @@ fn main() {
                     && c.scenario.policy == PolicySpec::EkyaNoise { noise_std: eps }
             })
             .map(|c| c.mean_accuracy)
-            .unwrap_or(0.0)
+            // Poisoned cells already aborted the bin above; a missing
+            // (eps, gpus) cell means the grid builder and this lookup
+            // disagree — fail loudly instead of plotting a 0.0 point.
+            .expect("fig11 grid covers every (noise, gpus) cell")
     };
     let noise_accuracy: Vec<(f64, f64, f64)> = eps_grid
         .iter()

@@ -175,7 +175,7 @@ fn main() {
         }
     }
 
-    if let Some(min) = std::env::var("EKYA_MIN_SPEEDUP").ok().and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(min) = ekya_bench::knob::min_speedup() {
         assert!(
             speedup >= min,
             "parallel speedup {speedup:.2}x below required {min:.2}x \

@@ -24,6 +24,7 @@
 //!
 //! Run: `cargo run --release -p ekya-bench --bin perf_gate`
 
+use ekya_bench::knob::bench_tolerance as tolerance;
 use ekya_bench::{bench_series_path, latest_bench_entry, BenchRecord};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,10 +38,6 @@ fn read_baseline(path: &PathBuf) -> Result<Vec<BenchRecord>, String> {
     serde_json::from_str::<BenchRecord>(&text)
         .map(|r| vec![r])
         .map_err(|e| format!("cannot parse {}: {e}", path.display()))
-}
-
-fn tolerance() -> f64 {
-    std::env::var("EKYA_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25)
 }
 
 /// The baseline records whose current counterpart falls below the gate
@@ -85,7 +82,7 @@ fn main() -> ExitCode {
         .parent()
         .and_then(|p| p.parent())
         .map(PathBuf::from)
-        .unwrap_or_default();
+        .expect("bench series path sits two levels below the repo root");
     let baseline_path =
         args.first().map(PathBuf::from).unwrap_or_else(|| repo_root.join("ci/bench_baseline.json"));
     let series_path = args.get(1).map(PathBuf::from).unwrap_or_else(bench_series_path);

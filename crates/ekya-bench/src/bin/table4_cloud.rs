@@ -62,14 +62,17 @@ fn main() {
                 .find(|c| c.error.is_none() && c.scenario.policy == *spec)
                 .map(|c| c.mean_accuracy)
         };
-        let ekya_acc = acc_of(&PolicySpec::Ekya).unwrap_or(0.0);
+        // The failed-cell gate above already exited on any poisoned cell,
+        // so a missing lookup here is a grid-construction bug — fail
+        // loudly rather than fabricate a 0.0 row.
+        let ekya_acc = acc_of(&PolicySpec::Ekya).expect("table4 grid includes the Ekya cell");
         let scales = table4_scales(knobs.quick());
 
         let mut rows = Vec::new();
         for network in CloudNetwork::ALL {
             let link = network.link();
-            let accuracy =
-                acc_of(&PolicySpec::CloudDelay { network, bandwidth_scale: 1.0 }).unwrap_or(0.0);
+            let accuracy = acc_of(&PolicySpec::CloudDelay { network, bandwidth_scale: 1.0 })
+                .expect("table4 grid includes every unscaled cloud-delay cell");
             // How much fatter must this link get to match Ekya? The
             // scaled runs are cells of the same grid, so this is a pure
             // lookup — no extra simulation at presentation time.

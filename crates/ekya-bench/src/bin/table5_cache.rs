@@ -55,7 +55,10 @@ fn main() {
                 .iter()
                 .find(|c| c.error.is_none() && c.scenario.policy == *spec)
                 .map(|c| c.mean_accuracy)
-                .unwrap_or(0.0)
+                // The failed-cell gate above exited on poisoned cells; a
+                // missing policy cell is a grid-construction bug, not a
+                // 0.0-accuracy result.
+                .expect("table5 grid includes every compared policy cell")
         };
         let cache_acc = acc_of(&PolicySpec::ModelCache);
         let ekya_acc = acc_of(&PolicySpec::Ekya);

@@ -33,7 +33,7 @@ use ekya_baselines::PolicyBuildCtx;
 use ekya_sim::{run_windows, RunReport, RunnerConfig};
 use ekya_video::StreamSet;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -407,7 +407,7 @@ impl HarnessReport {
     /// fingerprint — the prior map the resume layer feeds to
     /// [`GridExec::prior`]. Poisoned cells are excluded so a resumed run
     /// retries them.
-    pub fn prior_cells(&self) -> HashMap<u64, CellResult> {
+    pub fn prior_cells(&self) -> BTreeMap<u64, CellResult> {
         self.cells
             .iter()
             .filter(|c| c.error.is_none())
@@ -509,7 +509,7 @@ pub struct GridExec {
     pub shard: Option<ShardSpec>,
     /// Prior results keyed by scenario fingerprint
     /// ([`HarnessReport::prior_cells`]); matching cells are not re-run.
-    pub prior: HashMap<u64, CellResult>,
+    pub prior: BTreeMap<u64, CellResult>,
     /// When set, the partial report is rewritten here after every
     /// completed cell (atomically, via a `.tmp` sibling), so a killed
     /// run loses at most the cells in flight.
@@ -535,7 +535,7 @@ impl GridExec {
     }
 
     /// Supplies prior results to resume from.
-    pub fn prior(mut self, prior: HashMap<u64, CellResult>) -> Self {
+    pub fn prior(mut self, prior: BTreeMap<u64, CellResult>) -> Self {
         self.prior = prior;
         self
     }
@@ -776,7 +776,7 @@ pub fn merge_reports(reports: &[HarnessReport]) -> Result<HarnessReport, String>
     // and the seed is a pure function of (dataset, streams, windows) —
     // so any divergence inside those groups exposes the mix.
     let mut windows_axis: Option<usize> = None;
-    let mut seeds: HashMap<(&str, usize), u64> = HashMap::new();
+    let mut seeds: BTreeMap<(&str, usize), u64> = BTreeMap::new();
     for c in &cells {
         let w = windows_axis.get_or_insert(c.scenario.windows);
         if *w != c.scenario.windows {
@@ -831,7 +831,7 @@ pub fn load_report(path: &Path) -> Result<HarnessReport, String> {
 /// behind. A missing or unparseable prior is not an error — the run
 /// simply starts fresh (a kill can interrupt the checkpoint write
 /// itself, and refusing to run then would defeat resume's purpose).
-fn load_prior(final_path: &Path, partial_path: &Path) -> (HashMap<u64, CellResult>, String) {
+fn load_prior(final_path: &Path, partial_path: &Path) -> (BTreeMap<u64, CellResult>, String) {
     for path in [final_path, partial_path] {
         match load_report(path) {
             Ok(report) => {
@@ -843,7 +843,7 @@ fn load_prior(final_path: &Path, partial_path: &Path) -> (HashMap<u64, CellResul
             Err(e) => eprintln!("[resume: ignoring unusable prior — {e}]"),
         }
     }
-    (HashMap::new(), "nothing usable — starting fresh".to_string())
+    (BTreeMap::new(), "nothing usable — starting fresh".to_string())
 }
 
 /// The environment-driven front door for grid bins: applies the
@@ -873,7 +873,7 @@ where
     let partial = out.with_extension("partial.json");
 
     let prior = match knobs.resume() {
-        None => HashMap::new(),
+        None => BTreeMap::new(),
         Some("1") => {
             let (prior, source) = load_prior(&out, &partial);
             eprintln!("[{name}: EKYA_RESUME=1 — prior from {source}]");
@@ -908,8 +908,7 @@ where
     // or every per-cell checkpoint write on a fresh checkout fails
     // silently and a killed first run has nothing to resume from.
     let _ = std::fs::create_dir_all(results_dir());
-    let crash_after =
-        std::env::var("EKYA_ORCH_CRASH_AFTER").ok().and_then(|v| v.parse::<usize>().ok());
+    let crash_after = crate::knob::orch_crash_after();
     let run = GridExec::new(name, knobs.workers())
         .shard(shard)
         .prior(prior)

@@ -1,0 +1,62 @@
+//! The sanctioned home of every environment knob that is *not* one of
+//! the shared grid knobs parsed by [`crate::Knobs::from_env`].
+//!
+//! Determinism contract: `plan.json` pins the environment a supervised
+//! run executes under, and `ekya-lint`'s `ambient-env` rule forbids
+//! `std::env::var` anywhere outside `Knobs::from_env`, `results_dir`,
+//! and this module — an env read that lives here is documented, listed
+//! in the operator guide's env-knob table (`crates/ekya-bench/README.md`),
+//! and therefore coverable by a plan. One accessor per knob; callers
+//! never spell the variable name themselves.
+
+/// Reads a float environment knob (used by bin-specific knobs like
+/// `EKYA_THRESHOLD`; the shared grid knobs all live in [`crate::Knobs`]).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// `EKYA_MIN_SPEEDUP` — when set, `harness_bench` asserts the measured
+/// parallel speedup reaches this floor (CI perf-sanity gate; unset means
+/// no gate, e.g. on single-core runners).
+pub fn min_speedup() -> Option<f64> {
+    std::env::var("EKYA_MIN_SPEEDUP").ok().and_then(|v| v.parse().ok())
+}
+
+/// `EKYA_BENCH_TOLERANCE` — fractional throughput regression the
+/// `perf_gate` bin tolerates against its pinned baseline before failing
+/// (default 0.25, i.e. a 25% slowdown fails the gate).
+pub fn bench_tolerance() -> f64 {
+    env_f64("EKYA_BENCH_TOLERANCE", 0.25)
+}
+
+/// `EKYA_ORCH_CRASH_AFTER` — fault injection for the orchestrator
+/// tests: a grid bin aborts after executing this many cells, so
+/// supervise/retry/resume paths can be exercised deterministically.
+/// Unset (the production state) means never crash.
+pub fn orch_crash_after() -> Option<usize> {
+    std::env::var("EKYA_ORCH_CRASH_AFTER").ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_f64_falls_back_on_absent_or_garbage() {
+        assert_eq!(env_f64("EKYA_TEST_KNOB_ABSENT", 1.5), 1.5);
+        std::env::set_var("EKYA_TEST_KNOB_GARBAGE", "not-a-number");
+        assert_eq!(env_f64("EKYA_TEST_KNOB_GARBAGE", 2.5), 2.5);
+        std::env::remove_var("EKYA_TEST_KNOB_GARBAGE");
+    }
+
+    #[test]
+    fn unset_knobs_mean_no_gate_and_no_crash() {
+        // The test runner environment must not carry these; if it does,
+        // every assertion about "production state" below is void.
+        assert_eq!(std::env::var_os("EKYA_MIN_SPEEDUP"), None);
+        assert_eq!(std::env::var_os("EKYA_ORCH_CRASH_AFTER"), None);
+        assert_eq!(min_speedup(), None);
+        assert_eq!(orch_crash_after(), None);
+        assert_eq!(bench_tolerance(), 0.25);
+    }
+}

@@ -39,6 +39,7 @@ pub mod bins;
 pub mod config_profile;
 pub mod grid;
 pub mod harness;
+pub mod knob;
 
 pub use bins::{
     ablation_grid_for, ablation_policies, bin_workload, fig07_datasets, fig07_grid, fig07_grid_for,
@@ -61,14 +62,10 @@ pub use harness::{
     HarnessReport, Knobs, RunStats,
 };
 
+pub use knob::env_f64;
+
 use serde::Serialize;
 use std::path::PathBuf;
-
-/// Reads a float environment knob (bin-specific knobs like
-/// `EKYA_THRESHOLD`; the shared knobs all live in [`Knobs`]).
-pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 /// A printable results table.
 #[derive(Debug, Clone, Serialize)]

@@ -60,7 +60,12 @@ impl RetrainConfig {
 
 /// Model-variant key for sharing learning curves (see
 /// [`RetrainConfig::curve_key`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` follows field order — (batch, width, depth) — which is also the
+/// order recorded traces list their true curves in; `ekya-sim` relies on
+/// that equivalence to keep trace fingerprints stable (BTreeMap keyed by
+/// `CurveKey` iterates exactly like the historical explicit sort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CurveKey {
     /// Minibatch size.
     pub batch_size: u32,

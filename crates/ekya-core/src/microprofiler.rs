@@ -33,7 +33,7 @@ use ekya_nn::mlp::{Mlp, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Micro-profiler parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -96,14 +96,14 @@ pub struct MicroProfiler {
     cost: CostModel,
     /// Exponential moving average of each configuration's distance from
     /// the Pareto frontier (larger = historically less useful).
-    history: HashMap<String, f64>,
+    history: BTreeMap<String, f64>,
     rng: StdRng,
 }
 
 impl MicroProfiler {
     /// Creates a profiler.
     pub fn new(params: MicroProfilerParams, cost: CostModel, seed: u64) -> Self {
-        Self { params, cost, history: HashMap::new(), rng: StdRng::seed_from_u64(seed) }
+        Self { params, cost, history: BTreeMap::new(), rng: StdRng::seed_from_u64(seed) }
     }
 
     /// The profiler's parameters.
@@ -126,7 +126,7 @@ impl MicroProfiler {
         let (selected, pruned) = self.select_configs(configs);
 
         // One micro-training run per model variant (curve key).
-        let mut curves: HashMap<CurveKey, LearningCurve> = HashMap::new();
+        let mut curves: BTreeMap<CurveKey, LearningCurve> = BTreeMap::new();
         let mut gpu_seconds_spent = 0.0;
         for config in &selected {
             let key = config.curve_key();

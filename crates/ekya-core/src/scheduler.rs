@@ -20,7 +20,7 @@ use crate::profile::{InferenceProfile, RetrainProfile};
 use ekya_nn::fit::LearningCurve;
 use ekya_video::StreamId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The aggregate the thief scheduler optimises across streams.
 ///
@@ -382,14 +382,14 @@ pub fn thief_schedule(
 
     // Cache of per-stream evaluations keyed by (stream, infer, train units)
     // — each steal touches two jobs, so most streams are unchanged.
-    let mut cache: HashMap<(usize, i64, i64), StreamEval> = HashMap::new();
+    let mut cache: BTreeMap<(usize, i64, i64), StreamEval> = BTreeMap::new();
     let mut evaluations = 0usize;
 
     let gran = MILLI;
     // `evaluate` returns (per-stream evals, objective score, mean
     // accuracy); the thief compares scores, the schedule reports the mean.
     let evaluate = |alloc: &[i64],
-                    cache: &mut HashMap<(usize, i64, i64), StreamEval>,
+                    cache: &mut BTreeMap<(usize, i64, i64), StreamEval>,
                     evals: &mut usize|
      -> (Vec<StreamEval>, f64, f64) {
         let mut evals_out = Vec::with_capacity(n);

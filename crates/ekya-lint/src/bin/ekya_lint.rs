@@ -1,0 +1,36 @@
+//! CLI for the workspace determinism lint. Walks `src/` and
+//! `crates/*/src/` under the workspace root (or an explicit root given
+//! as the first argument), prints one line per violation, and exits 1
+//! if anything fired. Wired into `./ci.sh quick` and `full`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // The crate sits at crates/ekya-lint, two levels below the root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ekya-lint: cannot resolve root {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    let violations = ekya_lint::lint_workspace(&root, &ekya_lint::Config::default());
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("ekya-lint: clean ({} rules)", ekya_lint::RULES.len());
+    } else {
+        eprintln!(
+            "ekya-lint: {} violation(s). Fix, or see crates/ekya-bench/README.md \
+             (\"Determinism invariants and ekya-lint\") for the escape syntax.",
+            violations.len()
+        );
+        std::process::exit(1);
+    }
+}

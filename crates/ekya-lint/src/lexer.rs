@@ -1,0 +1,394 @@
+//! A minimal Rust-source scanner: strips comments and string/char
+//! literals, records `ekya-lint: allow(...)` escape directives, and
+//! produces a flat token stream for the rules to pattern-match against.
+//!
+//! This is deliberately **not** a parser. The five lint rules only need
+//! to see identifiers and punctuation outside literals and comments —
+//! `HashMap`, `env :: var`, `Instant :: now`, `unwrap_or ( 0.0 )` — so a
+//! character-level state machine that understands Rust's comment and
+//! literal syntax (nested block comments, raw strings with `#` fences,
+//! char vs lifetime ticks) is sufficient, keeps the crate free of
+//! external parser dependencies (this workspace builds offline against
+//! vendored shims), and cannot be confused by rule patterns appearing
+//! inside strings or docs — including this linter's own source.
+
+/// One token of stripped source code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text. Identifiers and numeric literals keep their full
+    /// text; punctuation is single characters except the `::` path
+    /// separator, which is kept whole because every rule pattern that
+    /// cares about paths matches on it.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// The scan of one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Tokens of the whole file, in order, literals and comments
+    /// stripped (string/char literals are dropped entirely — their
+    /// content can never trigger a rule).
+    pub tokens: Vec<Token>,
+    /// Per-line `ekya-lint: allow(rule, ...)` directives, as
+    /// `(line, rule-name)` pairs. A trailing directive
+    /// (`stmt; // ekya-lint: allow(r)`) suppresses its own line only; a
+    /// directive on a comment-only line suppresses the line below it —
+    /// never both, so an allow can't silently swallow the statement
+    /// after the one it was written for.
+    pub allows: Vec<(usize, String)>,
+    /// First line of the file's trailing `#[cfg(test)] mod …` block, if
+    /// any. Everything from this line on is unit-test code, which the
+    /// rules exempt: tests construct fixtures and measure wall clocks
+    /// legitimately, and none of their output reaches a report file.
+    pub test_code_from: Option<usize>,
+}
+
+impl Scan {
+    /// True when `line` is suppressed for `rule` by an allow directive
+    /// on the same line, or on a comment-only line directly above.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || (*l + 1 == line && !self.line_has_code(*l))))
+    }
+
+    fn line_has_code(&self, line: usize) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// True when `line` falls inside the trailing unit-test block.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_code_from.is_some_and(|from| line >= from)
+    }
+}
+
+/// Scanner state: what kind of region the cursor is inside.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth — Rust block comments nest.
+    BlockComment(usize),
+    Str,
+    /// Raw string with this many `#` fence characters.
+    RawStr(usize),
+    Char,
+}
+
+/// Scans Rust source into tokens + allow directives.
+pub fn scan(src: &str) -> Scan {
+    let chars: Vec<char> = src.chars().collect();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    // Code characters of the current file, with a sentinel space where a
+    // literal or comment was elided (so `"a""b"` never fuses tokens).
+    let mut code: Vec<(char, usize)> = Vec::new();
+    let mut comment = String::new();
+    let mut comment_line = 0usize;
+    let mut allows: Vec<(usize, String)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment.clear();
+                    comment_line = line;
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    comment.clear();
+                    comment_line = line;
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.push((' ', line));
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // r"…", r#"…"#, br#"…"# — skip prefix letters, count
+                    // the fence.
+                    let mut j = i;
+                    while chars[j] == 'r' || chars[j] == 'b' {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    state = State::RawStr(hashes);
+                    code.push((' ', line));
+                    i = j + 1; // past the opening quote
+                    continue;
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    state = State::Char;
+                    code.push((' ', line));
+                }
+                _ => code.push((c, line)),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    harvest_allows(&comment, comment_line, &mut allows);
+                    state = State::Code;
+                } else {
+                    comment.push(c);
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        harvest_allows(&comment, comment_line, &mut allows);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                    if chars.get(i - 1) == Some(&'\n') {
+                        line += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            State::Str => match c {
+                '\\' => {
+                    i += 2; // skip the escaped character, whatever it is
+                    if next == Some('\n') {
+                        line += 1;
+                    }
+                    continue;
+                }
+                '"' => state = State::Code,
+                _ => {}
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                    state = State::Code;
+                    i += 1 + hashes;
+                    continue;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    i += 2;
+                    continue;
+                }
+                '\'' => state = State::Code,
+                _ => {}
+            },
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    if let State::LineComment = state {
+        harvest_allows(&comment, comment_line, &mut allows);
+    }
+
+    let tokens = tokenize(&code);
+    let test_code_from = find_test_block(&tokens);
+    Scan { tokens, allows, test_code_from }
+}
+
+/// Is the `'` at `chars[i]` a char literal (vs a lifetime)? A char
+/// literal is `'x'` or `'\…'`; a lifetime tick is followed by an
+/// identifier with no closing quote right after.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Is `chars[i]` the start of a raw (or raw-byte) string literal —
+/// `r"`, `r#`, `br"`, `br#`? Plain identifiers starting with `r`/`b`
+/// (e.g. `run`) must not match.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Reject when the previous character continues an identifier
+    // (`attr"x"` can't happen, but `for r in` must not trip on `r`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Extracts `ekya-lint: allow(rule, rule2)` directives from one
+/// comment's text.
+fn harvest_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+    let Some(pos) = comment.find("ekya-lint:") else { return };
+    let rest = comment[pos + "ekya-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else { return };
+    let Some(open) = rest.find('(') else { return };
+    let Some(close) = rest[open..].find(')') else { return };
+    for rule in rest[open + 1..open + close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            allows.push((line, rule.to_string()));
+        }
+    }
+}
+
+/// Tokenizes stripped code characters: identifiers, numeric literals,
+/// and punctuation (single chars, except `::` which is kept whole).
+fn tokenize(code: &[(char, usize)]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let (c, line) = code[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < code.len() && (code[i].0.is_alphanumeric() || code[i].0 == '_') {
+                text.push(code[i].0);
+                i += 1;
+            }
+            tokens.push(Token { text, line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numbers, greedily including `.` and suffix/exponent
+            // letters so `0.0`, `1e-9` (minus the sign), and `0usize`
+            // stay one token — close enough for the rules, which only
+            // ever ask "is this literal zero-ish?".
+            let mut text = String::new();
+            while i < code.len()
+                && (code[i].0.is_alphanumeric() || code[i].0 == '.' || code[i].0 == '_')
+            {
+                // `0..n` is a range, not a decimal point.
+                if code[i].0 == '.' && code.get(i + 1).is_some_and(|&(d, _)| d == '.') {
+                    break;
+                }
+                text.push(code[i].0);
+                i += 1;
+            }
+            tokens.push(Token { text, line });
+            continue;
+        }
+        if c == ':' && code.get(i + 1).is_some_and(|&(d, _)| d == ':') {
+            tokens.push(Token { text: "::".to_string(), line });
+            i += 2;
+            continue;
+        }
+        tokens.push(Token { text: c.to_string(), line });
+        i += 1;
+    }
+    tokens
+}
+
+/// Finds the trailing `#[cfg(test)]` block: the token sequence
+/// `# [ cfg ( test ) ]` followed by `mod`. Unit-test modules in this
+/// workspace are file-trailing by convention, so everything from the
+/// attribute on is treated as test code.
+fn find_test_block(tokens: &[Token]) -> Option<usize> {
+    const PAT: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    for w in tokens.windows(PAT.len() + 1) {
+        if w.iter().zip(PAT.iter()).all(|(t, p)| t.text == *p) && w[PAT.len()].text == "mod" {
+            return Some(w[0].line);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r##"
+            let x = "HashMap inside a string"; // HashMap in a comment
+            /* HashMap in /* a nested */ block comment */
+            let y = r#"raw HashMap"#;
+            let z = std::env::var("EKYA_X");
+        "##;
+        let t = texts(src);
+        assert!(!t.contains(&"HashMap".to_string()));
+        let joined = t.join(" ");
+        assert!(joined.contains("std :: env :: var"), "{joined}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(arg: &'a str) -> char { let c = '\\''; let d = 'x'; c }";
+        let t = texts(src);
+        assert!(t.contains(&"a".to_string()), "lifetime ident survives");
+        assert!(!t.contains(&"x".to_string()), "char literal content is stripped");
+    }
+
+    #[test]
+    fn raw_string_fences_respected() {
+        let src = r##"let s = r#"quote " inside"#; let after = HashMap::new();"##;
+        assert!(texts(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn numeric_literals_stay_whole() {
+        let t = texts("a.unwrap_or(0.0); b.max(1e-9); 0..n");
+        assert!(t.contains(&"0.0".to_string()));
+        assert!(t.contains(&"1e".to_string()) || t.contains(&"1e9".to_string()));
+        assert!(t.contains(&"0".to_string()), "range start is not a decimal: {t:?}");
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "\n// ekya-lint: allow(unordered-iter, ambient-env)\nlet m = HashMap::new();\nlet n = HashMap::new(); // ekya-lint: allow(unordered-iter)\n";
+        let s = scan(src);
+        assert!(s.allowed(2, "unordered-iter"));
+        assert!(s.allowed(3, "unordered-iter"), "directive reaches the following line");
+        assert!(s.allowed(3, "ambient-env"));
+        assert!(s.allowed(4, "unordered-iter"), "same-line directive");
+        assert!(!s.allowed(5, "unordered-iter"), "trailing directives stop at their own line");
+        assert!(!s.allowed(3, "wallclock-in-cell"));
+    }
+
+    #[test]
+    fn trailing_test_block_detected() {
+        let src = "fn real() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let s = scan(src);
+        assert_eq!(s.test_code_from, Some(3));
+        assert!(s.in_test_code(4));
+        assert!(!s.in_test_code(1));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nline string\";\nlet b = Instant::now();\n";
+        let s = scan(src);
+        let now = s.tokens.iter().find(|t| t.text == "Instant").expect("token present");
+        assert_eq!(now.line, 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! # ekya-lint — determinism & reproducibility static analysis
+//!
+//! Every guarantee this reproduction makes — parallel ≡ serial
+//! byte-for-byte, shard union ≡ unsharded, resume-by-fingerprint,
+//! plan.json-pinned env — is a determinism invariant that nothing in the
+//! type system enforces. This crate is the enforcement: a dependency-free
+//! token scanner plus five rules grounded in bug classes the workspace
+//! has actually hit (see the rule table in [`rules`]).
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run --release -q -p ekya-lint          # lint the whole workspace
+//! cargo run --release -q -p ekya-lint -- PATH  # lint a different root
+//! ```
+//!
+//! The bin exits nonzero on any violation; `./ci.sh quick` and `full`
+//! both run it. Escapes, in order of preference:
+//!
+//! 1. fix the code (almost always right);
+//! 2. an inline `// ekya-lint: allow(<rule>)` comment on or directly
+//!    above the offending line, with a justification next to it;
+//! 3. a whole-file entry in [`rules::Config::default`] — reserved for
+//!    the sanctioned home of an effect (the knob module for env reads,
+//!    `RunStats` for wall time, …).
+//!
+//! Trailing `#[cfg(test)] mod` blocks are exempt: tests may build
+//! fixtures and measure wall clocks freely because their output never
+//! reaches a report file.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Config, Violation, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lints every production source file under `root`: `src/` and
+/// `crates/*/src/`. Deliberately out of scope: `vendor/` (API-subset
+/// shims of external crates — not ours to lint), `tests/`, `benches/`,
+/// and `examples/` everywhere (test code is exempt by design, and
+/// ekya-lint's own rule fixtures live in its `tests/fixtures/`).
+///
+/// Returns violations sorted by path, then line — the walk order is
+/// itself deterministic (paths sorted), practicing what it lints.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(src) = std::fs::read_to_string(&file) else { continue };
+        let rel = rel_path(root, &file);
+        out.extend(lint_source(&rel, &src, cfg));
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with forward slashes (allowlist keys are
+/// written that way; keeps diagnostics identical across platforms).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/w");
+        let file = Path::new("/w/crates/ekya-core/src/lib.rs");
+        assert_eq!(rel_path(root, file), "crates/ekya-core/src/lib.rs");
+    }
+
+    #[test]
+    fn workspace_walk_is_scoped_to_src_dirs() {
+        // Walk this crate's own workspace: fixture files with deliberate
+        // violations live in crates/ekya-lint/tests/fixtures/ and must
+        // never be picked up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let cfg = Config::default();
+        for v in lint_workspace(&root, &cfg) {
+            assert!(!v.path.contains("/tests/"), "test-tree file linted: {v}");
+            assert!(!v.path.starts_with("vendor/"), "vendor file linted: {v}");
+        }
+    }
+}

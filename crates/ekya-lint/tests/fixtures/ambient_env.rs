@@ -1,0 +1,13 @@
+//! Fixture: env reads outside the sanctioned knob surfaces.
+pub fn stray() -> Option<String> {
+    std::env::var("EKYA_STRAY").ok()
+}
+
+pub fn tolerated() -> Option<String> {
+    // ekya-lint: allow(ambient-env)
+    std::env::var("EKYA_TOLERATED").ok()
+}
+
+pub fn compile_time() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}

@@ -1,0 +1,14 @@
+//! Fixture: RNG construction not derived from a mixed cell seed.
+pub fn ambient() -> f64 {
+    rand::random()
+}
+
+pub fn seeded(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+pub fn tolerated() -> f64 {
+    // ekya-lint: allow(ambient-rng)
+    rand::random()
+}

@@ -1,0 +1,21 @@
+//! Fixture: code every rule must stay quiet on — a hash map in a file
+//! that never serializes, a seeded RNG, compile-time env, and a
+//! non-zero fallback.
+use std::collections::HashMap;
+
+pub fn keyed_memo() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn seeded(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+pub fn floor(x: Option<f64>) -> f64 {
+    x.unwrap_or(0.25)
+}
+
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}

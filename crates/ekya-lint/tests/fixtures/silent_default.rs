@@ -1,0 +1,10 @@
+//! Fixture: linted as if it were a report bin (the harness passes a
+//! `src/bin/` pretend path) — zero-defaults on missing metrics.
+fn main() {
+    let acc: Option<f64> = None;
+    let fabricated = acc.unwrap_or(0.0);
+    let chosen_floor = acc.unwrap_or(0.25);
+    // ekya-lint: allow(silent-default-metric)
+    let tolerated = acc.unwrap_or_default();
+    println!("{fabricated} {chosen_floor} {tolerated}");
+}

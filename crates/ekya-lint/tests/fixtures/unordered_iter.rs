@@ -1,0 +1,13 @@
+//! Fixture: a serialization-sensitive file (serde derive present)
+//! holding a hash map — the PR 5 `record_trace` bug class.
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+pub struct Report {
+    pub rows: Vec<u32>,
+}
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new() // ekya-lint: allow(unordered-iter)
+}

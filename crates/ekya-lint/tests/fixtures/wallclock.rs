@@ -1,0 +1,16 @@
+//! Fixture: wall-clock reads outside the sanctioned timing modules.
+pub fn leak() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now() // ekya-lint: allow(wallclock-in-cell)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,14 @@
+//! The workspace is lint-clean — the same invariant CI enforces by
+//! running the `ekya_lint` bin, kept as a test so a plain `cargo test`
+//! catches a fresh determinism hazard without going through `ci.sh`.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = ekya_lint::lint_workspace(&root, &ekya_lint::Config::default());
+    assert!(
+        violations.is_empty(),
+        "the workspace has determinism-lint violations:\n{}",
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

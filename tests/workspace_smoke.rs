@@ -199,6 +199,29 @@ impl ekya::actors::Actor for DummyActor {
     fn handle(&mut self, _msg: ()) {}
 }
 
+/// The determinism lint (`ekya-lint`): its API surface stays importable,
+/// its rule set stays at five, and both of its integration suites — the
+/// per-rule fixture tests and the workspace-is-lint-clean self-test —
+/// exist where cargo auto-discovers them.
+#[test]
+fn ekya_lint_registered() {
+    let _ = std::any::type_name::<ekya_lint::Violation>();
+    let _ = std::any::type_name::<ekya_lint::Config>();
+    let _ =
+        ekya_lint::lint_source as fn(&str, &str, &ekya_lint::Config) -> Vec<ekya_lint::Violation>;
+    let _ = ekya_lint::lint_workspace as *const ();
+    assert_eq!(ekya_lint::RULES.len(), 5);
+
+    let suites_dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/ekya-lint/tests");
+    for suite in ["fixtures.rs", "workspace_clean.rs"] {
+        let path = suites_dir.join(suite);
+        assert!(path.is_file(), "ekya-lint suite {suite} missing from crates/ekya-lint/tests/");
+        let src = std::fs::read_to_string(&path).expect("suite readable");
+        assert!(src.contains("#[test]"), "ekya-lint suite {suite} contains no #[test] functions");
+    }
+}
+
 /// All integration suites exist where cargo auto-discovers them. Each
 /// `tests/*.rs` file is its own test target, so presence in this
 /// directory == registration; a deleted or moved suite fails here
