@@ -102,9 +102,12 @@ case "$MODE" in
     # baseline recorded on *this* machine (self-seeded on the first run,
     # gitignored under target/). Hosted CI overrides EKYA_BENCH_BASELINE
     # with a runner-cached path; pass ci/bench_baseline.json explicitly
-    # to compare against the committed reference record instead.
+    # to compare against the committed reference record instead. The
+    # nightly lane sets EKYA_PERF_GATE_FLAGS=--all to require every
+    # baseline record (it measures the full-size one too).
+    # shellcheck disable=SC2086
     EKYA_BENCH_BASELINE="${EKYA_BENCH_BASELINE:-target/perf_baseline.json}" \
-      ./ci/check_bench.sh
+      ./ci/check_bench.sh ${EKYA_PERF_GATE_FLAGS:-}
 
     echo "ci.sh quick: all green"
     ;;

@@ -3,9 +3,12 @@
 #
 # Compares the latest entry of the perf trajectory
 # results/BENCH_series.json (appended by the harness_bench bin: the
-# quick fig06 scenario grid AND the quick fig03 config sweep) against a
-# baseline and fails on a >25% cells/sec regression in any gated record
-# (tolerance via EKYA_BENCH_TOLERANCE, e.g. 0.25).
+# quick fig06 scenario grid, the quick fig03 config sweep, the quick
+# fig07 trace replay, and — under EKYA_BENCH_FULL=1 — the full-size
+# fig06 grid) against a baseline and fails on a >25% cells/sec
+# regression in any gated record (tolerance via EKYA_BENCH_TOLERANCE,
+# e.g. 0.25). Baseline records the run did not measure are skipped with
+# a notice; pass --all (the nightly lane does) to require every record.
 #
 # The baseline path defaults to the committed ci/bench_baseline.json
 # and can be overridden with EKYA_BENCH_BASELINE. Throughput is
@@ -16,6 +19,7 @@
 #
 # Usage:
 #   ./ci/check_bench.sh            # gate (exit nonzero on regression)
+#   ./ci/check_bench.sh --all      # gate, requiring every baseline record
 #   ./ci/check_bench.sh --update   # rebase the baseline
 #
 # After an intentional perf change on a dev machine, re-measure and
@@ -26,6 +30,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="${EKYA_BENCH_BASELINE:-ci/bench_baseline.json}"
+SERIES="${EKYA_RESULTS_DIR:-results}/BENCH_series.json"
+
+# A fresh clone has no trajectory yet — perf_gate would fail on the
+# missing file, but the actionable problem is "nothing measured", so
+# say that instead.
+if [ ! -s "$SERIES" ]; then
+  echo "check_bench: no measurements at $SERIES yet — run" >&2
+  echo "  cargo run --release -p ekya-bench --bin harness_bench" >&2
+  echo "first to record a perf-trajectory entry, then re-run this gate." >&2
+  exit 1
+fi
 
 if [ "${1:-}" != "--update" ] && [ ! -f "$BASELINE" ]; then
   echo "check_bench: no baseline at $BASELINE — seeding it from the current measurement"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Renders the perf-gate verdict and the results/BENCH_series.json
+# trajectory as markdown — into the GitHub step summary when
+# $GITHUB_STEP_SUMMARY is set (the CI lanes call this right after the
+# perf gate, so regressions are readable without downloading logs), to
+# stdout otherwise.
+#
+# Environment:
+#   EKYA_BENCH_BASELINE   baseline the verdict re-checks (default
+#                         ci/bench_baseline.json — CI points it at the
+#                         runner-cached baseline, like the gate itself)
+#   EKYA_PERF_GATE_FLAGS  extra perf_gate flags (the nightly lane's --all)
+#
+# This step only *renders*; the pass/fail that blocks the job is the
+# preceding ./ci/check_bench.sh run. Never exits nonzero.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
+BASELINE="${EKYA_BENCH_BASELINE:-ci/bench_baseline.json}"
+
+{
+  echo "## Harness perf gate"
+  # shellcheck disable=SC2086  # EKYA_PERF_GATE_FLAGS is intentionally word-split
+  if gate_out=$(cargo run --release -q -p ekya-bench --bin perf_gate -- \
+    ${EKYA_PERF_GATE_FLAGS:-} "$BASELINE" 2>&1); then
+    echo "**PASS** — no gated record regressed beyond tolerance."
+  else
+    echo "**FAIL** — a gated record regressed, or the gate could not run."
+  fi
+  echo
+  echo '```'
+  echo "${gate_out:-<no perf_gate output>}"
+  echo '```'
+  echo
+  echo "## Perf trajectory"
+  echo '```'
+  cargo run --release -q -p ekya-bench --bin bench_series 2>&1
+  echo '```'
+} >>"$OUT"
+
+exit 0

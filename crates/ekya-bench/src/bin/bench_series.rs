@@ -35,16 +35,25 @@ fn sparkline(values: &[f64]) -> String {
 
 fn main() -> ExitCode {
     let path = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(bench_series_path);
+    // A missing or empty trajectory is the normal state of a fresh clone
+    // (nothing measured yet), not an error — say so and exit clean so CI
+    // steps that render the trajectory don't fail before the first
+    // measurement exists. A present-but-unparseable file stays an error.
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!(
-                "bench_series: cannot read {}: {e} (run `harness_bench` to start a series)",
+        Err(_) => {
+            println!(
+                "bench_series: no trajectory at {} yet — run `cargo run --release -p ekya-bench \
+                 --bin harness_bench` to record the first entry",
                 path.display()
             );
-            return ExitCode::FAILURE;
+            return ExitCode::SUCCESS;
         }
     };
+    if text.trim().is_empty() {
+        println!("bench_series: {} is empty — no measurements recorded yet", path.display());
+        return ExitCode::SUCCESS;
+    }
     let series: Vec<BenchSeriesEntry> = match serde_json::from_str(&text) {
         Ok(series) => series,
         Err(e) => {

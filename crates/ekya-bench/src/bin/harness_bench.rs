@@ -1,6 +1,6 @@
 //! Harness throughput benchmark + determinism guard.
 //!
-//! Measures the three gated workloads — the quick-mode Figure 6
+//! Measures the three gated quick workloads — the quick-mode Figure 6
 //! scenario grid, the quick-mode fig03 configuration sweep, and the
 //! quick-mode fig07 trace-replay grid — each twice: serial (1 worker)
 //! and parallel (≥4 workers), asserting the two passes produce
@@ -12,16 +12,21 @@
 //!
 //! Run: `cargo run --release -p ekya-bench --bin harness_bench`
 //! Knobs: EKYA_WINDOWS (default 2), EKYA_SEED, EKYA_WORKERS (floored at
-//! 4 so the parallel path is exercised even on small machines), and
-//! EKYA_MIN_SPEEDUP — when set, assert `serial/parallel >= value` on the
-//! fig06 grid (leave unset on single-core boxes, where 4 workers cannot
-//! beat 1; CI's multi-core runners set it).
+//! 4 so the parallel path is exercised even on small machines),
+//! EKYA_BENCH_FULL=1 to additionally measure and gate the full-size
+//! fig06 grid (`fig06_full_grid`, nightly lane), and EKYA_MIN_SPEEDUP —
+//! when set, assert `serial/parallel >= floor` on **every** record,
+//! where the floor is the knob value derated for machines with fewer
+//! hardware threads than workers (see
+//! `ekya_bench::knob::effective_min_speedup`; a single core cannot beat
+//! serial by 2x, so it is held to ~0.8x instead).
 
 use ekya_baselines::{PolicyBuildCtx, PolicySpec};
 use ekya_bench::{
     append_bench_series, config_grid, fig06_grid, fig07_grid, run_grid, BenchRecord, ConfigSweep,
     Grid, GridExec, Knobs, ReplayTraces,
 };
+use ekya_video::StreamSet;
 use std::time::Instant;
 
 /// Warm the process-wide hold-out config cache for `grid` before timing
@@ -38,18 +43,25 @@ fn warm_holdout_cache(grid: &Grid) {
     }
 }
 
-fn main() {
-    let knobs = Knobs::from_env();
-    let grid = fig06_grid(true, knobs.windows(2), knobs.seed());
-    let workers = knobs.workers().max(4);
+/// Warm the process-wide stream cache for every distinct workload of
+/// `grid`, for the same reason as [`warm_holdout_cache`] — and for
+/// fairness: the serial pass runs first, and must not be the one to
+/// derive the streams the parallel pass then gets from the cache.
+fn warm_stream_cache(grid: &Grid) {
+    for sc in grid.cells() {
+        let _ = StreamSet::cached(sc.dataset, sc.streams, sc.windows, sc.seed);
+    }
+}
+
+/// Measures `grid` twice — serial, then parallel on `workers` threads —
+/// asserts the passes are byte-identical and failure-free, prints the
+/// one-line summary, and returns the named [`BenchRecord`].
+fn measure_grid(name: &str, label: &str, grid: &Grid, workers: usize) -> BenchRecord {
     let n = grid.cells().len();
-
-    warm_holdout_cache(&grid);
-
-    eprintln!("[harness_bench: fig06 quick grid — {n} cells, serial pass]");
-    let serial = run_grid(&grid, 1);
-    eprintln!("[harness_bench: fig06 quick grid — parallel pass on {workers} workers]");
-    let parallel = run_grid(&grid, workers);
+    eprintln!("[harness_bench: {label} — {n} cells, serial pass]");
+    let serial = run_grid(grid, 1);
+    eprintln!("[harness_bench: {label} — parallel pass on {workers} workers]");
+    let parallel = run_grid(grid, workers);
 
     // Determinism: parallel fan-out must not change a single byte of the
     // results. The serialized report is fully deterministic (timing
@@ -58,14 +70,17 @@ fn main() {
     let parallel_json = serde_json::to_string_pretty(&parallel.report).expect("serialise");
     assert_eq!(
         serial.report, parallel.report,
-        "parallel run diverged from serial run (structural)"
+        "{label}: parallel run diverged from serial run (structural)"
     );
-    assert_eq!(serial_json, parallel_json, "parallel run diverged from serial run (serialized)");
-    assert_eq!(serial.report.failed, 0, "serial run had poisoned cells");
+    assert_eq!(
+        serial_json, parallel_json,
+        "{label}: parallel run diverged from serial run (serialized)"
+    );
+    assert_eq!(serial.report.failed, 0, "{label}: serial run had poisoned cells");
 
     let speedup = serial.stats.wall_secs / parallel.stats.wall_secs.max(1e-9);
-    let fig06 = BenchRecord {
-        name: "fig06_quick_grid".into(),
+    let record = BenchRecord {
+        name: name.into(),
         cells: n,
         workers,
         serial_wall_secs: serial.stats.wall_secs,
@@ -74,10 +89,21 @@ fn main() {
         cells_per_sec: parallel.stats.cells_per_sec,
     };
     println!(
-        "harness_bench: fig06 {n} cells · serial {:.2} s · parallel {:.2} s on {workers} workers \
-         · speedup {speedup:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
-        fig06.serial_wall_secs, fig06.parallel_wall_secs, fig06.cells_per_sec
+        "harness_bench: {label} {n} cells · serial {:.2} s · parallel {:.2} s on {workers} \
+         workers · speedup {speedup:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
+        record.serial_wall_secs, record.parallel_wall_secs, record.cells_per_sec
     );
+    record
+}
+
+fn main() {
+    let knobs = Knobs::from_env();
+    let grid = fig06_grid(true, knobs.windows(2), knobs.seed());
+    let workers = knobs.workers().max(4);
+
+    warm_holdout_cache(&grid);
+    warm_stream_cache(&grid);
+    let fig06 = measure_grid("fig06_quick_grid", "fig06 quick grid", &grid, workers);
 
     // Second gated workload: the quick fig03 configuration sweep — the
     // other shape of parallel cell (per-config seeding instead of
@@ -167,7 +193,20 @@ fn main() {
         fig07.serial_wall_secs, fig07.parallel_wall_secs, fig07.speedup, fig07.cells_per_sec
     );
 
-    match append_bench_series(vec![fig06, fig03, fig07]) {
+    let mut records = vec![fig06, fig03, fig07];
+
+    // Fourth gated record, nightly lane only (EKYA_BENCH_FULL=1): the
+    // full-size fig06 grid. The quick records prove every fan-out path;
+    // this one proves the speedup holds at real cell sizes and counts,
+    // where per-cell work dwarfs dispatch overhead.
+    if ekya_bench::knob::bench_full() {
+        let full = fig06_grid(false, knobs.windows(2), knobs.seed());
+        warm_holdout_cache(&full);
+        warm_stream_cache(&full);
+        records.push(measure_grid("fig06_full_grid", "fig06 full grid", &full, workers));
+    }
+
+    match append_bench_series(records.clone()) {
         Ok(path) => println!("\n[perf trajectory appended to {}]", path.display()),
         Err(e) => {
             eprintln!("harness_bench: cannot append the perf trajectory — {e}");
@@ -175,13 +214,34 @@ fn main() {
         }
     }
 
-    if let Some(min) = ekya_bench::knob::min_speedup() {
-        assert!(
-            speedup >= min,
-            "parallel speedup {speedup:.2}x below required {min:.2}x \
-             (EKYA_MIN_SPEEDUP; machine has {} hardware threads)",
-            ekya_bench::default_workers()
-        );
-        println!("harness_bench: speedup gate {speedup:.2}x >= {min:.2}x ✓");
+    // The speedup gate covers every measured record: a fan-out
+    // regression in any cell shape — scenario grid, config sweep,
+    // trace replay, or the full-size grid — trips it. The floor is
+    // derated when the box has fewer hardware threads than workers
+    // (a single core cannot beat serial by 2x).
+    if let Some(gate) = ekya_bench::knob::effective_min_speedup(workers) {
+        if gate.effective < gate.requested {
+            println!(
+                "harness_bench: speedup floor derated to {:.2}x (EKYA_MIN_SPEEDUP={:.2} \
+                 requested, but only {} hardware thread(s) for {workers} workers)",
+                gate.effective, gate.requested, gate.hw
+            );
+        }
+        for record in &records {
+            assert!(
+                record.speedup >= gate.effective,
+                "{}: parallel speedup {:.2}x below required {:.2}x (EKYA_MIN_SPEEDUP={:.2}; \
+                 machine has {} hardware threads for {workers} workers)",
+                record.name,
+                record.speedup,
+                gate.effective,
+                gate.requested,
+                gate.hw
+            );
+            println!(
+                "harness_bench: {} speedup gate {:.2}x >= {:.2}x ✓",
+                record.name, record.speedup, gate.effective
+            );
+        }
     }
 }

@@ -2,19 +2,28 @@
 //!
 //! Reads the **latest entry** of the perf trajectory
 //! `results/BENCH_series.json` (appended by `harness_bench`) and
-//! compares every baseline record in `ci/bench_baseline.json` — the
-//! quick fig06 scenario grid *and* the quick fig03 configuration sweep —
-//! against the current record of the same name, exiting nonzero when any
-//! gated throughput regressed by more than the tolerance (default 25%).
+//! compares the baseline records in `ci/bench_baseline.json` — the three
+//! quick records plus the nightly-only `fig06_full_grid` — against the
+//! current record of the same name, exiting nonzero when any gated
+//! throughput regressed by more than the tolerance (default 25%).
+//!
+//! By default the gate covers the **intersection**: a baseline record
+//! the current run did not measure (the full-size record on a quick
+//! lane) is skipped with a loud notice instead of failing — but at
+//! least one record must overlap, and a *measured* name missing from
+//! the baseline is never gated silently either way. The nightly lane
+//! passes `--all` to require every baseline record to be present.
 //!
 //! Usage:
-//!   perf_gate [--update [--force]] [baseline.json] [series.json]
+//!   perf_gate [--update [--force]] [--all] [baseline.json] [series.json]
 //!
 //! * `--update` — rewrite the baseline from the latest series entry
 //!   (use after an intentional perf change, commit the result). Refused
 //!   when any current record itself regresses beyond the tolerance
 //!   against the existing baseline — rebasing away a regression must be
 //!   explicit: pass `--force` to accept the lower numbers;
+//! * `--all` — fail when any baseline record has no current counterpart
+//!   (instead of skipping it) — for the lane that measures everything;
 //! * `EKYA_BENCH_TOLERANCE` — allowed fractional regression
 //!   (default 0.25).
 //!
@@ -70,7 +79,8 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let update = args.iter().any(|a| a == "--update");
     let force = args.iter().any(|a| a == "--force");
-    args.retain(|a| a != "--update" && a != "--force");
+    let require_all = args.iter().any(|a| a == "--all");
+    args.retain(|a| a != "--update" && a != "--force" && a != "--all");
     if force && !update {
         // --force only qualifies --update; it never bypasses the gate
         // itself, and silently ignoring it would let CI believe it did.
@@ -145,6 +155,42 @@ fn main() -> ExitCode {
         }
     };
 
+    // Intersection gating: a baseline record this run did not measure
+    // (e.g. the nightly-only full-size record on a quick lane) is
+    // skipped — loudly, so the gap never reads as coverage. `--all`
+    // turns the skip into a failure, and an empty intersection is a
+    // failure in both modes: gating nothing must never pass.
+    let (gated, skipped): (Vec<BenchRecord>, Vec<BenchRecord>) =
+        baseline.into_iter().partition(|b| current.iter().any(|c| c.name == b.name));
+    if !skipped.is_empty() {
+        if require_all {
+            for b in &skipped {
+                eprintln!(
+                    "perf_gate: FAIL — baseline record `{}` has no counterpart in the current \
+                     measurement and --all requires every record (did harness_bench run without \
+                     EKYA_BENCH_FULL, or stop measuring it?)",
+                    b.name
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        for b in &skipped {
+            println!(
+                "perf_gate: SKIP — baseline record `{}` was not measured in this run \
+                 (the nightly lane gates it with --all)",
+                b.name
+            );
+        }
+    }
+    if gated.is_empty() {
+        eprintln!(
+            "perf_gate: FAIL — no baseline record overlaps the current measurement; \
+             nothing would be gated"
+        );
+        return ExitCode::FAILURE;
+    }
+    let baseline = gated;
+
     let tolerance = tolerance();
     for b in &baseline {
         if let Some(c) = current.iter().find(|c| c.name == b.name) {
@@ -181,7 +227,12 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Ok(_) => {
-            println!("perf_gate: OK ({} record(s) gated)", baseline.len());
+            let skipped_note = if skipped.is_empty() {
+                String::new()
+            } else {
+                format!(", {} skipped", skipped.len())
+            };
+            println!("perf_gate: OK ({} record(s) gated{skipped_note})", baseline.len());
             ExitCode::SUCCESS
         }
     }

@@ -320,7 +320,7 @@ impl ReplayTraces {
                 self.streams,
                 self.windows
             );
-            let set = StreamSet::generate(kind, self.streams, self.windows, seed);
+            let set = StreamSet::cached(kind, self.streams, self.windows, seed);
             let cfg = RunnerConfig { seed, ..RunnerConfig::default() };
             let trace = record_trace(&set, &cfg, self.windows, self.max_staleness);
             eprintln!(

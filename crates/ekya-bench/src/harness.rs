@@ -319,6 +319,60 @@ where
         .collect()
 }
 
+/// Packs per-cell cost `weights` (in dispatch order) into contiguous
+/// chunk ranges covering `0..weights.len()`.
+///
+/// Small grid cells lose to the pool's fixed per-task costs — steal
+/// traffic, `catch_unwind`, checkpoint serialization — so the harness
+/// dispatches *chunks* of adjacent cells as one task. Chunks are closed
+/// when their accumulated weight reaches the target (total weight over
+/// `2 × workers`, so stealing still rebalances stragglers) or when they
+/// hit the cell cap. `max_cells` (the `EKYA_BATCH` knob) caps cells per
+/// chunk; `None` caps at the fair share `ceil(n / workers)`, so batching
+/// can never serialize a grid behind one worker. `max_cells = 1`
+/// reproduces the unbatched per-cell dispatch exactly.
+///
+/// Pure function of its inputs: the same weights, worker count, and cap
+/// always produce the same ranges, so chunking never threatens the
+/// parallel ≡ serial ≡ sharded byte-identity guarantees (results are
+/// reassembled in range order, which *is* dispatch order).
+pub fn chunk_ranges(
+    weights: &[f64],
+    workers: usize,
+    max_cells: Option<usize>,
+) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    let fair = n.div_ceil(workers);
+    let cap = max_cells.unwrap_or(fair).clamp(1, fair);
+    if cap == 1 {
+        return (0..n).map(|i| i..i + 1).collect();
+    }
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    // ~2 chunks per worker: big enough to amortise per-task overhead,
+    // small enough that work stealing still evens out cost estimates
+    // that turn out wrong.
+    let target = if total > 0.0 { total / (2 * workers) as f64 } else { f64::INFINITY };
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0.0f64;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w.max(0.0);
+        if i + 1 - start >= cap || acc >= target {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0.0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
 /// Steals from a victim, retrying on `Steal::Retry` (a lost race is not
 /// an empty deque — treating it as one could leave a queued task behind
 /// and deadlock the order-indexed result collection).
@@ -334,13 +388,17 @@ fn steal_retrying<T>(stealer: &crossbeam::deque::Stealer<T>) -> Option<T> {
 
 /// Evaluates one item under panic isolation.
 fn guard<T, R, F: Fn(usize, T) -> R>(f: &F, i: usize, item: T) -> Result<R, String> {
-    catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "cell panicked (non-string payload)".to_string())
-    })
+    catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
+}
+
+/// Renders a `catch_unwind` payload as the panic message string carried
+/// in a poisoned cell's `error` field.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "cell panicked (non-string payload)".to_string())
 }
 
 // ---------------------------------------------------------------------
@@ -478,7 +536,10 @@ impl GridRun {
 /// (inside the calling thread), execute the windows. This is the default
 /// cell evaluator; bins with bespoke cells use [`run_parallel`] directly.
 pub fn run_scenario(sc: &Scenario, holdout_seed: u64) -> CellResult {
-    let streams = StreamSet::generate(sc.dataset, sc.streams, sc.windows, sc.seed);
+    // Cells that differ only in policy share a workload; the memoised
+    // constructor derives each distinct (dataset, streams, windows, seed)
+    // stream set once per process instead of once per cell.
+    let streams = StreamSet::cached(sc.dataset, sc.streams, sc.windows, sc.seed);
     let cfg = RunnerConfig { total_gpus: sc.gpus, seed: sc.seed, ..RunnerConfig::default() };
     let ctx = PolicyBuildCtx::new(sc.dataset, sc.gpus, holdout_seed);
     let mut policy = sc.policy.build(&ctx);
@@ -520,6 +581,11 @@ pub struct GridExec {
     /// orchestrator's tests and CI can kill a shard mid-grid and prove
     /// retry-with-resume converges. Never set in normal operation.
     pub crash_after: Option<usize>,
+    /// Maximum cells per dispatched chunk (see [`chunk_ranges`]). `None`
+    /// (the default) sizes chunks automatically from the scenarios' cost
+    /// estimates; `Some(1)` restores per-cell dispatch. Wired to the
+    /// `EKYA_BATCH` env knob by [`run_grid_bin`].
+    pub batch: Option<usize>,
 }
 
 impl GridExec {
@@ -550,6 +616,12 @@ impl GridExec {
     /// cells (see the field docs).
     pub fn crash_after(mut self, n: Option<usize>) -> Self {
         self.crash_after = n;
+        self
+    }
+
+    /// Caps cells per dispatched chunk (see the field docs).
+    pub fn batch(mut self, batch: Option<usize>) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -605,46 +677,62 @@ impl GridExec {
         let envelope = (self.name.as_str(), total, self.shard);
         let completed = std::sync::atomic::AtomicUsize::new(0);
 
+        // Pack contiguous runs of pending cells into cost-weighted chunks
+        // so the pool's fixed per-task costs (steal traffic, checkpoint
+        // serialization) amortise across several small cells. Per-cell
+        // seeding, panic isolation, and checkpoint bytes are untouched —
+        // chunks are reassembled in dispatch order, so the report stays
+        // byte-identical to per-cell (and serial, and sharded) dispatch.
+        let weights: Vec<f64> = pending.iter().map(|(_, sc)| sc.cost_estimate()).collect();
+        let ranges = chunk_ranges(&weights, self.workers, self.batch);
+        let chunks: Vec<Vec<(usize, Scenario)>> =
+            ranges.iter().map(|r| pending[r.clone()].to_vec()).collect();
+
         let started = Instant::now();
-        let results =
-            run_parallel(pending.clone(), self.workers, |_, (idx, sc): (usize, Scenario)| {
-                let cell = eval(&sc);
-                if let Some((path, state, written)) = &ckpt {
-                    // Record under the state lock; serialize and write
-                    // under a separate IO lock so other cells keep
-                    // completing while the checkpoint hits the disk. The
-                    // cell count is monotonic (inserts only), so a writer
-                    // that waited behind a later completion finds its
-                    // sequence already covered and skips: queued writers
-                    // collapse into the newest one, and only the winner
-                    // pays for the snapshot clone — taken *after* winning,
-                    // so it includes every completion to date.
-                    let seq = {
-                        let mut state = state.lock().expect("checkpoint state");
-                        state.insert(idx, cell.clone());
-                        state.len()
-                    };
-                    let mut written = written.lock().expect("checkpoint io");
-                    if *written < seq {
-                        let snapshot = state.lock().expect("checkpoint state").clone();
-                        *written = snapshot.len();
-                        write_checkpoint(path, envelope, snapshot);
+        let chunk_results =
+            run_parallel(chunks, self.workers, |_, chunk: Vec<(usize, Scenario)>| {
+                let mut out: Vec<Result<CellResult, String>> = Vec::with_capacity(chunk.len());
+                for (idx, sc) in chunk {
+                    // Per-cell panic isolation, exactly as when every cell
+                    // was its own task: a poisoned cell ends up as an Err
+                    // slot and the rest of the chunk still runs.
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| eval(&sc))).map_err(panic_message);
+                    if let (Ok(cell), Some((_, state, _))) = (&result, &ckpt) {
+                        state.lock().expect("checkpoint state").insert(idx, cell.clone());
+                    }
+                    out.push(result);
+                    // Fault injection: flush the checkpoint *before* dying,
+                    // so the kill the orchestrator's tests simulate is the
+                    // realistic one — progress survives, the run does not.
+                    let n = completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                    if self.crash_after.is_some_and(|k| n >= k) {
+                        flush_checkpoint(&ckpt, envelope);
+                        eprintln!(
+                            "[{}: injected crash after {n} cells (EKYA_ORCH_CRASH_AFTER)]",
+                            self.name
+                        );
+                        std::process::exit(17);
                     }
                 }
-                // Fault injection: die *after* the checkpoint landed, so
-                // the kill the orchestrator's tests simulate is the
-                // realistic one — progress survives, the run does not.
-                let n = completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
-                if self.crash_after.is_some_and(|k| n >= k) {
-                    eprintln!(
-                        "[{}: injected crash after {n} cells (EKYA_ORCH_CRASH_AFTER)]",
-                        self.name
-                    );
-                    std::process::exit(17);
-                }
-                cell
+                // One checkpoint write per chunk instead of per cell — the
+                // state map already holds every completion, and queued
+                // writers collapse into the newest snapshot.
+                flush_checkpoint(&ckpt, envelope);
+                out
             });
         let wall_secs = started.elapsed().as_secs_f64();
+
+        // Flatten chunk results back into pending order. A failure outside
+        // any cell's own guard (the checkpoint machinery itself) poisons
+        // the whole chunk: fan its message out to every cell it covered.
+        let mut results: Vec<Result<CellResult, String>> = Vec::with_capacity(executed);
+        for (range, chunk_result) in ranges.iter().zip(chunk_results) {
+            match chunk_result {
+                Ok(cells) => results.extend(cells),
+                Err(message) => results.extend(range.clone().map(|_| Err(message.clone()))),
+            }
+        }
 
         // Merge fresh results (poisoned slots backfilled from the
         // scenario) with the resumed cells, in global grid order.
@@ -692,6 +780,29 @@ impl GridExec {
 /// cell — the no-shard, no-resume convenience wrapper over [`GridExec`].
 pub fn run_grid(grid: &Grid, workers: usize) -> GridRun {
     GridExec::new("grid", workers).run(grid)
+}
+
+/// Writes the checkpoint if it is stale: records the current completion
+/// count under the state lock, then serializes under the separate IO
+/// lock so other chunks keep completing while the snapshot hits the
+/// disk. The count is monotonic (inserts only), so a writer that waited
+/// behind a later completion finds its sequence already covered and
+/// skips — queued writers collapse into the newest one, and only the
+/// winner pays for the snapshot clone, taken *after* winning so it
+/// includes every completion to date.
+#[allow(clippy::type_complexity)] // mirrors the ckpt tuple built in run_with
+fn flush_checkpoint(
+    ckpt: &Option<(&Path, Mutex<BTreeMap<usize, CellResult>>, Mutex<usize>)>,
+    envelope: (&str, usize, Option<ShardSpec>),
+) {
+    let Some((path, state, written)) = ckpt else { return };
+    let seq = state.lock().expect("checkpoint state").len();
+    let mut written = written.lock().expect("checkpoint io");
+    if *written < seq {
+        let snapshot = state.lock().expect("checkpoint state").clone();
+        *written = snapshot.len();
+        write_checkpoint(path, envelope, snapshot);
+    }
 }
 
 /// Atomically rewrites the checkpoint file with every completed cell so
@@ -914,6 +1025,7 @@ where
         .prior(prior)
         .checkpoint(Some(partial.clone()))
         .crash_after(crash_after)
+        .batch(crate::knob::batch())
         .run_with(grid, eval);
 
     if run.stats.resumed > 0 {
@@ -983,6 +1095,9 @@ pub fn bench_series_path() -> PathBuf {
 pub fn append_bench_series(records: Vec<BenchRecord>) -> Result<PathBuf, String> {
     let path = bench_series_path();
     let mut series: Vec<BenchSeriesEntry> = match std::fs::read_to_string(&path) {
+        // An empty (e.g. freshly `touch`ed) file is a fresh series, not
+        // a corrupt one.
+        Ok(text) if text.trim().is_empty() => Vec::new(),
         Ok(text) => serde_json::from_str(&text).map_err(|e| {
             format!("cannot parse {}: {e} — move it aside to start a fresh series", path.display())
         })?,
@@ -998,6 +1113,9 @@ pub fn append_bench_series(records: Vec<BenchRecord>) -> Result<PathBuf, String>
 pub fn latest_bench_entry(path: &Path) -> Result<BenchSeriesEntry, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if text.trim().is_empty() {
+        return Err(format!("{} is empty — no measurements recorded yet", path.display()));
+    }
     let series: Vec<BenchSeriesEntry> = serde_json::from_str(&text)
         .map_err(|e| format!("cannot parse {} as a bench series: {e}", path.display()))?;
     series.last().cloned().ok_or_else(|| format!("{} holds no entries", path.display()))

@@ -139,6 +139,11 @@ impl MicroProfiler {
         }
 
         let pool_len = train_pool.len();
+        // Costing needs an (untrained) model variant per configuration, but
+        // variants depend only on the curve-key fields (head width, layers
+        // trained) and the seed — memoise one per curve key instead of
+        // rebuilding (clone + seeded head re-init) for every configuration.
+        let mut variants: BTreeMap<CurveKey, Mlp> = BTreeMap::new();
         let profiles: Vec<RetrainProfile> = selected
             .iter()
             .map(|&config| {
@@ -150,12 +155,14 @@ impl MicroProfiler {
                     curve.c = (curve.c + eps).clamp(0.05, 1.0);
                 }
                 let n_train = ((pool_len as f64) * config.data_fraction).round().max(1.0) as usize;
-                let variant = build_variant(model, &config, seed.wrapping_add(17));
+                let variant = variants
+                    .entry(config.curve_key())
+                    .or_insert_with(|| build_variant(model, &config, seed.wrapping_add(17)));
                 RetrainProfile {
                     config,
                     curve,
                     gpu_seconds_per_epoch: self.cost.train_epoch_gpu_seconds(
-                        &variant,
+                        variant,
                         n_train,
                         config.batch_size,
                     ),

@@ -285,14 +285,19 @@ impl LearningCurve {
         let c_cap = c_max.clamp(c_floor, 1.0);
 
         let mut best: Option<(f64, LearningCurve)> = None;
+        // Design matrix rows [k, 1]: identical for every asymptote candidate,
+        // so build it (and the target buffer) once outside the grid loop.
+        let a_mat: Vec<Vec<f64>> = pts.iter().map(|&(k, _)| vec![k, 1.0]).collect();
+        let mut yv: Vec<f64> = vec![0.0; pts.len()];
         // Asymptote candidates strictly above every observation, up to the
         // cap. The ascending grid plus strict improvement means equal-error
         // fits resolve to the smallest plausible asymptote.
         let mut c = c_floor.min(c_cap);
         loop {
-            // Design matrix rows [k, 1]; target 1/(c - acc).
-            let a_mat: Vec<Vec<f64>> = pts.iter().map(|&(k, _)| vec![k, 1.0]).collect();
-            let yv: Vec<f64> = pts.iter().map(|&(_, acc)| 1.0 / (c - acc).max(1e-9)).collect();
+            // Target 1/(c - acc) for this candidate asymptote.
+            for (y, &(_, acc)) in yv.iter_mut().zip(pts.iter()) {
+                *y = 1.0 / (c - acc).max(1e-9);
+            }
             let sol = nnls(&a_mat, &yv);
             let (a, b) = (sol[0], sol[1].max(1e-9));
             let curve = LearningCurve { a, b, c };

@@ -20,7 +20,7 @@
 //! batch-norm, weight decay, GPU execution.
 
 use crate::data::{DataView, Sample};
-use crate::tensor::{relu_inplace, softmax_rows, Matrix};
+use crate::tensor::{relu_inplace_into, softmax_rows, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -99,10 +99,39 @@ pub struct Mlp {
     trainable: Vec<bool>,
 }
 
-/// Gradients for one training step, shaped like the layers.
-struct Grads {
-    w: Vec<Matrix>,
-    b: Vec<Vec<f32>>,
+/// Reusable buffers for one training run: batch features and labels,
+/// per-layer activations/masks, softmax probabilities, the two backprop
+/// delta buffers, and the per-layer gradients. One workspace serves
+/// every minibatch of an epoch (buffers are reshaped in place as batch
+/// sizes change), which removes the per-batch allocation churn the
+/// original loop paid — the dominant cost of many small training runs
+/// like the micro-profiler's.
+struct Workspace {
+    x: Matrix,
+    labels: Vec<usize>,
+    acts: Vec<Matrix>,
+    masks: Vec<Vec<bool>>,
+    probs: Matrix,
+    delta: Matrix,
+    delta_next: Matrix,
+    gw: Vec<Matrix>,
+    gb: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    fn new(model: &Mlp) -> Self {
+        Self {
+            x: Matrix::zeros(0, 0),
+            labels: Vec::new(),
+            acts: (0..=model.layers.len()).map(|_| Matrix::zeros(0, 0)).collect(),
+            masks: (1..model.layers.len()).map(|_| Vec::new()).collect(),
+            probs: Matrix::zeros(0, 0),
+            delta: Matrix::zeros(0, 0),
+            delta_next: Matrix::zeros(0, 0),
+            gw: model.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect(),
+            gb: model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
 }
 
 impl Mlp {
@@ -188,11 +217,29 @@ impl Mlp {
     /// Forward pass on a batch. Returns per-layer pre-activation inputs
     /// (needed for backprop) plus the softmax probabilities.
     fn forward_full(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Vec<bool>>, Matrix) {
-        let mut activations = vec![x.clone()];
-        let mut masks = Vec::new();
-        let mut cur = x.clone();
+        let mut acts: Vec<Matrix> = (0..=self.layers.len()).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut masks: Vec<Vec<bool>> = (1..self.layers.len()).map(|_| Vec::new()).collect();
+        let mut probs = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut acts, &mut masks, &mut probs);
+        (acts, masks, probs)
+    }
+
+    /// [`Mlp::forward_full`] writing into caller-owned buffers (a
+    /// [`Workspace`]'s), so the per-batch activations, masks, and
+    /// probabilities reuse one allocation each across an epoch.
+    /// `acts` must hold `layers + 1` slots and `masks` `layers - 1`.
+    fn forward_into(
+        &self,
+        x: &Matrix,
+        acts: &mut [Matrix],
+        masks: &mut [Vec<bool>],
+        probs: &mut Matrix,
+    ) {
+        acts[0].copy_from(x);
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = cur.matmul(&layer.w);
+            let (prev, rest) = acts.split_at_mut(i + 1);
+            let z = &mut rest[0];
+            prev[i].matmul_into(&layer.w, z);
             for r in 0..z.rows() {
                 let row = z.row_mut(r);
                 for (v, &b) in row.iter_mut().zip(layer.b.iter()) {
@@ -200,15 +247,11 @@ impl Mlp {
                 }
             }
             if i + 1 < self.layers.len() {
-                let mask = relu_inplace(&mut z);
-                masks.push(mask);
+                relu_inplace_into(z, &mut masks[i]);
             }
-            activations.push(z.clone());
-            cur = z;
         }
-        let mut probs = cur;
-        softmax_rows(&mut probs);
-        (activations, masks, probs)
+        probs.copy_from(&acts[self.layers.len()]);
+        softmax_rows(probs);
     }
 
     /// Predicted class indices for a batch of samples.
@@ -256,31 +299,33 @@ impl Mlp {
         total / data.len() as f64
     }
 
-    /// Backward pass for a batch; returns gradients for trainable layers
-    /// (frozen layers get `None`-equivalent zero matrices that are skipped
-    /// by the optimiser via the trainable mask).
-    fn backward(
+    /// Backward pass for a batch, writing gradients for trainable layers
+    /// into `gw`/`gb` (frozen layers keep whatever the buffers held; the
+    /// optimiser skips them via the trainable mask). `delta`/`delta_next`
+    /// are scratch buffers for the backpropagated error.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_into(
         &self,
         activations: &[Matrix],
         masks: &[Vec<bool>],
         probs: &Matrix,
         labels: &[usize],
-    ) -> Grads {
+        delta: &mut Matrix,
+        delta_next: &mut Matrix,
+        gw: &mut [Matrix],
+        gb: &mut [Vec<f32>],
+    ) {
         let batch = labels.len();
         let n_layers = self.layers.len();
         let lowest_trainable = self.trainable.iter().position(|t| *t).unwrap_or(n_layers);
 
         // dL/dz for the output layer of softmax cross-entropy: (p - y)/batch.
-        let mut delta = probs.clone();
+        delta.copy_from(probs);
         for (r, &y) in labels.iter().enumerate() {
             let v = delta.get(r, y);
             delta.set(r, y, v - 1.0);
         }
         delta.scale(1.0 / batch as f32);
-
-        let mut gw: Vec<Matrix> =
-            self.layers.iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect();
-        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
         for i in (0..n_layers).rev() {
             if i < lowest_trainable {
@@ -289,7 +334,9 @@ impl Mlp {
             }
             if self.trainable[i] {
                 // grad_W = a_{i}^T * delta ; grad_b = column sums of delta.
-                gw[i] = activations[i].t_matmul(&delta);
+                activations[i].t_matmul_into(delta, &mut gw[i]);
+                gb[i].clear();
+                gb[i].resize(self.layers[i].b.len(), 0.0);
                 for r in 0..delta.rows() {
                     for (bi, &d) in gb[i].iter_mut().zip(delta.row(r).iter()) {
                         *bi += d;
@@ -298,17 +345,16 @@ impl Mlp {
             }
             if i > lowest_trainable {
                 // delta_{i-1} = (delta * W_i^T) ⊙ relu'(z_{i-1})
-                let mut next = delta.matmul_t(&self.layers[i].w);
+                delta.matmul_t_into(&self.layers[i].w, delta_next);
                 let mask = &masks[i - 1];
-                for (v, &m) in next.data_mut().iter_mut().zip(mask.iter()) {
+                for (v, &m) in delta_next.data_mut().iter_mut().zip(mask.iter()) {
                     if !m {
                         *v = 0.0;
                     }
                 }
-                delta = next;
+                std::mem::swap(delta, delta_next);
             }
         }
-        Grads { w: gw, b: gb }
     }
 
     /// Runs one epoch of minibatch SGD over `data`, with the given optimiser
@@ -331,24 +377,40 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(epoch_seed);
         order.shuffle(&mut rng);
 
+        let mut ws = Workspace::new(self);
+        let input_dim = self.arch.input_dim;
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(batch_size) {
-            let samples: Vec<Sample> = chunk.iter().map(|&i| data.samples[i].clone()).collect();
-            let labels: Vec<usize> = samples.iter().map(|s| s.y).collect();
-            let x = batch_features(&samples, self.arch.input_dim);
-            let (acts, masks, probs) = self.forward_full(&x);
+            ws.labels.clear();
+            ws.x.resize_zeroed(chunk.len(), input_dim);
+            for (r, &i) in chunk.iter().enumerate() {
+                let s = &data.samples[i];
+                assert_eq!(s.x.len(), input_dim, "sample dimensionality mismatch");
+                ws.x.row_mut(r).copy_from_slice(&s.x);
+                ws.labels.push(s.y);
+            }
+            self.forward_into(&ws.x, &mut ws.acts, &mut ws.masks, &mut ws.probs);
 
             // Batch loss (before the update), for curve fitting.
             let mut loss = 0.0f64;
-            for (r, &y) in labels.iter().enumerate() {
-                loss -= (probs.get(r, y).max(1e-12) as f64).ln();
+            for (r, &y) in ws.labels.iter().enumerate() {
+                loss -= (ws.probs.get(r, y).max(1e-12) as f64).ln();
             }
-            total_loss += loss / labels.len() as f64;
+            total_loss += loss / ws.labels.len() as f64;
             batches += 1;
 
-            let grads = self.backward(&acts, &masks, &probs, &labels);
-            opt.apply(self, grads);
+            self.backward_into(
+                &ws.acts,
+                &ws.masks,
+                &ws.probs,
+                &ws.labels,
+                &mut ws.delta,
+                &mut ws.delta_next,
+                &mut ws.gw,
+                &mut ws.gb,
+            );
+            opt.apply(self, &ws.gw, &ws.gb);
         }
         if batches == 0 {
             0.0
@@ -387,23 +449,21 @@ impl Sgd {
         Self { lr, momentum, vel_w, vel_b }
     }
 
-    fn apply(&mut self, model: &mut Mlp, grads: Grads) {
+    fn apply(&mut self, model: &mut Mlp, gw: &[Matrix], gb: &[Vec<f32>]) {
         for i in 0..model.layers.len() {
             if !model.trainable[i] {
                 continue;
             }
             // Velocity shapes can go stale after a head resize; re-zero them.
-            if self.vel_w[i].rows() != grads.w[i].rows()
-                || self.vel_w[i].cols() != grads.w[i].cols()
-            {
-                self.vel_w[i] = Matrix::zeros(grads.w[i].rows(), grads.w[i].cols());
-                self.vel_b[i] = vec![0.0; grads.b[i].len()];
+            if self.vel_w[i].rows() != gw[i].rows() || self.vel_w[i].cols() != gw[i].cols() {
+                self.vel_w[i] = Matrix::zeros(gw[i].rows(), gw[i].cols());
+                self.vel_b[i] = vec![0.0; gb[i].len()];
             }
             self.vel_w[i].scale(self.momentum);
-            self.vel_w[i].add_scaled(&grads.w[i], 1.0);
+            self.vel_w[i].add_scaled(&gw[i], 1.0);
             model.layers[i].w.add_scaled(&self.vel_w[i], -self.lr);
             for ((v, &g), b) in
-                self.vel_b[i].iter_mut().zip(grads.b[i].iter()).zip(model.layers[i].b.iter_mut())
+                self.vel_b[i].iter_mut().zip(gb[i].iter()).zip(model.layers[i].b.iter_mut())
             {
                 *v = *v * self.momentum + g;
                 *b -= self.lr * *v;
@@ -523,6 +583,59 @@ mod tests {
             model.train_epoch(view, &mut opt, 16, e);
         }
         assert!(model.accuracy(view) > 0.9);
+    }
+
+    /// Forward passes through a reused [`Workspace`] — including a
+    /// *shrinking* batch, which leaves the buffers dirty and oversized —
+    /// must be bit-identical to fresh-buffer passes. This pins the
+    /// scratch-buffer optimisation to the pre-optimisation numerics.
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_buffers() {
+        let model = Mlp::new(MlpArch::edge(6, 4, 10), 7);
+        let x_big = Matrix::from_fn(5, 6, |r, c| ((r * 13 + c * 7) % 11) as f32 / 11.0 - 0.3);
+        let x_small = Matrix::from_fn(3, 6, |r, c| ((r * 17 + c * 5) % 13) as f32 / 13.0 - 0.4);
+
+        let mut ws = Workspace::new(&model);
+        for (pass, x) in [&x_big, &x_small].into_iter().enumerate() {
+            model.forward_into(x, &mut ws.acts, &mut ws.masks, &mut ws.probs);
+            let (acts, masks, probs) = model.forward_full(x);
+            assert_eq!(masks, ws.masks, "pass {pass}: masks diverged");
+            for (i, (fresh, reused)) in acts.iter().zip(&ws.acts).enumerate() {
+                assert_eq!((fresh.rows(), fresh.cols()), (reused.rows(), reused.cols()));
+                for (f, r) in fresh.data().iter().zip(reused.data().iter()) {
+                    assert_eq!(f.to_bits(), r.to_bits(), "pass {pass}: activation {i} diverged");
+                }
+            }
+            for (f, r) in probs.data().iter().zip(ws.probs.data().iter()) {
+                assert_eq!(f.to_bits(), r.to_bits(), "pass {pass}: probabilities diverged");
+            }
+        }
+    }
+
+    /// Two identical training runs — same seeds, same data — must
+    /// produce bit-identical weights: buffer reuse across an epoch's
+    /// minibatches (of uneven sizes) must not leak state between
+    /// batches or runs.
+    #[test]
+    fn train_epoch_is_deterministic_with_reused_workspace() {
+        let data = toy_data(50, 9);
+        let view = DataView::new(&data, 2);
+        let run = || {
+            let mut model = Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 }, 7);
+            let mut opt = Sgd::new(&model, 0.1, 0.9);
+            let mut losses = Vec::new();
+            for e in 0..3 {
+                // batch 16 over 50 samples → a ragged final minibatch.
+                losses.push(model.train_epoch(view, &mut opt, 16, e));
+            }
+            // Debug rendering of f32 is shortest-round-trip, so equal
+            // strings mean equal bits (and -0.0 still shows its sign).
+            (format!("{:?}", model.layers), losses)
+        };
+        let (w1, l1) = run();
+        let (w2, l2) = run();
+        assert_eq!(w1, w2, "weights diverged between identical runs");
+        assert_eq!(l1, l2, "losses diverged between identical runs");
     }
 
     #[test]

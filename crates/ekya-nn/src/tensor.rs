@@ -91,17 +91,48 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes the matrix to `rows x cols` and fills it with zeros,
+    /// reusing the existing allocation when the capacity suffices — the
+    /// building block of the `*_into` GEMM variants and the training
+    /// scratch buffers, which would otherwise allocate a fresh `Vec` per
+    /// minibatch.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing
+    /// allocation when possible.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// `self (m x k) * rhs (k x n) -> (m x n)`.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output matrix
+    /// (reshaped and zeroed here), so hot loops can reuse one allocation
+    /// across calls. Numerically identical to `matmul`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         // i-k-j loop order keeps the inner loop sequential over both
         // `rhs` and `out` rows, which is the cache-friendly ordering for
-        // row-major data.
+        // row-major data. Each output element accumulates over k in
+        // ascending order, which pins the (non-associative) f32 sum.
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -115,15 +146,23 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self^T (k x m) * rhs (k x n)` computed without materialising the
     /// transpose. `self` is `k x m`. Result is `m x n`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] writing into a caller-owned output matrix —
+    /// the backprop weight-gradient kernel, allocation-free when the
+    /// caller reuses `out`. Numerically identical to `t_matmul`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul leading dimension mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         for kk in 0..k {
             let a_row = &self.data[kk * m..(kk + 1) * m];
             let b_row = &rhs.data[kk * n..(kk + 1) * n];
@@ -137,27 +176,61 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self (m x k) * rhs^T (n x k)` computed without materialising the
     /// transpose. Result is `m x n`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] writing into a caller-owned output matrix.
+    ///
+    /// Register-blocked along the output columns: four columns per pass
+    /// share one read of the `self` row and run four independent
+    /// accumulator chains (instruction-level parallelism the scalar
+    /// dot-product loop cannot reach, since a single f32 accumulator is
+    /// a serial dependency chain). Every accumulator still sums over k
+    /// in ascending order, so results are bit-identical to the scalar
+    /// reference.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_t trailing dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    s0 += a * b0[kk];
+                    s1 += a * b1[kk];
+                    s2 += a * b2[kk];
+                    s3 += a * b3[kk];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
                 let b_row = &rhs.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                     acc += a * b;
                 }
-                out.data[i * n + j] = acc;
+                out_row[j] = acc;
+                j += 1;
             }
         }
-        out
     }
 
     /// Adds `other * scale` element-wise in place.
@@ -190,7 +263,16 @@ impl Matrix {
 /// Applies ReLU in place and returns the activation mask used for backprop
 /// (`true` where the input was positive).
 pub fn relu_inplace(m: &mut Matrix) -> Vec<bool> {
-    let mut mask = Vec::with_capacity(m.data.len());
+    let mut mask = Vec::new();
+    relu_inplace_into(m, &mut mask);
+    mask
+}
+
+/// [`relu_inplace`] writing the mask into a caller-owned buffer (cleared
+/// here), so the training loop reuses one mask allocation per layer.
+pub fn relu_inplace_into(m: &mut Matrix, mask: &mut Vec<bool>) {
+    mask.clear();
+    mask.reserve(m.data.len());
     for v in m.data.iter_mut() {
         if *v > 0.0 {
             mask.push(true);
@@ -199,7 +281,6 @@ pub fn relu_inplace(m: &mut Matrix) -> Vec<bool> {
             mask.push(false);
         }
     }
-    mask
 }
 
 /// Row-wise softmax in place. Numerically stabilised by subtracting the
@@ -301,5 +382,74 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Deterministic non-zero pseudo-random fill (no RNG dependency).
+    fn fill(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 17 + salt * 101) % 97) as f32 / 97.0 - 0.5
+        })
+    }
+
+    /// Asserts two matrices are **bit**-identical — stricter than `==`
+    /// (which would let `-0.0` slide) and the contract the kernel
+    /// optimisations pin: same shapes, same ascending-k accumulation
+    /// order, same bits.
+    fn assert_bits(label: &str, got: &Matrix, want: &Matrix) {
+        assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()), "{label}: shape");
+        for (i, (g, w)) in got.data().iter().zip(want.data().iter()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{label}: element {i}: {g} vs {w}");
+        }
+    }
+
+    /// The optimised kernels (i-k-j `matmul`, transpose-free `t_matmul`,
+    /// register-blocked `matmul_t`) against naive triple loops that
+    /// accumulate over ascending k — the pre-optimisation order. Shapes
+    /// make the 4-wide block cover one full block *and* a scalar
+    /// remainder (n = 6).
+    #[test]
+    fn gemm_kernels_are_bit_identical_to_naive_reference() {
+        let (m, k, n) = (5, 7, 6);
+        let a = fill(m, k, 1);
+
+        let b = fill(k, n, 2);
+        let c = a.matmul(&b);
+        let naive = Matrix::from_fn(m, n, |i, j| {
+            (0..k).fold(0.0f32, |acc, kk| acc + a.get(i, kk) * b.get(kk, j))
+        });
+        assert_bits("matmul", &c, &naive);
+
+        let at = fill(k, m, 3); // k x m — t_matmul computes at^T * b
+        let c = at.t_matmul(&b);
+        let naive = Matrix::from_fn(m, n, |i, j| {
+            (0..k).fold(0.0f32, |acc, kk| acc + at.get(kk, i) * b.get(kk, j))
+        });
+        assert_bits("t_matmul", &c, &naive);
+
+        let bt = fill(n, k, 4); // n x k — matmul_t computes a * bt^T
+        let c = a.matmul_t(&bt);
+        let naive = Matrix::from_fn(m, n, |i, j| {
+            (0..k).fold(0.0f32, |acc, kk| acc + a.get(i, kk) * bt.get(j, kk))
+        });
+        assert_bits("matmul_t", &c, &naive);
+    }
+
+    /// One scratch buffer reused across all three `_into` kernels, each
+    /// with a different output shape, primed with NaNs: any residue from
+    /// a previous occupant would surface as a NaN or a wrong bit.
+    #[test]
+    fn into_kernels_reuse_dirty_buffers_without_residue() {
+        let a = fill(5, 7, 5);
+        let b = fill(7, 6, 6);
+        let at = fill(7, 5, 7);
+        let bt = fill(6, 7, 8);
+
+        let mut out = Matrix::from_fn(9, 9, |_, _| f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_bits("matmul_into (dirty)", &out, &a.matmul(&b));
+        at.t_matmul_into(&b, &mut out);
+        assert_bits("t_matmul_into (dirty)", &out, &at.t_matmul(&b));
+        a.matmul_t_into(&bt, &mut out);
+        assert_bits("matmul_t_into (dirty)", &out, &a.matmul_t(&bt));
     }
 }

@@ -114,15 +114,18 @@ struct StreamState {
     teacher: OracleTeacher,
 }
 
-/// Per-window, per-stream prepared data.
-struct WindowPrep {
+/// Per-window, per-stream prepared data. Ground-truth validation data and
+/// the class distribution are borrowed straight from the dataset window —
+/// only teacher-labelled copies (which really are new data) are owned, so
+/// window preparation does not clone the immutable splits every window.
+struct WindowPrep<'a> {
     /// Teacher-labelled training pool (window data + exemplars).
     pool: Vec<Sample>,
     /// Teacher-labelled validation split (what the system can observe).
     sys_val: Vec<Sample>,
     /// Ground-truth validation split (what we measure with).
-    true_val: Vec<Sample>,
-    class_dist: Vec<f64>,
+    true_val: &'a [Sample],
+    class_dist: &'a [f64],
     drift: f64,
     serving_true: f64,
     serving_sys: f64,
@@ -244,7 +247,7 @@ fn run_one_window<P: Policy + ?Sized>(
     let n = states.len();
 
     // ---- 1. Prepare window data (teacher labelling + accuracy probes). --
-    let preps: Vec<WindowPrep> = (0..n)
+    let preps: Vec<WindowPrep<'_>> = (0..n)
         .map(|s| {
             let ds = datasets[s];
             let w = ds.window(w_idx);
@@ -252,15 +255,15 @@ fn run_one_window<P: Policy + ?Sized>(
             let fresh = distill_labels(&mut state.teacher, &w.train_pool);
             let pool = state.memory.training_mix(&fresh);
             let sys_val = distill_labels(&mut state.teacher, &w.val);
-            let true_val = w.val.clone();
+            let true_val: &[Sample] = &w.val;
             let nc = ds.num_classes;
-            let serving_true = state.model.accuracy(DataView::new(&true_val, nc));
+            let serving_true = state.model.accuracy(DataView::new(true_val, nc));
             let serving_sys = state.model.accuracy(DataView::new(&sys_val, nc));
             WindowPrep {
                 pool,
                 sys_val,
                 true_val,
-                class_dist: w.class_dist.clone(),
+                class_dist: &w.class_dist,
                 drift: w.drift_from_prev,
                 serving_true,
                 serving_sys,
@@ -324,7 +327,7 @@ fn run_one_window<P: Policy + ?Sized>(
                     id: ids[s],
                     fps: preps[s].fps,
                     serving_accuracy: serving_sys[s],
-                    class_dist: &preps[s].class_dist,
+                    class_dist: preps[s].class_dist,
                     drift_magnitude: preps[s].drift,
                     retrain_profiles: &retrain_profiles[s],
                     infer_profiles: &infer_profiles[s],
@@ -491,7 +494,7 @@ fn run_one_window<P: Policy + ?Sized>(
             states[s].model = new_model;
             states[s].model.set_layers_trained(usize::MAX);
             serving_sys[s] = sys_acc;
-            serving_true[s] = states[s].model.accuracy(DataView::new(&preps[s].true_val, nc));
+            serving_true[s] = states[s].model.accuracy(DataView::new(preps[s].true_val, nc));
         }
 
         // Mid-window rescheduling (on completion or estimate correction).

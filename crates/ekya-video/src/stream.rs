@@ -10,6 +10,8 @@
 use crate::dataset::{DatasetKind, DatasetSpec, VideoDataset};
 use crate::types::StreamId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A set of concurrently analysed camera streams.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,6 +32,36 @@ impl StreamSet {
             })
             .collect();
         Self { streams }
+    }
+
+    /// Like [`StreamSet::generate`], but memoised process-wide: repeated
+    /// requests for the same `(kind, n, num_windows, base_seed)` share one
+    /// generated set behind an `Arc` instead of re-deriving every stream.
+    ///
+    /// Grid cells routinely differ only in *policy* while sharing a
+    /// workload, so a sweep regenerates the same streams many times;
+    /// generation is pure (seeded), so sharing the result is observably
+    /// identical to calling [`StreamSet::generate`]. The cache key is the
+    /// full argument tuple and entries live for the process lifetime —
+    /// bounded by the handful of distinct workloads a run touches.
+    pub fn cached(kind: DatasetKind, n: usize, num_windows: usize, base_seed: u64) -> Arc<Self> {
+        type Key = (DatasetKind, usize, usize, u64);
+        // The cache is only ever accessed by key — never iterated — so its
+        // bucket order cannot reach any serialized byte (and DatasetKind
+        // has no Ord for a BTreeMap to use).
+        // ekya-lint: allow(unordered-iter)
+        static CACHE: OnceLock<Mutex<HashMap<Key, Arc<StreamSet>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new())); // ekya-lint: allow(unordered-iter)
+        let key = (kind, n, num_windows, base_seed);
+        if let Some(hit) = cache.lock().expect("stream cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock so a slow derivation does not block
+        // unrelated lookups; a racing duplicate insert is harmless (both
+        // values are identical) and the first insert wins.
+        let made = Arc::new(Self::generate(kind, n, num_windows, base_seed));
+        let mut guard = cache.lock().expect("stream cache poisoned");
+        Arc::clone(guard.entry(key).or_insert(made))
     }
 
     /// Generates `n` streams from a base spec (e.g. with non-default
