@@ -94,6 +94,22 @@ case "$MODE" in
     EKYA_QUICK=1 EKYA_WINDOWS=2 EKYA_STREAMS=4 \
       cargo run --release -q -p ekya-bench --bin fig08_factors
 
+    # Serving-path smoke: a short ekya_serve daemon run (admission +
+    # per-window atomic snapshots), its own snapshot validator, and a
+    # small ekya_loadgen pass over the same seed — whose snapshot must be
+    # byte-identical to the daemon's (the serving determinism contract,
+    # checked with plain cmp because both bins ran the same fleet).
+    echo "==> serving smoke: ekya_serve (8 streams × 2 windows) + snapshot validation"
+    EKYA_STREAMS_LIVE=8 EKYA_WINDOWS=2 \
+      cargo run --release -q -p ekya-bench --bin ekya_serve
+    cargo run --release -q -p ekya-bench --bin ekya_serve -- --validate
+    cp results/serve_status.json target/serve_status_daemon.json
+    echo "==> serving smoke: ekya_loadgen (same fleet) ≡ ekya_serve snapshot"
+    EKYA_STREAMS_LIVE=8 EKYA_WINDOWS=2 \
+      cargo run --release -q -p ekya-bench --bin ekya_loadgen
+    cmp results/serve_status.json target/serve_status_daemon.json
+    echo "    loadgen snapshot ≡ daemon snapshot ✓"
+
     echo "==> harness smoke: harness_bench (serial ≡ parallel + throughput)"
     EKYA_WINDOWS=2 cargo run --release -q -p ekya-bench --bin harness_bench
 

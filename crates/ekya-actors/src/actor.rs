@@ -144,9 +144,38 @@ impl<A: Actor> Drop for ActorHandle<A> {
 }
 
 /// Spawns `actor` on a dedicated thread with an unbounded mailbox.
-pub fn spawn<A: Actor>(name: impl Into<String>, mut actor: A) -> ActorHandle<A> {
-    let name = name.into();
+pub fn spawn<A: Actor>(name: impl Into<String>, actor: A) -> ActorHandle<A> {
     let (tx, rx): (Sender<Envelope<A>>, Receiver<Envelope<A>>) = unbounded();
+    spawn_on(name.into(), actor, tx, rx)
+}
+
+/// Spawns `actor` on a dedicated thread with a **bounded** mailbox of
+/// `capacity` messages (floored at 1).
+///
+/// Backpressure, not buffering: a `tell` or `ask` issued while the
+/// mailbox is full *blocks the producer* until the actor drains a slot.
+/// This is what keeps a fast producer (e.g. a load generator pumping
+/// inference batches) from growing an unbounded queue behind a slow
+/// consumer — the §5 concern that a busy trainer must not let the
+/// inference queue eat all memory. Message order is unchanged: arrival
+/// order, exactly as with [`spawn`].
+pub fn spawn_bounded<A: Actor>(
+    name: impl Into<String>,
+    actor: A,
+    capacity: usize,
+) -> ActorHandle<A> {
+    let (tx, rx): (Sender<Envelope<A>>, Receiver<Envelope<A>>) = bounded(capacity.max(1));
+    spawn_on(name.into(), actor, tx, rx)
+}
+
+/// The shared dispatch loop of [`spawn`] and [`spawn_bounded`]: one
+/// thread, messages handled strictly in arrival order.
+fn spawn_on<A: Actor>(
+    name: String,
+    mut actor: A,
+    tx: Sender<Envelope<A>>,
+    rx: Receiver<Envelope<A>>,
+) -> ActorHandle<A> {
     let thread_name = name.clone();
     let join = std::thread::Builder::new()
         .name(thread_name)
@@ -278,6 +307,78 @@ mod tests {
         h.stop();
         // After stop, the address reports the actor as gone.
         assert_eq!(addr2.tell(CounterMsg::Add(1)), Err(ActorError::Stopped));
+    }
+
+    /// An actor that must be explicitly released (one token per message)
+    /// before it processes anything — a deterministic stand-in for "the
+    /// consumer is busy" without sleeping and hoping.
+    struct Gated {
+        release: Receiver<()>,
+        seen: Vec<u64>,
+    }
+
+    enum GatedMsg {
+        Record(u64),
+        Seen,
+    }
+
+    impl Actor for Gated {
+        type Msg = GatedMsg;
+        type Reply = Vec<u64>;
+
+        fn handle(&mut self, msg: GatedMsg) -> Vec<u64> {
+            match msg {
+                GatedMsg::Record(v) => {
+                    self.release.recv().expect("gate token");
+                    self.seen.push(v);
+                    Vec::new()
+                }
+                GatedMsg::Seen => self.seen.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_mailbox_blocks_producer_instead_of_growing() {
+        // Backpressure contract: with a capacity-2 mailbox and a stalled
+        // consumer, a producer pumping 10 messages must get stuck after
+        // at most 3 sends (1 in the handler + 2 queued) — the queue must
+        // NOT absorb all 10. Releasing the gate then drains everything,
+        // in order.
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let h = spawn_bounded("gated", Gated { release: gate_rx, seen: Vec::new() }, 2);
+        let addr = h.address();
+        let sent = std::sync::Arc::new(AtomicU64::new(0));
+        let sent_in_producer = std::sync::Arc::clone(&sent);
+        let producer = std::thread::spawn(move || {
+            for v in 0..10 {
+                addr.tell(GatedMsg::Record(v)).unwrap();
+                sent_in_producer.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Give the producer ample time to run ahead if the mailbox were
+        // unbounded; with the gate closed it can complete at most 3 sends.
+        std::thread::sleep(Duration::from_millis(150));
+        let stuck_at = sent.load(Ordering::SeqCst);
+        assert!(stuck_at <= 3, "producer sent {stuck_at} messages past a full capacity-2 mailbox");
+        // Release one token per message: the producer unblocks and every
+        // message is processed in arrival order.
+        for _ in 0..10 {
+            gate_tx.send(()).unwrap();
+        }
+        producer.join().unwrap();
+        let seen = h.ask(GatedMsg::Seen).unwrap();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>(), "order must be preserved");
+        h.stop();
+    }
+
+    #[test]
+    fn bounded_capacity_is_floored_at_one() {
+        let h = spawn_bounded("counter", Counter { count: 0 }, 0);
+        assert_eq!(h.ask(CounterMsg::Add(1)).unwrap(), 1);
+        h.stop();
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //!
 //! Implemented: typed actors, blocking ask, ordered mailboxes, panic
 //! supervision with state rebuild, named registries with coordinated
-//! shutdown. Omitted: distribution across machines, actor migration,
-//! backpressure-bounded mailboxes — none are needed for a single edge
-//! server.
+//! shutdown, and backpressure-bounded mailboxes ([`spawn_bounded`],
+//! [`spawn_supervised_bounded`]) so a slow consumer (a trainer hogging
+//! its thread) blocks producers instead of growing an unbounded queue.
+//! Omitted: distribution across machines, actor migration — neither is
+//! needed for a single edge server.
 
 pub mod actor;
 pub mod supervisor;
 pub mod system;
 
-pub use actor::{spawn, Actor, ActorError, ActorHandle, Address};
-pub use supervisor::{spawn_supervised, SupervisedHandle, SupervisorStats};
+pub use actor::{spawn, spawn_bounded, Actor, ActorError, ActorHandle, Address};
+pub use supervisor::{
+    spawn_supervised, spawn_supervised_bounded, SupervisedHandle, SupervisorStats,
+};
 pub use system::ActorSystem;

@@ -7,8 +7,8 @@
 //! serving the remaining mailbox — the asker whose request caused the
 //! panic observes [`ActorError::Panicked`].
 
-use crate::actor::{Actor, ActorError, ActorHandle, Envelope};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::actor::{Actor, ActorError, ActorHandle, Address, Envelope};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -41,6 +41,13 @@ impl<A: Actor> SupervisedHandle<A> {
         self.handle.ask(msg)
     }
 
+    /// A cloneable address for this actor (see [`ActorHandle::address`]).
+    /// Sends through the address get the same supervision: a panic
+    /// surfaces as [`ActorError::Panicked`] and the actor restarts.
+    pub fn address(&self) -> Address<A> {
+        self.handle.address()
+    }
+
     /// Current restart/handled counters.
     pub fn stats(&self) -> SupervisorStats {
         *self.stats.lock()
@@ -59,8 +66,42 @@ where
     A: Actor,
     F: Fn() -> A + Send + 'static,
 {
-    let name = name.into();
     let (tx, rx): (Sender<Envelope<A>>, Receiver<Envelope<A>>) = unbounded();
+    supervise_on(name.into(), factory, tx, rx)
+}
+
+/// Spawns a supervised actor with a **bounded** mailbox of `capacity`
+/// messages (floored at 1): [`spawn_supervised`]'s failure recovery plus
+/// [`crate::spawn_bounded`]'s producer backpressure. A restart does not
+/// disturb the mailbox — the channel outlives the actor state, so
+/// messages queued behind a panic are served in their original order by
+/// the rebuilt actor.
+pub fn spawn_supervised_bounded<A, F>(
+    name: impl Into<String>,
+    factory: F,
+    capacity: usize,
+) -> SupervisedHandle<A>
+where
+    A: Actor,
+    F: Fn() -> A + Send + 'static,
+{
+    let (tx, rx): (Sender<Envelope<A>>, Receiver<Envelope<A>>) = bounded(capacity.max(1));
+    supervise_on(name.into(), factory, tx, rx)
+}
+
+/// The shared supervise loop of [`spawn_supervised`] and
+/// [`spawn_supervised_bounded`]: rebuild actor state on panic, keep
+/// draining the same mailbox.
+fn supervise_on<A, F>(
+    name: String,
+    factory: F,
+    tx: Sender<Envelope<A>>,
+    rx: Receiver<Envelope<A>>,
+) -> SupervisedHandle<A>
+where
+    A: Actor,
+    F: Fn() -> A + Send + 'static,
+{
     let stats = Arc::new(Mutex::new(SupervisorStats::default()));
     let thread_stats = Arc::clone(&stats);
     let thread_name = name.clone();
@@ -179,6 +220,79 @@ mod tests {
         h.tell(FlakyMsg::Boom).unwrap();
         h.tell(FlakyMsg::Set(9)).unwrap(); // queued behind the panic
         assert_eq!(h.ask(FlakyMsg::Get).unwrap(), 9, "message after panic must be served");
+        h.stop();
+    }
+
+    /// An actor that records every value it was handed, so message order
+    /// is observable from the outside.
+    struct Recorder {
+        log: Arc<Mutex<Vec<i64>>>,
+    }
+
+    enum RecorderMsg {
+        Record(i64),
+        Boom,
+    }
+
+    impl Actor for Recorder {
+        type Msg = RecorderMsg;
+        type Reply = ();
+
+        fn handle(&mut self, msg: RecorderMsg) {
+            match msg {
+                RecorderMsg::Record(v) => self.log.lock().push(v),
+                RecorderMsg::Boom => panic!("injected failure"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_supervised_preserves_order_across_restart() {
+        // The bounded mailbox outlives the actor state: messages queued
+        // behind a panic must be served by the rebuilt actor in their
+        // original arrival order, with nothing dropped or reordered.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let factory_log = Arc::clone(&log);
+        let h = spawn_supervised_bounded(
+            "recorder",
+            move || Recorder { log: Arc::clone(&factory_log) },
+            4,
+        );
+        h.tell(RecorderMsg::Record(1)).unwrap();
+        h.tell(RecorderMsg::Record(2)).unwrap();
+        h.tell(RecorderMsg::Boom).unwrap();
+        h.tell(RecorderMsg::Record(3)).unwrap(); // queued behind the panic
+        h.tell(RecorderMsg::Record(4)).unwrap();
+        // Synchronise: the ask drains everything queued before it.
+        h.ask(RecorderMsg::Record(5)).unwrap();
+        assert_eq!(*log.lock(), vec![1, 2, 3, 4, 5], "order must survive the restart");
+        assert_eq!(h.stats().restarts, 1);
+        h.stop();
+    }
+
+    #[test]
+    fn bounded_supervised_panics_surface_to_asker() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let factory_log = Arc::clone(&log);
+        let h = spawn_supervised_bounded(
+            "recorder",
+            move || Recorder { log: Arc::clone(&factory_log) },
+            2,
+        );
+        assert_eq!(h.ask(RecorderMsg::Boom), Err(ActorError::Panicked));
+        h.ask(RecorderMsg::Record(1)).unwrap();
+        assert_eq!(*log.lock(), vec![1]);
+        assert_eq!(h.stats().restarts, 1);
+        h.stop();
+    }
+
+    #[test]
+    fn supervised_address_routes_and_survives_panics() {
+        let h = spawn_supervised("flaky", || Flaky { value: 3 });
+        let addr = h.address();
+        assert_eq!(addr.ask(FlakyMsg::Boom), Err(ActorError::Panicked));
+        assert_eq!(addr.ask(FlakyMsg::Get).unwrap(), 3, "address keeps working after restart");
+        assert_eq!(h.stats().restarts, 1);
         h.stop();
     }
 }

@@ -1,10 +1,11 @@
 //! Harness throughput benchmark + determinism guard.
 //!
-//! Measures the three gated quick workloads — the quick-mode Figure 6
-//! scenario grid, the quick-mode fig03 configuration sweep, and the
-//! quick-mode fig07 trace-replay grid — each twice: serial (1 worker)
-//! and parallel (≥4 workers), asserting the two passes produce
-//! **byte-identical** results. The run's records are appended as one
+//! Measures the four gated quick workloads — the quick-mode Figure 6
+//! scenario grid, the quick-mode fig03 configuration sweep, the
+//! quick-mode fig07 trace-replay grid, and the quick serving-path fleet
+//! (`serve_quick`: a 200-stream EdgeDaemon run) — each twice: serial
+//! (1 worker) and parallel (≥4 workers), asserting the two passes
+//! produce **byte-identical** results. The run's records are appended as one
 //! entry (stamped with `git describe`) to the perf trajectory
 //! `results/BENCH_series.json`; the CI perf gate (`ci/check_bench.sh` /
 //! `perf_gate`) gates the latest entry against `ci/bench_baseline.json`,
@@ -23,8 +24,8 @@
 
 use ekya_baselines::{PolicyBuildCtx, PolicySpec};
 use ekya_bench::{
-    append_bench_series, config_grid, fig06_grid, fig07_grid, run_grid, BenchRecord, ConfigSweep,
-    Grid, GridExec, Knobs, ReplayTraces,
+    append_bench_series, config_grid, fig06_grid, fig07_grid, run_fleet, run_grid, BenchRecord,
+    ConfigSweep, FleetConfig, Grid, GridExec, Knobs, ReplayTraces,
 };
 use ekya_video::StreamSet;
 use std::time::Instant;
@@ -193,9 +194,54 @@ fn main() {
         fig07.serial_wall_secs, fig07.parallel_wall_secs, fig07.speedup, fig07.cells_per_sec
     );
 
-    let mut records = vec![fig06, fig03, fig07];
+    // Fourth gated workload: the serving path — a full quick fleet
+    // (default 200 concurrent streams) driven through the EdgeDaemon for
+    // EKYA_WINDOWS retraining windows, serial shape (1 shard / 1 trainer
+    // / 1 planner thread) vs parallel shape. The daemon's report carries
+    // only the logical serving plane, so the two shapes must agree byte
+    // for byte; throughput is stream-windows per second.
+    let live_streams = ekya_bench::knob::streams_live().unwrap_or(200);
+    let live_windows = knobs.windows(2);
+    let units = live_streams * live_windows;
+    eprintln!("[harness_bench: serve quick fleet — {live_streams} streams, serial pass]");
+    let started = Instant::now();
+    let (serial_serve, _) =
+        run_fleet(&FleetConfig::serial(live_streams, live_windows, knobs.seed()));
+    let serve_serial_secs = started.elapsed().as_secs_f64();
+    eprintln!("[harness_bench: serve quick fleet — parallel pass on {workers} workers]");
+    let started = Instant::now();
+    let (parallel_serve, _) =
+        run_fleet(&FleetConfig::parallel(live_streams, live_windows, knobs.seed(), workers));
+    let serve_parallel_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_serve, parallel_serve,
+        "parallel serving daemon diverged from serial daemon (structural)"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial_serve).expect("serialise"),
+        serde_json::to_string_pretty(&parallel_serve).expect("serialise"),
+        "parallel serving daemon diverged from serial daemon (serialized)"
+    );
 
-    // Fourth gated record, nightly lane only (EKYA_BENCH_FULL=1): the
+    let serve = BenchRecord {
+        name: "serve_quick".into(),
+        cells: units,
+        workers,
+        serial_wall_secs: serve_serial_secs,
+        parallel_wall_secs: serve_parallel_secs,
+        speedup: serve_serial_secs / serve_parallel_secs.max(1e-9),
+        cells_per_sec: units as f64 / serve_parallel_secs.max(1e-9),
+    };
+    println!(
+        "harness_bench: serve {live_streams} streams × {live_windows} windows · serial {:.2} s · \
+         parallel {:.2} s on {workers} workers · speedup {:.2}x · {:.2} stream-windows/s · \
+         serial ≡ parallel ✓",
+        serve.serial_wall_secs, serve.parallel_wall_secs, serve.speedup, serve.cells_per_sec
+    );
+
+    let mut records = vec![fig06, fig03, fig07, serve];
+
+    // Fifth gated record, nightly lane only (EKYA_BENCH_FULL=1): the
     // full-size fig06 grid. The quick records prove every fan-out path;
     // this one proves the speedup holds at real cell sizes and counts,
     // where per-cell work dwarfs dispatch overhead.

@@ -95,6 +95,30 @@ pub fn orch_crash_after() -> Option<usize> {
     std::env::var("EKYA_ORCH_CRASH_AFTER").ok().and_then(|v| v.parse().ok())
 }
 
+/// `EKYA_STREAMS_LIVE` — fleet size for the serving-path bins
+/// (`ekya_serve`, `ekya_loadgen`): how many concurrent camera streams
+/// the daemon admits. Unset means each bin's documented default.
+pub fn streams_live() -> Option<usize> {
+    std::env::var("EKYA_STREAMS_LIVE").ok().and_then(|v| v.parse().ok())
+}
+
+/// `EKYA_ARRIVAL` — frame-arrival pattern for the serving-path bins:
+/// `uniform` (default), `bursty`, or `staggered`. The raw string is
+/// returned so the bin can reject typos with a proper usage error.
+pub fn arrival() -> String {
+    std::env::var("EKYA_ARRIVAL").unwrap_or_else(|_| "uniform".to_string())
+}
+
+/// `EKYA_SERVE_CRASH_AFTER` — fault injection for the serving daemon:
+/// `ekya_serve` kills its own process (exit 17) in the middle of this
+/// window index, after retraining has been dispatched, so the
+/// crash-injection test can assert the last on-disk status snapshot is
+/// still a consistent prefix of the run. Unset (the production state)
+/// means never crash.
+pub fn serve_crash_after() -> Option<usize> {
+    std::env::var("EKYA_SERVE_CRASH_AFTER").ok().and_then(|v| v.parse().ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,10 +137,16 @@ mod tests {
         // every assertion about "production state" below is void.
         assert_eq!(std::env::var_os("EKYA_MIN_SPEEDUP"), None);
         assert_eq!(std::env::var_os("EKYA_ORCH_CRASH_AFTER"), None);
+        assert_eq!(std::env::var_os("EKYA_SERVE_CRASH_AFTER"), None);
+        assert_eq!(std::env::var_os("EKYA_STREAMS_LIVE"), None);
+        assert_eq!(std::env::var_os("EKYA_ARRIVAL"), None);
         assert_eq!(std::env::var_os("EKYA_BATCH"), None);
         assert_eq!(std::env::var_os("EKYA_BENCH_FULL"), None);
         assert_eq!(min_speedup(), None);
         assert_eq!(orch_crash_after(), None);
+        assert_eq!(serve_crash_after(), None);
+        assert_eq!(streams_live(), None);
+        assert_eq!(arrival(), "uniform");
         assert_eq!(bench_tolerance(), 0.25);
         assert_eq!(batch(), None);
         assert!(!bench_full());

@@ -27,6 +27,11 @@
 //! * `EKYA_RESULTS_DIR` — redirect `results/` (used by the
 //!   `ekya-orchestrate` supervisor to give each run its own directory).
 //!
+//! The serving-path bins (`ekya_serve`, `ekya_loadgen`; see [`serve`])
+//! additionally read `EKYA_STREAMS_LIVE` (fleet size), `EKYA_ARRIVAL`
+//! (frame-arrival pattern), and `EKYA_SERVE_CRASH_AFTER` (fault
+//! injection) via [`knob`].
+//!
 //! The shardable bins also have a declarative identity ([`bins`]) that
 //! the `ekya-orchestrate` crate's `ekya_grid` launcher uses to plan,
 //! spawn, supervise, and merge a whole sharded run with one command.
@@ -40,6 +45,7 @@ pub mod config_profile;
 pub mod grid;
 pub mod harness;
 pub mod knob;
+pub mod serve;
 
 pub use bins::{
     ablation_grid_for, ablation_policies, bin_workload, fig07_datasets, fig07_grid, fig07_grid_for,
@@ -63,6 +69,9 @@ pub use harness::{
 };
 
 pub use knob::env_f64;
+pub use serve::{
+    build_daemon, quick_fleet, quick_fleet_spec, run_fleet, FleetConfig, LoadgenReport,
+};
 
 use serde::Serialize;
 use std::path::PathBuf;

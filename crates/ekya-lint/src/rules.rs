@@ -91,6 +91,11 @@ impl Default for Config {
                 ("wallclock-in-cell", "crates/ekya-bench/src/bin/harness_bench.rs"),
                 ("wallclock-in-cell", "crates/ekya-bench/src/bin/scheduler_runtime.rs"),
                 ("wallclock-in-cell", "crates/ekya-bench/src/bin/fig10_delta.rs"),
+                // ekya_loadgen times the whole fleet run for its
+                // stream-windows/s throughput line; the wall-clock
+                // numbers go to loadgen_metrics.json, never into the
+                // deterministic serve_status.json snapshot.
+                ("wallclock-in-cell", "crates/ekya-bench/src/bin/ekya_loadgen.rs"),
                 // ekya_grid's status table renders Option<String> fields
                 // ("-" for absent) — display formatting, not metrics.
                 ("silent-default-metric", "crates/ekya-orchestrate/src/bin/ekya_grid.rs"),

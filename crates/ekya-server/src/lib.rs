@@ -10,18 +10,34 @@
 //! improved checkpoints into serving, with the micro-profiler and thief
 //! scheduler planning every window.
 //!
+//! Two deployment shapes share the trainer substrate:
+//! * [`EdgeServer`] — one inference actor and one trainer actor per
+//!   stream; the architectural proof at small scale.
+//! * [`EdgeDaemon`] — the multi-tenant serving path: a fixed pool of
+//!   bounded-mailbox inference shards multiplexing hundreds of admitted
+//!   streams, a supervised trainer pool, typed admission control, and a
+//!   deterministic status snapshot ([`StatusSnapshot`]).
+//!
 //! Implemented: inference/trainer actors, checkpoint hot-swaps with
 //! reload-time queueing, end-to-end windowed operation, liveness metrics
-//! (frames served during retraining). Omitted: real GPU binding and
-//! fractional-share enforcement — wall-clock threads share CPU, so timing
-//! fidelity (retraining durations under fractional allocations) is the
-//! job of `ekya-sim`'s virtual-time runner. Use this crate to validate
-//! the architecture; use `ekya-sim` to evaluate scheduling policy.
+//! (frames served during retraining), admission control and per-stream
+//! serving ledgers. Omitted: real GPU binding and fractional-share
+//! enforcement — wall-clock threads share CPU, so timing fidelity
+//! (retraining durations under fractional allocations) is the job of
+//! `ekya-sim`'s virtual-time runner. Use this crate to validate the
+//! architecture; use `ekya-sim` to evaluate scheduling policy.
 
 pub mod inference;
+pub mod metrics;
+pub mod serve;
 pub mod server;
 pub mod trainer;
 
 pub use inference::{InferenceActor, InferenceMsg, InferenceReply, InferenceStats};
+pub use metrics::{StatusSnapshot, StreamStatus};
+pub use serve::{
+    AdmissionError, ArrivalPattern, DaemonClient, EdgeDaemon, InferenceShard, ServeConfig,
+    ServeError, ServeWindowReport, ShardLive, ShardMsg, ShardReply,
+};
 pub use server::{EdgeServer, EdgeServerConfig, StreamWindowOutcome};
-pub use trainer::{TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply};
+pub use trainer::{SwapTarget, TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply};

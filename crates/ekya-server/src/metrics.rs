@@ -1,0 +1,213 @@
+//! The daemon's deterministic status plane.
+//!
+//! A live daemon has two kinds of numbers: wall-clock observations
+//! (frames actually classified while a trainer happened to be running)
+//! and the *logical* serving ledger (what the deterministic arrival
+//! model offered each stream, what the configured batch capacity served,
+//! what backlogged). Only the logical plane is serialised — that is what
+//! makes two runs with the same `EKYA_SEED` produce byte-identical
+//! status snapshots, which in turn is what lets the crash-injection test
+//! assert hard equalities against a snapshot recovered from a killed
+//! process.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stream serving ledger, deterministic for a fixed seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatus {
+    /// Stream id (admission order).
+    pub stream: u32,
+    /// Workload name of the stream's dataset (paper Table 1 families).
+    pub dataset: String,
+    /// Camera frame rate.
+    pub fps: f64,
+    /// Retraining windows completed for this stream.
+    pub windows_completed: u64,
+    /// Serving-model version: 0 at admission, +1 per checkpoint swap.
+    pub model_version: u64,
+    /// Frames the arrival model offered across completed windows.
+    pub frames_offered: u64,
+    /// Frames the logical batch capacity served.
+    pub frames_served: u64,
+    /// Frames still queued (offered − served).
+    pub frames_backlogged: u64,
+    /// Deepest logical queue observed at any tick.
+    pub peak_queue_depth: u64,
+    /// Worst queueing delay in ticks (peak depth / batch capacity).
+    pub peak_latency_ticks: u64,
+    /// Ground-truth accuracy of the serving model after the last
+    /// completed window.
+    pub accuracy: f64,
+    /// Windows in which the scheduler planned a retraining job.
+    pub retrains_planned: u64,
+    /// Retraining jobs that died (trainer panic) and were absorbed by
+    /// supervision.
+    pub retrains_failed: u64,
+    /// Checkpoints hot-swapped into serving.
+    pub checkpoints_swapped: u64,
+    /// Model megabits pulled over the link by those swaps.
+    pub swap_mbits: f64,
+    /// Seconds of link time those pulls cost (FIFO-scheduled).
+    pub swap_transfer_secs: f64,
+}
+
+/// One daemon-wide status snapshot: the JSON document `ekya_serve`
+/// writes after every completed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Base seed the daemon runs under.
+    pub seed: u64,
+    /// Admission capacity (maximum concurrent streams).
+    pub capacity: usize,
+    /// Windows the daemon has completed.
+    pub windows_completed: u64,
+    /// Streams admitted (== `streams.len()`).
+    pub admitted: usize,
+    /// Admission attempts rejected with a typed error.
+    pub rejected: u64,
+    /// Per-stream ledgers, ascending by stream id.
+    pub streams: Vec<StreamStatus>,
+}
+
+impl StatusSnapshot {
+    /// Checks the snapshot's internal consistency; returns every violated
+    /// invariant (empty means consistent). This is the contract the
+    /// crash-injection test holds a recovered snapshot to: whatever
+    /// window the process died in, the *last written* snapshot must
+    /// describe a complete prefix of the run.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.admitted != self.streams.len() {
+            errs.push(format!(
+                "admitted {} != streams listed {}",
+                self.admitted,
+                self.streams.len()
+            ));
+        }
+        if self.admitted > self.capacity {
+            errs.push(format!("admitted {} exceeds capacity {}", self.admitted, self.capacity));
+        }
+        for pair in self.streams.windows(2) {
+            if pair[0].stream >= pair[1].stream {
+                errs.push(format!(
+                    "stream ids not strictly ascending: {} then {}",
+                    pair[0].stream, pair[1].stream
+                ));
+            }
+        }
+        for s in &self.streams {
+            let tag = format!("stream#{}", s.stream);
+            if s.windows_completed != self.windows_completed {
+                errs.push(format!(
+                    "{tag}: windows_completed {} != daemon's {}",
+                    s.windows_completed, self.windows_completed
+                ));
+            }
+            if s.frames_offered != s.frames_served + s.frames_backlogged {
+                errs.push(format!(
+                    "{tag}: offered {} != served {} + backlogged {}",
+                    s.frames_offered, s.frames_served, s.frames_backlogged
+                ));
+            }
+            if s.model_version != s.checkpoints_swapped {
+                errs.push(format!(
+                    "{tag}: model_version {} != checkpoints_swapped {}",
+                    s.model_version, s.checkpoints_swapped
+                ));
+            }
+            if s.retrains_failed > s.retrains_planned {
+                errs.push(format!(
+                    "{tag}: retrains_failed {} > retrains_planned {}",
+                    s.retrains_failed, s.retrains_planned
+                ));
+            }
+            if s.peak_queue_depth > 0 && s.peak_latency_ticks == 0 {
+                errs.push(format!("{tag}: nonzero peak queue but zero peak latency"));
+            }
+            if !(0.0..=1.0).contains(&s.accuracy) {
+                errs.push(format!("{tag}: accuracy {} outside [0, 1]", s.accuracy));
+            }
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(id: u32) -> StreamStatus {
+        StreamStatus {
+            stream: id,
+            dataset: "Waymo".into(),
+            fps: 4.0,
+            windows_completed: 2,
+            model_version: 1,
+            frames_offered: 80,
+            frames_served: 70,
+            frames_backlogged: 10,
+            peak_queue_depth: 12,
+            peak_latency_ticks: 2,
+            accuracy: 0.8,
+            retrains_planned: 2,
+            retrains_failed: 0,
+            checkpoints_swapped: 1,
+            swap_mbits: 398.0,
+            swap_transfer_secs: 3.5,
+        }
+    }
+
+    fn snapshot() -> StatusSnapshot {
+        StatusSnapshot {
+            seed: 42,
+            capacity: 4,
+            windows_completed: 2,
+            admitted: 2,
+            rejected: 1,
+            streams: vec![stream(0), stream(1)],
+        }
+    }
+
+    #[test]
+    fn consistent_snapshot_validates_clean() {
+        assert_eq!(snapshot().validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn conservation_violation_is_reported() {
+        let mut snap = snapshot();
+        snap.streams[0].frames_served = 99;
+        let errs = snap.validate();
+        assert!(errs.iter().any(|e| e.contains("offered")), "got: {errs:?}");
+    }
+
+    #[test]
+    fn version_must_track_swaps() {
+        let mut snap = snapshot();
+        snap.streams[1].model_version = 7;
+        assert!(snap.validate().iter().any(|e| e.contains("model_version")));
+    }
+
+    #[test]
+    fn admitted_count_must_match_listing() {
+        let mut snap = snapshot();
+        snap.admitted = 3;
+        assert!(!snap.validate().is_empty());
+    }
+
+    #[test]
+    fn ids_must_ascend() {
+        let mut snap = snapshot();
+        snap.streams.swap(0, 1);
+        assert!(snap.validate().iter().any(|e| e.contains("ascending")));
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let snap = snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatusSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,998 @@
+//! The live multi-tenant serving daemon.
+//!
+//! [`crate::EdgeServer`] proves the paper's architecture with one
+//! inference actor and one trainer actor *per stream* — fine for tens of
+//! cameras, but two OS threads per camera does not admit the "hundreds
+//! of streams" a production edge box serves. [`EdgeDaemon`] is the
+//! serving-path shape: a small fixed pool of **inference shards** (each
+//! a bounded-mailbox actor multiplexing many stream slots and batching
+//! classification requests), a supervised **trainer pool** that absorbs
+//! panics without dropping any stream's serving, **admission control**
+//! with typed rejections, and checkpoint hot-swaps whose model pulls are
+//! accounted against an `ekya-net` link model.
+//!
+//! Two metric planes, deliberately separated:
+//! * the **logical plane** — a deterministic arrival/queue ledger
+//!   (offered, served, backlogged, peak depth) driven by
+//!   [`ArrivalPattern`] over fixed ticks — is what
+//!   [`EdgeDaemon::status_snapshot`] serialises; two runs with the same
+//!   seed produce byte-identical snapshots regardless of shard count or
+//!   thread timing;
+//! * the **live plane** — frames actually classified by the shards while
+//!   trainers ran — proves liveness under real concurrency and is
+//!   reported per window, never serialised.
+
+use crate::metrics::{StatusSnapshot, StreamStatus};
+use crate::trainer::{
+    SwapTarget, TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply,
+};
+use ekya_actors::{
+    spawn_bounded, spawn_supervised_bounded, Actor, ActorHandle, Address, SupervisedHandle,
+};
+use ekya_core::{
+    build_inference_profiles, default_inference_grid, default_retrain_grid, EkyaPolicy,
+    InferenceConfig, MicroProfiler, MicroProfilerParams, Policy, PolicyCtx, PolicyStream,
+    RetrainConfig, RetrainProfile, SchedulerParams, TrainHyper,
+};
+use ekya_net::{Direction, LinkModel, LinkScheduler, Transfer};
+use ekya_nn::continual::ExemplarMemory;
+use ekya_nn::cost::CostModel;
+use ekya_nn::data::{DataView, Sample};
+use ekya_nn::golden::{distill_labels, OracleTeacher};
+use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_video::{StreamId, VideoDataset};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Why the daemon refused to admit a stream. Rejection is immediate and
+/// typed — a stream beyond capacity is *not* queued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionError {
+    /// The daemon already serves its maximum number of streams.
+    CapacityExceeded {
+        /// The configured stream capacity.
+        capacity: usize,
+    },
+    /// Admitting the stream would push aggregate offered load past the
+    /// daemon's serving-rate budget.
+    RateExceeded {
+        /// Aggregate fps including the rejected stream.
+        offered_fps: f64,
+        /// The configured fps budget.
+        capacity_fps: f64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::CapacityExceeded { capacity } => {
+                write!(f, "stream capacity {capacity} exhausted")
+            }
+            AdmissionError::RateExceeded { offered_fps, capacity_fps } => {
+                write!(
+                    f,
+                    "aggregate load {offered_fps:.1} fps exceeds budget {capacity_fps:.1} fps"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A serving-path request failure, as seen by [`DaemonClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The daemon (or its shard) has shut down.
+    Unavailable,
+    /// No admitted stream has this id.
+    UnknownStream,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Unavailable => write!(f, "serving daemon unavailable"),
+            ServeError::UnknownStream => write!(f, "unknown stream"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Deterministic frame-arrival shapes for the logical serving ledger.
+/// Pure integer arithmetic on (stream, window, tick) — no RNG, no clock —
+/// so every run with the same fleet produces the same ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalPattern {
+    /// Frames spread evenly across the window's ticks.
+    Uniform,
+    /// The whole window's frames arrive in the first quarter of its
+    /// ticks — the rush that exercises queue depth and backlog.
+    Bursty,
+    /// Uniform, but each stream's arrivals are phase-shifted by its id,
+    /// so shards never see all streams peak on the same tick.
+    Staggered,
+}
+
+impl ArrivalPattern {
+    /// Parses the operator spelling (`EKYA_ARRIVAL`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(Self::Uniform),
+            "bursty" => Some(Self::Bursty),
+            "staggered" => Some(Self::Staggered),
+            _ => None,
+        }
+    }
+
+    /// Frames stream `stream` offers at tick `tick` of a window with
+    /// `frames` total frames over `ticks` ticks. Summed over all ticks
+    /// this is exactly `frames`, whatever the pattern.
+    pub fn arrivals(self, stream: u32, tick: usize, ticks: usize, frames: u64) -> u64 {
+        let ticks = ticks.max(1);
+        let spread = |active: usize, pos: usize| -> u64 {
+            // `frames` split evenly over `active` slots, remainder to the
+            // earliest slots.
+            let base = frames / active as u64;
+            let extra = frames % active as u64;
+            base + u64::from((pos as u64) < extra)
+        };
+        match self {
+            Self::Uniform => spread(ticks, tick),
+            Self::Bursty => {
+                let rush = ticks.div_ceil(4);
+                if tick < rush {
+                    spread(rush, tick)
+                } else {
+                    0
+                }
+            }
+            Self::Staggered => {
+                let pos = (tick + ticks - (stream as usize % ticks)) % ticks;
+                spread(ticks, pos)
+            }
+        }
+    }
+}
+
+/// Configuration of the serving daemon.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Total GPUs assumed by the thief scheduler.
+    pub total_gpus: f64,
+    /// Maximum concurrent streams the daemon admits.
+    pub capacity: usize,
+    /// Aggregate fps budget across admitted streams
+    /// (`f64::INFINITY` disables the rate check).
+    pub serve_fps_capacity: f64,
+    /// Inference shards (each one bounded-mailbox actor thread).
+    pub infer_shards: usize,
+    /// Supervised trainer actors in the pool.
+    pub trainer_shards: usize,
+    /// Threads fanning out the per-stream label/profile/evaluate work at
+    /// each window boundary.
+    pub planner_workers: usize,
+    /// Bounded mailbox capacity per inference shard (backpressure: a
+    /// producer pumping faster than a shard drains blocks instead of
+    /// growing an unbounded queue).
+    pub shard_mailbox: usize,
+    /// Frames per logical serving batch (the per-tick service capacity
+    /// of the ledger and the chunk size of live pumping).
+    pub batch_size: usize,
+    /// Logical ticks per retraining window.
+    pub ticks_per_window: usize,
+    /// Frame-arrival shape for the logical ledger.
+    pub arrival: ArrivalPattern,
+    /// Thief-scheduler parameters.
+    pub scheduler: SchedulerParams,
+    /// Micro-profiler parameters.
+    pub profiler: MicroProfilerParams,
+    /// GPU cost model (duration estimates + model size for swap pulls).
+    pub cost: CostModel,
+    /// Candidate retraining configurations.
+    pub retrain_grid: Vec<RetrainConfig>,
+    /// Candidate inference configurations.
+    pub inference_grid: Vec<InferenceConfig>,
+    /// SGD hyperparameters.
+    pub hyper: TrainHyper,
+    /// Golden-model label error rate.
+    pub teacher_error_rate: f64,
+    /// iCaRL exemplar capacity per class.
+    pub exemplar_per_class: usize,
+    /// Checkpoint cadence for trainer hot-swaps.
+    pub checkpoint_every: Option<u32>,
+    /// Simulated weight-reload time per swap.
+    pub swap_reload: Duration,
+    /// Link model the checkpoint pulls are accounted against.
+    pub link: LinkModel,
+    /// Base seed.
+    pub seed: u64,
+    /// Fault injection: kill the process (exit 17) in the middle of this
+    /// window, after retraining has been dispatched and at least one
+    /// live batch served. `None` — the production state — never crashes.
+    pub crash_mid_window: Option<usize>,
+}
+
+impl ServeConfig {
+    /// Paper-default serving configuration for a given GPU count.
+    pub fn new(total_gpus: f64) -> Self {
+        Self {
+            total_gpus,
+            capacity: 16,
+            serve_fps_capacity: f64::INFINITY,
+            infer_shards: 2,
+            trainer_shards: 2,
+            planner_workers: 2,
+            shard_mailbox: 128,
+            batch_size: 16,
+            ticks_per_window: 20,
+            arrival: ArrivalPattern::Uniform,
+            scheduler: SchedulerParams::new(total_gpus),
+            profiler: MicroProfilerParams::default(),
+            cost: CostModel::default(),
+            retrain_grid: default_retrain_grid(),
+            inference_grid: default_inference_grid(),
+            hyper: TrainHyper::default(),
+            teacher_error_rate: 0.02,
+            exemplar_per_class: 20,
+            checkpoint_every: Some(5),
+            swap_reload: Duration::from_millis(5),
+            link: LinkModel::cellular(),
+            seed: 0,
+            crash_mid_window: None,
+        }
+    }
+
+    /// Quick preset: pruned grids and light profiling so hundreds of
+    /// streams fit a smoke run (pair with a small fleet spec, e.g.
+    /// `ekya-bench`'s quick fleets).
+    pub fn quick(total_gpus: f64) -> Self {
+        Self {
+            retrain_grid: vec![
+                RetrainConfig {
+                    epochs: 3,
+                    batch_size: 8,
+                    last_layer_neurons: 16,
+                    layers_trained: 2,
+                    data_fraction: 1.0,
+                },
+                RetrainConfig {
+                    epochs: 6,
+                    batch_size: 8,
+                    last_layer_neurons: 16,
+                    layers_trained: 2,
+                    data_fraction: 1.0,
+                },
+            ],
+            inference_grid: vec![
+                InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
+                InferenceConfig { frame_sampling: 0.5, resolution: 1.0 },
+                InferenceConfig { frame_sampling: 0.25, resolution: 0.5 },
+            ],
+            profiler: MicroProfilerParams {
+                profile_epochs: 2,
+                profile_data_fraction: 0.5,
+                ..MicroProfilerParams::default()
+            },
+            checkpoint_every: Some(2),
+            swap_reload: Duration::ZERO,
+            batch_size: 8,
+            ticks_per_window: 8,
+            ..Self::new(total_gpus)
+        }
+    }
+}
+
+struct Slot {
+    model: Mlp,
+    version: u64,
+    num_classes: usize,
+    config: InferenceConfig,
+}
+
+/// Live counters of one shard (wall plane, never serialised).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLive {
+    /// Frames classified since spawn.
+    pub served: u64,
+    /// Checkpoint swaps applied.
+    pub swaps: u64,
+}
+
+/// Messages understood by an inference shard.
+pub enum ShardMsg {
+    /// Install a new stream slot.
+    Admit {
+        /// Stream id.
+        stream: u32,
+        /// Initial serving model.
+        model: Box<Mlp>,
+        /// Number of classes.
+        num_classes: usize,
+    },
+    /// Classify a batch of frames for one stream.
+    ClassifyBatch {
+        /// Stream id.
+        stream: u32,
+        /// The frames.
+        frames: Vec<Sample>,
+    },
+    /// Hot-swap a stream's serving model; bumps its version.
+    Swap {
+        /// Stream id.
+        stream: u32,
+        /// The new model.
+        model: Box<Mlp>,
+        /// Simulated weight-reload duration.
+        reload: Duration,
+    },
+    /// Measure a stream's serving accuracy on a labelled batch.
+    Evaluate {
+        /// Stream id.
+        stream: u32,
+        /// The labelled batch.
+        batch: Vec<Sample>,
+    },
+    /// A copy of a stream's serving model and version.
+    GetModel {
+        /// Stream id.
+        stream: u32,
+    },
+    /// Change a stream's inference configuration.
+    SetConfig {
+        /// Stream id.
+        stream: u32,
+        /// The new configuration.
+        config: InferenceConfig,
+    },
+    /// Current live counters.
+    LiveStats,
+}
+
+/// Replies from an inference shard.
+pub enum ShardReply {
+    /// Slot installed.
+    Admitted,
+    /// Predictions plus the model version that produced them.
+    Predictions {
+        /// Predicted classes, one per frame.
+        preds: Vec<usize>,
+        /// Serving-model version used.
+        version: u64,
+    },
+    /// Swap applied; the slot's new version.
+    Swapped {
+        /// Version after the swap.
+        version: u64,
+    },
+    /// Accuracy for `Evaluate`.
+    Accuracy(f64),
+    /// Model copy and version for `GetModel`.
+    Model {
+        /// The serving model.
+        model: Box<Mlp>,
+        /// Its version.
+        version: u64,
+    },
+    /// Configuration updated.
+    ConfigSet,
+    /// Live counters.
+    Live(ShardLive),
+    /// The stream id has no slot on this shard.
+    NoSuchStream,
+}
+
+/// One inference shard: a single actor thread multiplexing many stream
+/// slots. Batching is intrinsic — every classify request carries a batch
+/// and the whole batch runs under one mailbox dequeue.
+#[derive(Default)]
+pub struct InferenceShard {
+    slots: BTreeMap<u32, Slot>,
+    live: ShardLive,
+}
+
+impl Actor for InferenceShard {
+    type Msg = ShardMsg;
+    type Reply = ShardReply;
+
+    fn handle(&mut self, msg: ShardMsg) -> ShardReply {
+        match msg {
+            ShardMsg::Admit { stream, model, num_classes } => {
+                self.slots.insert(
+                    stream,
+                    Slot {
+                        model: *model,
+                        version: 0,
+                        num_classes,
+                        config: InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
+                    },
+                );
+                ShardReply::Admitted
+            }
+            ShardMsg::ClassifyBatch { stream, frames } => match self.slots.get(&stream) {
+                Some(slot) => {
+                    self.live.served += frames.len() as u64;
+                    ShardReply::Predictions {
+                        preds: slot.model.predict(&frames),
+                        version: slot.version,
+                    }
+                }
+                None => ShardReply::NoSuchStream,
+            },
+            ShardMsg::Swap { stream, model, reload } => match self.slots.get_mut(&stream) {
+                Some(slot) => {
+                    if !reload.is_zero() {
+                        std::thread::sleep(reload);
+                    }
+                    slot.model = *model;
+                    slot.version += 1;
+                    self.live.swaps += 1;
+                    ShardReply::Swapped { version: slot.version }
+                }
+                None => ShardReply::NoSuchStream,
+            },
+            ShardMsg::Evaluate { stream, batch } => match self.slots.get(&stream) {
+                Some(slot) => ShardReply::Accuracy(
+                    slot.model.accuracy(DataView::new(&batch, slot.num_classes)),
+                ),
+                None => ShardReply::NoSuchStream,
+            },
+            ShardMsg::GetModel { stream } => match self.slots.get(&stream) {
+                Some(slot) => {
+                    ShardReply::Model { model: Box::new(slot.model.clone()), version: slot.version }
+                }
+                None => ShardReply::NoSuchStream,
+            },
+            ShardMsg::SetConfig { stream, config } => match self.slots.get_mut(&stream) {
+                Some(slot) => {
+                    slot.config = config;
+                    ShardReply::ConfigSet
+                }
+                None => ShardReply::NoSuchStream,
+            },
+            ShardMsg::LiveStats => ShardReply::Live(self.live),
+        }
+    }
+}
+
+/// A cloneable client for sending live inference traffic to the daemon
+/// from any thread, concurrent with retraining windows.
+#[derive(Clone)]
+pub struct DaemonClient {
+    shards: Vec<Address<InferenceShard>>,
+}
+
+impl DaemonClient {
+    /// Classifies a batch of frames for `stream`; returns the predictions
+    /// and the serving-model version that produced them.
+    pub fn classify(
+        &self,
+        stream: StreamId,
+        frames: Vec<Sample>,
+    ) -> Result<(Vec<usize>, u64), ServeError> {
+        let shard = &self.shards[stream.0 as usize % self.shards.len()];
+        match shard.ask(ShardMsg::ClassifyBatch { stream: stream.0, frames }) {
+            Ok(ShardReply::Predictions { preds, version }) => Ok((preds, version)),
+            Ok(ShardReply::NoSuchStream) => Err(ServeError::UnknownStream),
+            _ => Err(ServeError::Unavailable),
+        }
+    }
+}
+
+/// What one window did to one stream (wall + logical planes combined;
+/// only the logical parts also appear in the status snapshot).
+#[derive(Debug, Clone)]
+pub struct ServeWindowReport {
+    /// Stream identity.
+    pub id: StreamId,
+    /// Whether the scheduler planned a retraining job.
+    pub retrained: bool,
+    /// Whether that job died (and was absorbed by supervision).
+    pub retrain_failed: bool,
+    /// Checkpoints hot-swapped into serving this window.
+    pub checkpoints_swapped: u64,
+    /// Ground-truth accuracy of the serving model at window end.
+    pub accuracy: f64,
+    /// Live-plane frames classified by the daemon's own pump while the
+    /// trainer pool was busy (the liveness signal; wall-clock dependent).
+    pub live_served_during_training: u64,
+}
+
+struct StreamState {
+    id: StreamId,
+    ds: VideoDataset,
+    teacher: OracleTeacher,
+    memory: ExemplarMemory,
+    profiler: MicroProfiler,
+    status: StreamStatus,
+}
+
+struct PhaseAOut {
+    pool: Vec<Sample>,
+    sys_val: Vec<Sample>,
+    model: Mlp,
+    serving_sys: f64,
+    profiles: Vec<RetrainProfile>,
+}
+
+/// One waiter thread per trainer: feeds its job queue sequentially and
+/// returns `(stream index, outcome)` pairs (`None` = trainer panicked).
+type TrainWaiter = std::thread::JoinHandle<Vec<(usize, Option<TrainOutcome>)>>;
+
+/// The long-running multi-tenant serving daemon.
+pub struct EdgeDaemon {
+    cfg: ServeConfig,
+    shards: Vec<ActorHandle<InferenceShard>>,
+    trainers: Vec<SupervisedHandle<TrainerActor>>,
+    streams: Vec<StreamState>,
+    rejected: u64,
+    window_idx: usize,
+    link: LinkScheduler,
+    faults: BTreeSet<u32>,
+}
+
+impl EdgeDaemon {
+    /// Boots the daemon with no streams admitted: `infer_shards` bounded
+    /// inference shards and `trainer_shards` supervised trainers.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let shards = (0..cfg.infer_shards.max(1))
+            .map(|i| {
+                spawn_bounded(
+                    format!("infer-shard-{i}"),
+                    InferenceShard::default(),
+                    cfg.shard_mailbox,
+                )
+            })
+            .collect();
+        let trainers = (0..cfg.trainer_shards.max(1))
+            .map(|i| spawn_supervised_bounded(format!("trainer-{i}"), || TrainerActor, 2))
+            .collect();
+        let link = LinkScheduler::new(cfg.link);
+        Self {
+            cfg,
+            shards,
+            trainers,
+            streams: Vec::new(),
+            rejected: 0,
+            window_idx: 0,
+            faults: BTreeSet::new(),
+            link,
+        }
+    }
+
+    fn shard_for(&self, stream: u32) -> &ActorHandle<InferenceShard> {
+        &self.shards[stream as usize % self.shards.len()]
+    }
+
+    /// Admits a camera stream, or rejects it with a typed error (counted
+    /// in the snapshot's `rejected`). Admission happens before serving
+    /// starts: all streams share the daemon's window cursor.
+    ///
+    /// # Panics
+    /// Panics when called after [`EdgeDaemon::run_window`] — mid-run
+    /// admission would desynchronise the per-stream window ledgers.
+    pub fn admit(&mut self, ds: VideoDataset) -> Result<StreamId, AdmissionError> {
+        assert_eq!(self.window_idx, 0, "admission after serving starts is not supported");
+        if self.streams.len() >= self.cfg.capacity {
+            self.rejected += 1;
+            return Err(AdmissionError::CapacityExceeded { capacity: self.cfg.capacity });
+        }
+        let offered_fps: f64 =
+            self.streams.iter().map(|s| s.ds.spec.fps).sum::<f64>() + ds.spec.fps;
+        if offered_fps > self.cfg.serve_fps_capacity {
+            self.rejected += 1;
+            return Err(AdmissionError::RateExceeded {
+                offered_fps,
+                capacity_fps: self.cfg.serve_fps_capacity,
+            });
+        }
+        let id = StreamId(self.streams.len() as u32);
+        let seed = self.cfg.seed.wrapping_add(7919 * id.0 as u64);
+        let model = Mlp::new(MlpArch::edge(ds.feature_dim, ds.num_classes, 16), seed);
+        let reply = self
+            .shard_for(id.0)
+            .ask(ShardMsg::Admit {
+                stream: id.0,
+                model: Box::new(model),
+                num_classes: ds.num_classes,
+            })
+            .expect("shard alive at admission");
+        assert!(matches!(reply, ShardReply::Admitted));
+        let status = StreamStatus {
+            stream: id.0,
+            dataset: ds.spec.kind.name().to_string(),
+            fps: ds.spec.fps,
+            windows_completed: 0,
+            model_version: 0,
+            frames_offered: 0,
+            frames_served: 0,
+            frames_backlogged: 0,
+            peak_queue_depth: 0,
+            peak_latency_ticks: 0,
+            accuracy: 0.0,
+            retrains_planned: 0,
+            retrains_failed: 0,
+            checkpoints_swapped: 0,
+            swap_mbits: 0.0,
+            swap_transfer_secs: 0.0,
+        };
+        self.streams.push(StreamState {
+            id,
+            teacher: OracleTeacher::new(self.cfg.teacher_error_rate, ds.num_classes, seed ^ 0xC0),
+            memory: ExemplarMemory::new(ds.num_classes, self.cfg.exemplar_per_class),
+            profiler: MicroProfiler::new(self.cfg.profiler, self.cfg.cost.clone(), seed ^ 0xB00),
+            status,
+            ds,
+        });
+        Ok(id)
+    }
+
+    /// Number of admitted streams.
+    pub fn admitted(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Index of the next window to run.
+    pub fn window_idx(&self) -> usize {
+        self.window_idx
+    }
+
+    /// A client handle for live inference traffic, usable from any
+    /// thread concurrently with [`EdgeDaemon::run_window`].
+    pub fn client(&self) -> DaemonClient {
+        DaemonClient { shards: self.shards.iter().map(|h| h.address()).collect() }
+    }
+
+    /// Marks `stream` so its *next* planned retraining job panics after
+    /// one epoch (before any checkpoint lands) — the supervised-recovery
+    /// test path. One-shot: the mark clears when consumed.
+    pub fn inject_trainer_fault(&mut self, stream: StreamId) {
+        self.faults.insert(stream.0);
+    }
+
+    /// Total trainer restarts absorbed by supervision.
+    pub fn trainer_restarts(&self) -> u64 {
+        self.trainers.iter().map(|t| t.stats().restarts).sum()
+    }
+
+    /// Aggregate live-plane counters across all shards.
+    pub fn live_stats(&self) -> ShardLive {
+        let mut total = ShardLive::default();
+        for shard in &self.shards {
+            if let Ok(ShardReply::Live(l)) = shard.ask(ShardMsg::LiveStats) {
+                total.served += l.served;
+                total.swaps += l.swaps;
+            }
+        }
+        total
+    }
+
+    /// Runs one retraining window online: micro-profile + thief-schedule
+    /// across all admitted streams, dispatch retraining to the supervised
+    /// pool, keep pumping live inference batches while trainers run,
+    /// credit hot-swaps (with link accounting), and advance every
+    /// stream's logical serving ledger.
+    ///
+    /// # Panics
+    /// Panics when any admitted stream's dataset has no more windows.
+    pub fn run_window(&mut self) -> Vec<ServeWindowReport> {
+        let w_idx = self.window_idx;
+        let n = self.streams.len();
+        for st in &self.streams {
+            assert!(
+                w_idx < st.ds.num_windows(),
+                "no window {w_idx} for {}: dataset holds {}",
+                st.id,
+                st.ds.num_windows()
+            );
+        }
+
+        // ---- Phase A: label, measure, profile — fanned across planner
+        // workers. Results land by stream index, so worker count cannot
+        // change a byte of the outcome.
+        let prep = self.phase_a(w_idx);
+
+        // ---- Phase B: plan (pure).
+        let infer_profiles: Vec<_> = (0..n)
+            .map(|s| {
+                build_inference_profiles(
+                    &self.cfg.cost,
+                    self.cfg.cost.size_factor(&prep[s].model),
+                    self.streams[s].ds.spec.fps,
+                    &self.cfg.inference_grid,
+                )
+            })
+            .collect();
+        let window_secs = self.streams.first().map(|st| st.ds.spec.window_secs).unwrap_or(200.0);
+        let ctx = PolicyCtx {
+            window_idx: w_idx,
+            window_secs,
+            total_gpus: self.cfg.total_gpus,
+            streams: (0..n)
+                .map(|s| {
+                    let w = self.streams[s].ds.window(w_idx);
+                    PolicyStream {
+                        id: self.streams[s].id,
+                        fps: self.streams[s].ds.spec.fps,
+                        serving_accuracy: prep[s].serving_sys,
+                        class_dist: &w.class_dist,
+                        drift_magnitude: w.drift_from_prev,
+                        retrain_profiles: &prep[s].profiles,
+                        infer_profiles: &infer_profiles[s],
+                    }
+                })
+                .collect(),
+        };
+        let mut policy = EkyaPolicy::new(self.cfg.scheduler);
+        let plan = policy.plan_window(&ctx);
+
+        // ---- Phase C: dispatch retraining round-robin over the
+        // supervised pool; one waiter thread per trainer drains its jobs
+        // in order.
+        for (s, st) in self.streams.iter().enumerate() {
+            let _ = self
+                .shard_for(st.id.0)
+                .ask(ShardMsg::SetConfig { stream: st.id.0, config: plan.streams[s].infer_config });
+        }
+        let mut queues: Vec<Vec<(usize, TrainJobSpec)>> =
+            (0..self.trainers.len()).map(|_| Vec::new()).collect();
+        let mut planned = vec![false; n];
+        for (k, s) in (0..n).filter(|&s| plan.streams[s].retrain.is_some()).enumerate() {
+            let st = &mut self.streams[s];
+            planned[s] = true;
+            st.status.retrains_planned += 1;
+            let spec = TrainJobSpec {
+                base_model: prep[s].model.clone(),
+                pool: prep[s].pool.clone(),
+                config: plan.streams[s].retrain.expect("filtered on is_some").config,
+                num_classes: st.ds.num_classes,
+                hyper: self.cfg.hyper,
+                seed: self.cfg.seed.wrapping_add((w_idx as u64) << 20).wrapping_add(s as u64),
+                checkpoint_every: self.cfg.checkpoint_every,
+                swap_target: Some(SwapTarget::Shard {
+                    addr: self.shards[st.id.0 as usize % self.shards.len()].address(),
+                    stream: st.id.0,
+                }),
+                swap_reload: self.cfg.swap_reload,
+                val: prep[s].sys_val.clone(),
+                fail_after_epochs: self.faults.remove(&st.id.0).then_some(1),
+            };
+            queues[k % self.trainers.len()].push((s, spec));
+        }
+        let waiters: Vec<TrainWaiter> = queues
+            .into_iter()
+            .zip(self.trainers.iter())
+            .map(|(jobs, trainer)| {
+                let addr = trainer.address();
+                std::thread::spawn(move || {
+                    jobs.into_iter()
+                        .map(|(s, spec)| {
+                            let out = match addr.ask(TrainerMsg::Run(Box::new(spec))) {
+                                Ok(TrainerReply::Done(out)) => Some(*out),
+                                Err(_) => None, // panicked; supervisor restarted it
+                            };
+                            (s, out)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+
+        // ---- Phase D: pump live inference batches while trainers run
+        // (the wall plane: real concurrency, counted but never
+        // serialised).
+        let mut live_served = vec![0u64; n];
+        let mut cursor = 0usize;
+        if self.cfg.crash_mid_window == Some(w_idx) {
+            // Fault injection: die mid-window, after dispatch and one
+            // live pump round — the snapshot on disk must still be the
+            // previous window's consistent ledger.
+            self.pump_once(w_idx, cursor, &mut live_served);
+            std::process::exit(17);
+        }
+        while waiters.iter().any(|j| !j.is_finished()) {
+            self.pump_once(w_idx, cursor, &mut live_served);
+            cursor += self.cfg.batch_size;
+        }
+        let mut outcomes: Vec<Option<Option<TrainOutcome>>> = (0..n).map(|_| None).collect();
+        for waiter in waiters {
+            for (s, out) in waiter.join().expect("trainer waiter thread") {
+                outcomes[s] = Some(out);
+            }
+        }
+
+        // ---- Phase E: end-of-window measurement (fanned like Phase A):
+        // final serving model + ground-truth accuracy per stream.
+        let finals = self.phase_e(w_idx);
+
+        // ---- Phase F: credit swaps, account link transfers, advance the
+        // logical ledger — sequential in stream order, fully
+        // deterministic.
+        self.link.reset();
+        let mut reports = Vec::with_capacity(n);
+        for (s, (version, accuracy, model_mbits)) in finals.into_iter().enumerate() {
+            let st = &mut self.streams[s];
+            let swapped = version - st.status.model_version;
+            st.status.model_version = version;
+            st.status.checkpoints_swapped += swapped;
+            st.status.accuracy = accuracy;
+            for _ in 0..swapped {
+                let done = self.link.schedule(Transfer {
+                    tag: st.id.0,
+                    mbits: model_mbits,
+                    direction: Direction::Downlink,
+                    ready_at: 0.0,
+                });
+                st.status.swap_mbits += model_mbits;
+                st.status.swap_transfer_secs += done.finished_at - done.started_at;
+            }
+            let failed = planned[s] && matches!(outcomes[s], Some(None));
+            if failed {
+                st.status.retrains_failed += 1;
+            }
+
+            // Logical serving ledger for this window.
+            let frames = st.ds.window(w_idx).frames_total as u64;
+            let mut backlog = st.status.frames_backlogged;
+            for tick in 0..self.cfg.ticks_per_window {
+                backlog +=
+                    self.cfg.arrival.arrivals(st.id.0, tick, self.cfg.ticks_per_window, frames);
+                st.status.peak_queue_depth = st.status.peak_queue_depth.max(backlog);
+                let served_now = backlog.min(self.cfg.batch_size as u64);
+                backlog -= served_now;
+                st.status.frames_served += served_now;
+            }
+            st.status.frames_offered += frames;
+            st.status.frames_backlogged = backlog;
+            st.status.peak_latency_ticks =
+                st.status.peak_queue_depth.div_ceil(self.cfg.batch_size.max(1) as u64);
+            st.status.windows_completed += 1;
+
+            reports.push(ServeWindowReport {
+                id: st.id,
+                retrained: planned[s],
+                retrain_failed: failed,
+                checkpoints_swapped: swapped,
+                accuracy,
+                live_served_during_training: live_served[s],
+            });
+        }
+        self.window_idx += 1;
+        reports
+    }
+
+    /// One round of live pumping: a batch of this window's frames to
+    /// every stream's shard (blocking ask — replies are the proof of
+    /// liveness).
+    fn pump_once(&self, w_idx: usize, cursor: usize, live_served: &mut [u64]) {
+        for (s, st) in self.streams.iter().enumerate() {
+            let val = &st.ds.window(w_idx).val;
+            let frames: Vec<Sample> = val
+                .iter()
+                .cycle()
+                .skip(cursor % val.len().max(1))
+                .take(self.cfg.batch_size)
+                .cloned()
+                .collect();
+            if let Ok(ShardReply::Predictions { preds, .. }) =
+                self.shard_for(st.id.0).ask(ShardMsg::ClassifyBatch { stream: st.id.0, frames })
+            {
+                live_served[s] += preds.len() as u64;
+            }
+        }
+    }
+
+    /// Phase A body: per-stream label/profile/evaluate work, fanned over
+    /// `planner_workers` scoped threads in fixed index chunks.
+    fn phase_a(&mut self, w_idx: usize) -> Vec<PhaseAOut> {
+        let n = self.streams.len();
+        let workers = self.cfg.planner_workers.max(1).min(n.max(1));
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let mut outs: Vec<Option<PhaseAOut>> = (0..n).map(|_| None).collect();
+        let shard_addrs: Vec<Address<InferenceShard>> =
+            self.shards.iter().map(|h| h.address()).collect();
+        let nshards = shard_addrs.len();
+        let retrain_grid = &self.cfg.retrain_grid;
+        let base_seed = self.cfg.seed;
+        std::thread::scope(|scope| {
+            for (c, (states, slots)) in
+                self.streams.chunks_mut(chunk).zip(outs.chunks_mut(chunk)).enumerate()
+            {
+                let addrs = shard_addrs.clone();
+                scope.spawn(move || {
+                    for (i, (st, slot)) in states.iter_mut().zip(slots.iter_mut()).enumerate() {
+                        let s = c * chunk + i;
+                        let w = st.ds.window(w_idx);
+                        let fresh = distill_labels(&mut st.teacher, &w.train_pool);
+                        let pool = st.memory.training_mix(&fresh);
+                        let sys_val = distill_labels(&mut st.teacher, &w.val);
+                        let addr = &addrs[st.id.0 as usize % nshards];
+                        let Ok(ShardReply::Model { model, .. }) =
+                            addr.ask(ShardMsg::GetModel { stream: st.id.0 })
+                        else {
+                            unreachable!("admitted stream has a slot")
+                        };
+                        let serving_sys =
+                            model.accuracy(DataView::new(&sys_val, st.ds.num_classes));
+                        let profiled = st.profiler.profile(
+                            &model,
+                            &pool,
+                            &sys_val,
+                            retrain_grid,
+                            st.ds.num_classes,
+                            base_seed.wrapping_add((w_idx as u64) << 16).wrapping_add(s as u64),
+                        );
+                        st.memory.update(&fresh);
+                        *slot = Some(PhaseAOut {
+                            pool,
+                            sys_val,
+                            model: *model,
+                            serving_sys,
+                            profiles: profiled.profiles,
+                        });
+                    }
+                });
+            }
+        });
+        outs.into_iter().map(|o| o.expect("every stream prepared")).collect()
+    }
+
+    /// Phase E body: fetch each stream's post-swap serving model and
+    /// measure ground-truth accuracy, fanned like Phase A. Returns
+    /// `(version, accuracy, model_mbits)` per stream.
+    fn phase_e(&mut self, w_idx: usize) -> Vec<(u64, f64, f64)> {
+        let n = self.streams.len();
+        let workers = self.cfg.planner_workers.max(1).min(n.max(1));
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let mut outs: Vec<Option<(u64, f64, f64)>> = (0..n).map(|_| None).collect();
+        let shard_addrs: Vec<Address<InferenceShard>> =
+            self.shards.iter().map(|h| h.address()).collect();
+        let nshards = shard_addrs.len();
+        let cost = &self.cfg.cost;
+        std::thread::scope(|scope| {
+            for (states, slots) in self.streams.chunks(chunk).zip(outs.chunks_mut(chunk)) {
+                let addrs = shard_addrs.clone();
+                scope.spawn(move || {
+                    for (st, slot) in states.iter().zip(slots.iter_mut()) {
+                        let addr = &addrs[st.id.0 as usize % nshards];
+                        let Ok(ShardReply::Model { model, version }) =
+                            addr.ask(ShardMsg::GetModel { stream: st.id.0 })
+                        else {
+                            unreachable!("admitted stream has a slot")
+                        };
+                        let w = st.ds.window(w_idx);
+                        let accuracy = model.accuracy(DataView::new(&w.val, st.ds.num_classes));
+                        let mbits = cost.model_size_mbits * cost.size_factor(&model);
+                        *slot = Some((version, accuracy, mbits));
+                    }
+                });
+            }
+        });
+        outs.into_iter().map(|o| o.expect("every stream measured")).collect()
+    }
+
+    /// The deterministic status snapshot (logical plane only): what
+    /// `ekya_serve` writes to disk after every completed window.
+    pub fn status_snapshot(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            seed: self.cfg.seed,
+            capacity: self.cfg.capacity,
+            windows_completed: self.window_idx as u64,
+            admitted: self.streams.len(),
+            rejected: self.rejected,
+            streams: self.streams.iter().map(|st| st.status.clone()).collect(),
+        }
+    }
+
+    /// Graceful shutdown: stops every shard and trainer.
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.stop();
+        }
+        for trainer in self.trainers {
+            trainer.stop();
+        }
+    }
+}

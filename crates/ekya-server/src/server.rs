@@ -11,7 +11,9 @@
 //! promises — holds under real concurrency.
 
 use crate::inference::{InferenceActor, InferenceMsg, InferenceReply, InferenceStats};
-use crate::trainer::{TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply};
+use crate::trainer::{
+    SwapTarget, TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply,
+};
 use ekya_actors::{spawn, ActorHandle};
 use ekya_core::{
     build_inference_profiles, default_inference_grid, default_retrain_grid, EkyaPolicy,
@@ -263,9 +265,10 @@ impl EdgeServer {
                 hyper: self.cfg.hyper,
                 seed: self.cfg.seed.wrapping_add((w_idx as u64) << 20).wrapping_add(s as u64),
                 checkpoint_every: self.cfg.checkpoint_every,
-                swap_target: Some(self.runtimes[s].infer.address()),
+                swap_target: Some(SwapTarget::Actor(self.runtimes[s].infer.address())),
                 swap_reload: self.cfg.swap_reload,
                 val: sys_vals[s].clone(),
+                fail_after_epochs: None,
             };
             let trainer = self.runtimes[s].trainer.address();
             waiters.push((

@@ -7,11 +7,59 @@
 //! loading it as the inference model").
 
 use crate::inference::{InferenceActor, InferenceMsg, InferenceReply};
+use crate::serve::{InferenceShard, ShardMsg, ShardReply};
 use ekya_actors::{Actor, Address};
 use ekya_core::{RetrainConfig, RetrainExecution, TrainHyper};
 use ekya_nn::data::Sample;
 use ekya_nn::mlp::Mlp;
 use std::time::Duration;
+
+/// Where a trainer hot-swaps improved checkpoints.
+pub enum SwapTarget {
+    /// A dedicated per-stream inference actor (the [`crate::EdgeServer`]
+    /// shape).
+    Actor(Address<InferenceActor>),
+    /// One stream's slot inside a multiplexed inference shard (the
+    /// [`crate::EdgeDaemon`] shape).
+    Shard {
+        /// The shard serving this stream.
+        addr: Address<InferenceShard>,
+        /// Stream id within the shard.
+        stream: u32,
+    },
+}
+
+impl SwapTarget {
+    /// Accuracy the serving side currently achieves on `val` (the bar a
+    /// checkpoint must clear before it is worth swapping in).
+    fn serving_accuracy(&self, val: &[Sample]) -> f64 {
+        match self {
+            SwapTarget::Actor(addr) => match addr.ask(InferenceMsg::Evaluate(val.to_vec())) {
+                Ok(InferenceReply::Accuracy(a)) => a,
+                _ => 0.0,
+            },
+            SwapTarget::Shard { addr, stream } => {
+                match addr.ask(ShardMsg::Evaluate { stream: *stream, batch: val.to_vec() }) {
+                    Ok(ShardReply::Accuracy(a)) => a,
+                    _ => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Swaps `model` into serving; `true` when the target applied it.
+    fn swap(&self, model: Mlp, reload: Duration) -> bool {
+        match self {
+            SwapTarget::Actor(addr) => {
+                addr.ask(InferenceMsg::SwapModel { model: Box::new(model), reload }).is_ok()
+            }
+            SwapTarget::Shard { addr, stream } => matches!(
+                addr.ask(ShardMsg::Swap { stream: *stream, model: Box::new(model), reload }),
+                Ok(ShardReply::Swapped { .. })
+            ),
+        }
+    }
+}
 
 /// One retraining job.
 pub struct TrainJobSpec {
@@ -29,12 +77,16 @@ pub struct TrainJobSpec {
     pub seed: u64,
     /// Checkpoint cadence in epochs (`None` disables mid-run swaps).
     pub checkpoint_every: Option<u32>,
-    /// Inference actor to hot-swap checkpoints into.
-    pub swap_target: Option<Address<InferenceActor>>,
+    /// Serving-side target to hot-swap checkpoints into.
+    pub swap_target: Option<SwapTarget>,
     /// Simulated weight-reload cost per swap.
     pub swap_reload: Duration,
     /// Validation batch for swap decisions (teacher-labelled).
     pub val: Vec<Sample>,
+    /// Fault injection: panic after this many completed epochs (the
+    /// supervised-recovery test path). `None` — the production state —
+    /// means never fail.
+    pub fail_after_epochs: Option<u32>,
 }
 
 /// Result of a completed retraining job.
@@ -82,15 +134,15 @@ impl Actor for TrainerActor {
         );
         // Accuracy the serving side currently has, as the swap bar.
         let mut serving_accuracy = match &spec.swap_target {
-            Some(addr) => match addr.ask(InferenceMsg::Evaluate(spec.val.clone())) {
-                Ok(InferenceReply::Accuracy(a)) => a,
-                _ => 0.0,
-            },
+            Some(target) => target.serving_accuracy(&spec.val),
             None => 0.0,
         };
         let mut checkpoints_swapped = 0u32;
         while !exec.is_complete() {
             exec.step_epoch();
+            if spec.fail_after_epochs.is_some_and(|n| exec.epochs_done() >= n) {
+                panic!("injected trainer fault after {} epochs", exec.epochs_done());
+            }
             let at_checkpoint = spec
                 .checkpoint_every
                 .map(|ck| ck > 0 && exec.epochs_done().is_multiple_of(ck))
@@ -99,16 +151,10 @@ impl Actor for TrainerActor {
             if at_checkpoint || last {
                 let acc = exec.accuracy(&spec.val);
                 if acc > serving_accuracy {
-                    if let Some(addr) = &spec.swap_target {
+                    if let Some(target) = &spec.swap_target {
                         let mut model = exec.model().clone();
                         model.set_layers_trained(usize::MAX);
-                        if addr
-                            .ask(InferenceMsg::SwapModel {
-                                model: Box::new(model),
-                                reload: spec.swap_reload,
-                            })
-                            .is_ok()
-                        {
+                        if target.swap(model, spec.swap_reload) {
                             checkpoints_swapped += 1;
                             serving_accuracy = acc;
                         }
@@ -147,7 +193,7 @@ mod tests {
             .collect()
     }
 
-    fn spec(swap_target: Option<Address<InferenceActor>>) -> TrainJobSpec {
+    fn spec(swap_target: Option<SwapTarget>) -> TrainJobSpec {
         TrainJobSpec {
             base_model: Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 }, 1),
             pool: toy_data(150, 2),
@@ -165,6 +211,7 @@ mod tests {
             swap_target,
             swap_reload: Duration::ZERO,
             val: toy_data(80, 4),
+            fail_after_epochs: None,
         }
     }
 
@@ -186,7 +233,7 @@ mod tests {
         // so the retrained model is better by construction and at least
         // the final swap must land.
         let infer = spawn("inf", InferenceActor::new(job.base_model.clone(), 2));
-        let job = TrainJobSpec { swap_target: Some(infer.address()), ..job };
+        let job = TrainJobSpec { swap_target: Some(SwapTarget::Actor(infer.address())), ..job };
         let val = job.val.clone();
         let TrainerReply::Done(out) = trainer.ask(TrainerMsg::Run(Box::new(job))).unwrap();
         assert!(out.checkpoints_swapped >= 1, "at least the final swap should land");
@@ -198,5 +245,20 @@ mod tests {
         assert!(acc > 0.85, "serving accuracy after swaps: {acc}");
         trainer.stop();
         infer.stop();
+    }
+
+    #[test]
+    fn injected_fault_panics_through_supervision() {
+        let trainer = ekya_actors::spawn_supervised("trainer", || TrainerActor);
+        let job = TrainJobSpec { fail_after_epochs: Some(2), ..spec(None) };
+        assert_eq!(
+            trainer.ask(TrainerMsg::Run(Box::new(job))).err(),
+            Some(ekya_actors::ActorError::Panicked)
+        );
+        // The supervisor rebuilt the trainer: the next job runs clean.
+        let TrainerReply::Done(out) = trainer.ask(TrainerMsg::Run(Box::new(spec(None)))).unwrap();
+        assert_eq!(out.epochs, 20);
+        assert_eq!(trainer.stats().restarts, 1);
+        trainer.stop();
     }
 }

@@ -1,0 +1,170 @@
+//! Serving-path suite for [`ekya_server::EdgeDaemon`]: liveness under
+//! concurrent retraining, hot-swap visibility, typed admission control,
+//! and supervised recovery from trainer faults.
+
+use ekya_server::{AdmissionError, EdgeDaemon, ServeConfig, ServeError};
+use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tiny_spec(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        kind: DatasetKind::Waymo,
+        num_windows: 3,
+        window_secs: 10.0,
+        fps: 4.0,
+        label_fraction: 0.5,
+        val_samples: 24,
+        seed,
+    }
+}
+
+fn tiny_fleet(n: usize, seed: u64) -> Vec<VideoDataset> {
+    (0..n)
+        .map(|i| {
+            VideoDataset::generate(DatasetSpec {
+                seed: seed.wrapping_add(1000 * i as u64),
+                ..tiny_spec(seed)
+            })
+        })
+        .collect()
+}
+
+/// Replies keep flowing to an outside client for the whole duration of
+/// every retraining window: full SGD on the trainer pool never starves
+/// the serving path.
+#[test]
+fn serving_replies_flow_while_trainers_run() {
+    let mut daemon = EdgeDaemon::new(ServeConfig::quick(2.0));
+    let fleet = tiny_fleet(3, 11);
+    let probe: Vec<_> = fleet[0].window(0).val.iter().take(4).cloned().collect();
+    let ids: Vec<_> = fleet.into_iter().map(|ds| daemon.admit(ds).unwrap()).collect();
+
+    let client = daemon.client();
+    let stop = Arc::new(AtomicBool::new(false));
+    let replies = Arc::new(AtomicU64::new(0));
+    let hammer = {
+        let (stop, replies, id) = (stop.clone(), replies.clone(), ids[0]);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                client.classify(id, probe.clone()).expect("serving never drops a client");
+                replies.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+
+    for _ in 0..2 {
+        let before = replies.load(Ordering::SeqCst);
+        let reports = daemon.run_window();
+        assert_eq!(reports.len(), 3);
+        let during = replies.load(Ordering::SeqCst) - before;
+        assert!(during > 0, "client replies starved for a full retraining window");
+    }
+    stop.store(true, Ordering::SeqCst);
+    hammer.join().unwrap();
+    assert!(replies.load(Ordering::SeqCst) > 0);
+    // The daemon's own pump also classified frames on the live plane.
+    assert!(daemon.live_stats().served > 0);
+    daemon.shutdown();
+}
+
+/// Checkpoint hot-swaps become visible to clients as a monotone model
+/// version, and the version a client sees matches the status snapshot.
+#[test]
+fn hot_swapped_checkpoints_are_visible_and_monotone() {
+    let mut daemon = EdgeDaemon::new(ServeConfig::quick(2.0));
+    let fleet = tiny_fleet(1, 23);
+    let probe: Vec<_> = fleet[0].window(0).val.iter().take(4).cloned().collect();
+    let id = daemon.admit(fleet.into_iter().next().unwrap()).unwrap();
+    let client = daemon.client();
+
+    let (_, v0) = client.classify(id, probe.clone()).unwrap();
+    assert_eq!(v0, 0, "admission serves version 0");
+
+    let mut last = v0;
+    for _ in 0..2 {
+        daemon.run_window();
+        let (preds, v) = client.classify(id, probe.clone()).unwrap();
+        assert_eq!(preds.len(), probe.len());
+        assert!(v >= last, "model version went backwards: {last} -> {v}");
+        last = v;
+    }
+    let snap = daemon.status_snapshot();
+    assert_eq!(snap.streams[0].model_version, last);
+    assert!(
+        snap.streams[0].checkpoints_swapped >= 1,
+        "an untrained base model must lose to its retrained successor"
+    );
+    assert_eq!(snap.validate(), Vec::<String>::new());
+    daemon.shutdown();
+}
+
+/// Stream N+1 is rejected immediately with a typed error — not queued —
+/// both on the stream-count and the aggregate-rate axis, and rejections
+/// are counted in the snapshot.
+#[test]
+fn admission_control_rejects_typed_not_queued() {
+    let cfg = ServeConfig { capacity: 3, ..ServeConfig::quick(2.0) };
+    let mut daemon = EdgeDaemon::new(cfg);
+    for ds in tiny_fleet(3, 31) {
+        daemon.admit(ds).unwrap();
+    }
+    let overflow = tiny_fleet(1, 47).pop().unwrap();
+    assert_eq!(daemon.admit(overflow), Err(AdmissionError::CapacityExceeded { capacity: 3 }));
+    assert_eq!(daemon.admitted(), 3);
+    let snap = daemon.status_snapshot();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.validate(), Vec::<String>::new());
+    daemon.shutdown();
+
+    // Rate axis: two 4-fps cameras against a 7-fps budget.
+    let cfg = ServeConfig { serve_fps_capacity: 7.0, ..ServeConfig::quick(2.0) };
+    let mut daemon = EdgeDaemon::new(cfg);
+    let mut fleet = tiny_fleet(2, 59).into_iter();
+    let id = daemon.admit(fleet.next().unwrap()).unwrap();
+    assert_eq!(
+        daemon.admit(fleet.next().unwrap()),
+        Err(AdmissionError::RateExceeded { offered_fps: 8.0, capacity_fps: 7.0 })
+    );
+    // The rejected stream got no slot: clients asking for it get a typed
+    // serving error, while the admitted stream keeps serving.
+    let client = daemon.client();
+    let probe: Vec<_> = tiny_fleet(1, 59)[0].window(0).val.iter().take(2).cloned().collect();
+    assert_eq!(
+        client.classify(ekya_video::StreamId(1), probe.clone()).err(),
+        Some(ServeError::UnknownStream)
+    );
+    assert!(client.classify(id, probe).is_ok());
+    daemon.shutdown();
+}
+
+/// A panicking trainer is absorbed by supervision: the failed window is
+/// recorded, serving never stops, and the next window retrains cleanly
+/// on a restarted trainer.
+#[test]
+fn trainer_panic_recovers_without_killing_serving() {
+    let mut daemon = EdgeDaemon::new(ServeConfig::quick(2.0));
+    let fleet = tiny_fleet(2, 71);
+    let probe: Vec<_> = fleet[0].window(0).val.iter().take(4).cloned().collect();
+    let ids: Vec<_> = fleet.into_iter().map(|ds| daemon.admit(ds).unwrap()).collect();
+
+    daemon.inject_trainer_fault(ids[0]);
+    let reports = daemon.run_window();
+    assert!(reports[0].retrained, "scheduler must plan a retrain for the faulted stream");
+    assert!(reports[0].retrain_failed, "injected fault must surface as a failed retrain");
+    assert!(daemon.trainer_restarts() >= 1, "supervision must have rebuilt the trainer");
+
+    // Serving survived the panic.
+    let client = daemon.client();
+    assert!(client.classify(ids[0], probe.clone()).is_ok());
+    assert!(client.classify(ids[1], probe.clone()).is_ok());
+
+    // The next window retrains the same stream cleanly.
+    let reports = daemon.run_window();
+    assert!(!reports[0].retrain_failed, "restarted trainer must run clean jobs");
+
+    let snap = daemon.status_snapshot();
+    assert_eq!(snap.streams[0].retrains_failed, 1);
+    assert_eq!(snap.validate(), Vec::<String>::new());
+    daemon.shutdown();
+}

@@ -222,6 +222,65 @@ fn ekya_lint_registered() {
     }
 }
 
+/// The serving path: the multi-tenant daemon surface in `ekya-server`,
+/// the loadgen surface in `ekya-bench`, both serving suites registered
+/// where cargo discovers them, and the headline determinism contract —
+/// two fleet runs with one seed serialize byte-identically.
+#[test]
+fn serving_path_registered() {
+    // ekya-server daemon surface.
+    let _ = std::any::type_name::<ekya::server::EdgeServer>();
+    let _ = std::any::type_name::<ekya::server::EdgeServerConfig>();
+    let _ = std::any::type_name::<ekya::server::EdgeDaemon>();
+    let _ = std::any::type_name::<ekya::server::ServeConfig>();
+    let _ = std::any::type_name::<ekya::server::DaemonClient>();
+    let _ = std::any::type_name::<ekya::server::AdmissionError>();
+    let _ = std::any::type_name::<ekya::server::ServeError>();
+    let _ = std::any::type_name::<ekya::server::ArrivalPattern>();
+    let _ = std::any::type_name::<ekya::server::InferenceShard>();
+    let _ = std::any::type_name::<ekya::server::SwapTarget>();
+    let _ = std::any::type_name::<ekya::server::StatusSnapshot>();
+    let _ = std::any::type_name::<ekya::server::StreamStatus>();
+    // Backpressure substrate the daemon's shards ride on (exercised, not
+    // just named: `impl Into<String>` params cannot be turbofished).
+    let bounded = ekya::actors::spawn_bounded("smoke-bounded", DummyActor, 1);
+    bounded.ask(()).expect("bounded mailbox delivers");
+    bounded.stop();
+    let supervised = ekya::actors::spawn_supervised_bounded("smoke-sup", || DummyActor, 1);
+    supervised.ask(()).expect("bounded supervised mailbox delivers");
+    supervised.stop();
+
+    // ekya-bench loadgen surface.
+    let _ = std::any::type_name::<ekya_bench::FleetConfig>();
+    let _ = std::any::type_name::<ekya_bench::LoadgenReport>();
+    let _ = ekya_bench::run_fleet as *const ();
+    let _ = ekya_bench::build_daemon as *const ();
+    let _ = ekya_bench::quick_fleet as *const ();
+    let _ = ekya_bench::knob::streams_live as fn() -> Option<usize>;
+    let _ = ekya_bench::knob::serve_crash_after as fn() -> Option<usize>;
+    let _ = ekya_bench::knob::arrival as fn() -> String;
+
+    // Both serving suites exist where cargo auto-discovers them.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (dir, suite) in
+        [("crates/ekya-server/tests", "serve.rs"), ("crates/ekya-bench/tests", "serve_path.rs")]
+    {
+        let path = root.join(dir).join(suite);
+        assert!(path.is_file(), "serving suite {suite} missing from {dir}/");
+        let src = std::fs::read_to_string(&path).expect("suite readable");
+        assert!(src.contains("#[test]"), "serving suite {suite} contains no #[test] functions");
+    }
+
+    // Determinism: one seed, two runs, byte-identical snapshots.
+    let a = ekya_bench::run_fleet(&ekya_bench::FleetConfig::serial(2, 1, 7)).0;
+    let b = ekya_bench::run_fleet(&ekya_bench::FleetConfig::serial(2, 1, 7)).0;
+    assert_eq!(
+        serde_json::to_string_pretty(&a.snapshot).unwrap(),
+        serde_json::to_string_pretty(&b.snapshot).unwrap(),
+        "serving snapshots must be byte-identical for one seed"
+    );
+}
+
 /// All integration suites exist where cargo auto-discovers them. Each
 /// `tests/*.rs` file is its own test target, so presence in this
 /// directory == registration; a deleted or moved suite fails here
