@@ -99,10 +99,18 @@ case "$MODE" in
     # small ekya_loadgen pass over the same seed — whose snapshot must be
     # byte-identical to the daemon's (the serving determinism contract,
     # checked with plain cmp because both bins ran the same fleet).
-    echo "==> serving smoke: ekya_serve (8 streams × 2 windows) + snapshot validation"
-    EKYA_STREAMS_LIVE=8 EKYA_WINDOWS=2 \
+    # The daemon run is traced (EKYA_TRACE=1): the logical-plane window
+    # trace lands in results/TRACE_serve.jsonl — a separate artifact, so
+    # the serve_status.json byte-identity cmp below is unaffected — and
+    # ekya_trace validates its invariants (sorted records, contiguous
+    # windows, merge-safe counters) as part of the smoke.
+    echo "==> serving smoke: ekya_serve (8 streams × 2 windows, traced) + snapshot validation"
+    EKYA_STREAMS_LIVE=8 EKYA_WINDOWS=2 EKYA_TRACE=1 \
       cargo run --release -q -p ekya-bench --bin ekya_serve
     cargo run --release -q -p ekya-bench --bin ekya_serve -- --validate
+    echo "==> serving smoke: ekya_trace validate (window trace invariants)"
+    cargo run --release -q -p ekya-bench --bin ekya_trace -- \
+      validate results/TRACE_serve.jsonl
     cp results/serve_status.json target/serve_status_daemon.json
     echo "==> serving smoke: ekya_loadgen (same fleet) ≡ ekya_serve snapshot"
     EKYA_STREAMS_LIVE=8 EKYA_WINDOWS=2 \
@@ -124,6 +132,14 @@ case "$MODE" in
     # shellcheck disable=SC2086
     EKYA_BENCH_BASELINE="${EKYA_BENCH_BASELINE:-target/perf_baseline.json}" \
       ./ci/check_bench.sh ${EKYA_PERF_GATE_FLAGS:-}
+
+    # harness_bench appended its record set above, so by this point the
+    # trajectory file exists even on the very first green run of a fresh
+    # checkout — assert that and render it, so a missing trajectory is a
+    # quick-tier failure rather than a silently empty artifact.
+    echo "==> perf trajectory (results/BENCH_series.json)"
+    test -s results/BENCH_series.json
+    cargo run --release -q -p ekya-bench --bin bench_series
 
     echo "ci.sh quick: all green"
     ;;

@@ -37,6 +37,19 @@ BASELINE="${EKYA_BENCH_BASELINE:-ci/bench_baseline.json}"
   echo '```'
   cargo run --release -q -p ekya-bench --bin bench_series 2>&1
   echo '```'
+  echo
+  # Logical-plane window traces, when the quick tier's traced ekya_serve
+  # smoke (EKYA_TRACE=1) left any behind. `ekya_trace summary` scans
+  # results/TRACE_*.jsonl by default and renders per-layer span/counter/
+  # histogram rows with p50/p95.
+  echo "## Window trace summary"
+  if ls results/TRACE_*.jsonl >/dev/null 2>&1; then
+    echo '```'
+    cargo run --release -q -p ekya-bench --bin ekya_trace -- summary 2>&1
+    echo '```'
+  else
+    echo "_no results/TRACE_\\*.jsonl traces were recorded in this run_"
+  fi
 } >>"$OUT"
 
 exit 0

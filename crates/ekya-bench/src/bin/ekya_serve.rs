@@ -28,6 +28,16 @@ fn snapshot_path() -> PathBuf {
     results_dir().join("serve_status.json")
 }
 
+/// Flushes the telemetry session (when one is active) — called at every
+/// window boundary, right after the status snapshot lands.
+fn flush_trace(traced: bool) {
+    if traced {
+        if let Err(e) = ekya_telemetry::flush() {
+            eprintln!("ekya_serve: trace flush failed: {e}");
+        }
+    }
+}
+
 /// Writes the snapshot atomically: the tmp file is fully written, then
 /// renamed over the live path, so a reader (or a daemon killed mid-write)
 /// never sees a torn snapshot.
@@ -103,14 +113,28 @@ fn main() {
         "ekya_serve: admitting {streams} streams ({arrival_raw} arrivals, seed {}) …",
         cfg.seed
     );
+    // Telemetry session for the daemon's lifetime. Unlike the grid bins,
+    // the trace is flushed (atomically, tmp + rename) after *every*
+    // completed window: a daemon killed mid-window — including the
+    // EKYA_SERVE_CRASH_AFTER injection, which exits without unwinding —
+    // leaves a valid trace truncated at the last window boundary, the
+    // exact analogue of the snapshot discipline below.
+    let traced = ekya_bench::trace_path("serve", None);
+    if let Some(path) = &traced {
+        let _ = std::fs::create_dir_all(results_dir());
+        ekya_telemetry::start(Some(path.clone()));
+        eprintln!("[ekya_serve: EKYA_TRACE → {}]", path.display());
+    }
     let mut daemon = build_daemon(&cfg);
     // Window-0 snapshot: even a daemon that crashes during its first
     // window leaves a consistent (empty-ledger) snapshot behind.
     write_snapshot(&daemon.status_snapshot());
+    flush_trace(traced.is_some());
 
     for w in 0..windows {
         let reports = daemon.run_window();
         write_snapshot(&daemon.status_snapshot());
+        flush_trace(traced.is_some());
         let retrained = reports.iter().filter(|r| r.retrained).count();
         let failed = reports.iter().filter(|r| r.retrain_failed).count();
         let swapped: u64 = reports.iter().map(|r| r.checkpoints_swapped).sum();
@@ -132,4 +156,9 @@ fn main() {
         snapshot_path().display()
     );
     daemon.shutdown();
+    if let Some(path) = &traced {
+        flush_trace(true);
+        ekya_telemetry::stop();
+        eprintln!("[ekya_serve: trace written to {}]", path.display());
+    }
 }

@@ -106,6 +106,41 @@ fn main() {
     warm_stream_cache(&grid);
     let fig06 = measure_grid("fig06_quick_grid", "fig06 quick grid", &grid, workers);
 
+    // Telemetry overhead guard: the same parallel pass again, with a
+    // live in-memory trace session, must stay within the perf-gate
+    // tolerance of the untraced pass — the observability layer's "off
+    // by default, cheap when on" contract, enforced where a hot-path
+    // regression would land first. The pass also proves the trace it
+    // recorded is well-formed.
+    eprintln!("[harness_bench: fig06 quick grid — traced parallel pass (telemetry overhead)]");
+    ekya_telemetry::start(None);
+    let traced = run_grid(&grid, workers);
+    let trace_text = ekya_telemetry::render();
+    ekya_telemetry::stop();
+    assert_eq!(traced.report.failed, 0, "traced run had poisoned cells");
+    assert!(!trace_text.is_empty(), "traced pass recorded nothing");
+    let problems = ekya_telemetry::validate_trace(&trace_text);
+    assert!(problems.is_empty(), "traced pass produced an invalid trace: {problems:?}");
+    let tolerance = ekya_bench::knob::bench_tolerance();
+    let floor = fig06.cells_per_sec * (1.0 - tolerance);
+    assert!(
+        traced.stats.cells_per_sec >= floor,
+        "telemetry overhead: traced parallel pass ran at {:.2} cells/s, below the {:.2} floor \
+         ({:.0}% tolerance of the untraced {:.2} cells/s)",
+        traced.stats.cells_per_sec,
+        floor,
+        tolerance * 100.0,
+        fig06.cells_per_sec
+    );
+    println!(
+        "harness_bench: telemetry overhead — traced {:.2} cells/s vs untraced {:.2} cells/s \
+         ({} trace records, within {:.0}% tolerance) ✓",
+        traced.stats.cells_per_sec,
+        fig06.cells_per_sec,
+        trace_text.lines().count(),
+        tolerance * 100.0
+    );
+
     // Second gated workload: the quick fig03 configuration sweep — the
     // other shape of parallel cell (per-config seeding instead of
     // per-scenario), gated so a regression in either fan-out path trips

@@ -377,6 +377,7 @@ pub fn chunk_ranges(
 /// an empty deque — treating it as one could leave a queued task behind
 /// and deadlock the order-indexed result collection).
 fn steal_retrying<T>(stealer: &crossbeam::deque::Stealer<T>) -> Option<T> {
+    let _steal_wall = ekya_telemetry::timing::wall_span("bench.pool", "steal");
     loop {
         match stealer.steal() {
             crossbeam::deque::Steal::Success(task) => return Some(task),
@@ -665,6 +666,7 @@ impl GridExec {
                 None => pending.push((idx, sc)),
             }
         }
+        let resumed_idx: Vec<usize> = done.keys().copied().collect();
         let resumed = done.len();
         let executed = pending.len();
 
@@ -691,13 +693,26 @@ impl GridExec {
         let started = Instant::now();
         let chunk_results =
             run_parallel(chunks, self.workers, |_, chunk: Vec<(usize, Scenario)>| {
+                let _chunk_wall = ekya_telemetry::timing::wall_span("bench.grid", "chunk");
                 let mut out: Vec<Result<CellResult, String>> = Vec::with_capacity(chunk.len());
                 for (idx, sc) in chunk {
                     // Per-cell panic isolation, exactly as when every cell
                     // was its own task: a poisoned cell ends up as an Err
                     // slot and the rest of the chunk still runs.
-                    let result =
-                        catch_unwind(AssertUnwindSafe(|| eval(&sc))).map_err(panic_message);
+                    let result = {
+                        let _cell_wall =
+                            ekya_telemetry::timing::wall_span("bench.grid", "cell_exec");
+                        // Scope deep instrumentation (profiler, scheduler)
+                        // fired during eval to this cell's fingerprint, so
+                        // its logical records sort identically no matter
+                        // which worker — or which shard — ran the cell.
+                        let _cell_ctx = ekya_telemetry::enabled().then(|| {
+                            ekya_telemetry::Ctx::current()
+                                .cell(format!("{:016x}", sc.fingerprint()))
+                                .enter()
+                        });
+                        catch_unwind(AssertUnwindSafe(|| eval(&sc))).map_err(panic_message)
+                    };
                     if let (Ok(cell), Some((_, state, _))) = (&result, &ckpt) {
                         state.lock().expect("checkpoint state").insert(idx, cell.clone());
                     }
@@ -750,6 +765,35 @@ impl GridExec {
             };
             done.insert(idx, cell);
         }
+
+        // Logical-plane cell records, emitted from this one thread in
+        // global grid order. Every record here is scoped to its cell's
+        // fingerprint — a run-level span would duplicate under a shard
+        // merge, while per-cell records union back to exactly the serial
+        // trace. Counters are safe at run level because merges sum them.
+        if ekya_telemetry::enabled() {
+            let poisoned = done.values().filter(|c| c.error.is_some()).count();
+            for (idx, cell) in &done {
+                let _ctx = ekya_telemetry::Ctx::current()
+                    .cell(format!("{:016x}", cell.scenario.fingerprint()))
+                    .enter();
+                ekya_telemetry::span(
+                    "bench.grid",
+                    "cell",
+                    cell.mean_accuracy,
+                    &format!("{} retrain_rate={:.6}", cell.scenario.label(), cell.retrain_rate),
+                );
+                if resumed_idx.binary_search(idx).is_ok() {
+                    ekya_telemetry::event("bench.grid", "resumed", "");
+                }
+                if let Some(err) = &cell.error {
+                    ekya_telemetry::event("bench.grid", "poisoned", err);
+                }
+            }
+            ekya_telemetry::counter_add("bench.grid", "cells_ok", (done.len() - poisoned) as u64);
+            ekya_telemetry::counter_add("bench.grid", "cells_poisoned", poisoned as u64);
+            ekya_telemetry::counter_add("bench.grid", "cells_resumed", resumed as u64);
+        }
         let cells: Vec<CellResult> = done.into_values().collect();
         let failed = cells.iter().filter(|c| c.error.is_some()).count();
 
@@ -796,6 +840,7 @@ fn flush_checkpoint(
     envelope: (&str, usize, Option<ShardSpec>),
 ) {
     let Some((path, state, written)) = ckpt else { return };
+    let _ckpt_wall = ekya_telemetry::timing::wall_span("bench.grid", "checkpoint_flush");
     let seq = state.lock().expect("checkpoint state").len();
     let mut written = written.lock().expect("checkpoint io");
     if *written < seq {
@@ -930,6 +975,21 @@ pub fn report_path(name: &str, shard: Option<ShardSpec>) -> PathBuf {
     results_dir().join(format!("{name}{suffix}.json"))
 }
 
+/// Resolves the `EKYA_TRACE` knob for the bin named `bin`: `None` when
+/// tracing is off; `Some(results/TRACE_<bin><shard_suffix>.jsonl)` for
+/// `EKYA_TRACE=1` (suffixed like [`report_path`] so concurrent shard
+/// runs never clobber each other's trace); any other value is the trace
+/// path verbatim.
+pub fn trace_path(bin: &str, shard: Option<ShardSpec>) -> Option<PathBuf> {
+    let v = crate::knob::trace()?;
+    if v == "1" {
+        let suffix = shard.map(|s| s.suffix()).unwrap_or_default();
+        Some(results_dir().join(format!("TRACE_{bin}{suffix}.jsonl")))
+    } else {
+        Some(PathBuf::from(v))
+    }
+}
+
 /// Reads and parses a [`HarnessReport`] from `path`.
 pub fn load_report(path: &Path) -> Result<HarnessReport, String> {
     let text = std::fs::read_to_string(path)
@@ -982,6 +1042,15 @@ where
     let shard = knobs.shard();
     let out = report_path(name, shard);
     let partial = out.with_extension("partial.json");
+
+    // Telemetry session for the whole bin run. Grid bins flush once at
+    // the end: an injected crash loses the trace but never the cell
+    // checkpoint (the serving daemon, by contrast, flushes per window).
+    let traced = trace_path(name, shard);
+    if let Some(path) = &traced {
+        ekya_telemetry::start(Some(path.clone()));
+        eprintln!("[{name}: EKYA_TRACE → {}]", path.display());
+    }
 
     let prior = match knobs.resume() {
         None => BTreeMap::new(),
@@ -1039,6 +1108,13 @@ where
             let _ = std::fs::remove_file(&partial);
         }
         Err(e) => eprintln!("failed to save {name}: {e}"),
+    }
+    if let Some(path) = &traced {
+        match ekya_telemetry::flush() {
+            Ok(()) => eprintln!("[{name}: trace written to {}]", path.display()),
+            Err(e) => eprintln!("[{name}: trace flush failed: {e}]"),
+        }
+        ekya_telemetry::stop();
     }
     run
 }

@@ -109,6 +109,22 @@ pub fn arrival() -> String {
     std::env::var("EKYA_ARRIVAL").unwrap_or_else(|_| "uniform".to_string())
 }
 
+/// `EKYA_TRACE` — two-plane telemetry (`ekya-telemetry`). Unset, empty,
+/// or `0` (the production state) disables tracing entirely: every
+/// instrumented hot path costs one relaxed atomic load. `1` writes the
+/// logical-plane trace to `results/TRACE_<bin>.jsonl` (plus a
+/// `.wall.json` sidecar); any other value is used as the trace file
+/// path verbatim. The logical trace is byte-identical across runs,
+/// worker counts, and shard merges — see the operator guide's
+/// "Observability" section.
+pub fn trace() -> Option<String> {
+    match std::env::var("EKYA_TRACE") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
 /// `EKYA_SERVE_CRASH_AFTER` — fault injection for the serving daemon:
 /// `ekya_serve` kills its own process (exit 17) in the middle of this
 /// window index, after retraining has been dispatched, so the
@@ -142,7 +158,9 @@ mod tests {
         assert_eq!(std::env::var_os("EKYA_ARRIVAL"), None);
         assert_eq!(std::env::var_os("EKYA_BATCH"), None);
         assert_eq!(std::env::var_os("EKYA_BENCH_FULL"), None);
+        assert_eq!(std::env::var_os("EKYA_TRACE"), None);
         assert_eq!(min_speedup(), None);
+        assert_eq!(trace(), None);
         assert_eq!(orch_crash_after(), None);
         assert_eq!(serve_crash_after(), None);
         assert_eq!(streams_live(), None);

@@ -64,8 +64,8 @@ pub use grid::{cell_seed, coverage_order, fig06_grid, fnv1a, Grid, Scenario, Sha
 pub use harness::{
     append_bench_series, bench_series_path, chunk_ranges, default_workers, git_describe,
     latest_bench_entry, load_report, merge_reports, report_path, run_grid, run_grid_bin,
-    run_grid_bin_with, run_parallel, run_scenario, BenchRecord, BenchSeriesEntry, CellResult,
-    GridExec, GridRun, HarnessReport, Knobs, RunStats,
+    run_grid_bin_with, run_parallel, run_scenario, trace_path, BenchRecord, BenchSeriesEntry,
+    CellResult, GridExec, GridRun, HarnessReport, Knobs, RunStats,
 };
 
 pub use knob::env_f64;

@@ -30,6 +30,7 @@ fn run_bin(bin: &str, dir: &Path, extra: &[(&str, &str)]) -> std::process::ExitS
         "EKYA_WINDOWS",
         "EKYA_STREAMS",
         "EKYA_SEED",
+        "EKYA_TRACE",
     ] {
         cmd.env_remove(var);
     }

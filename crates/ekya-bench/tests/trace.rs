@@ -1,0 +1,112 @@
+//! Telemetry integration: the logical-plane trace is a pure function of
+//! `(workload, seed)` — byte-identical across worker counts and across
+//! a shard split + merge — and a daemon killed mid-window leaves a
+//! valid trace truncated at the last completed window boundary.
+
+use ekya_baselines::PolicySpec;
+use ekya_bench::{Grid, GridExec, ShardSpec};
+use ekya_telemetry::{merge_traces, parse_trace, validate_trace};
+use ekya_video::DatasetKind;
+use std::sync::Mutex;
+
+/// The telemetry session (recorder state + the `ENABLED` flag) is
+/// process-global, so every test that starts one serializes on this
+/// lock — otherwise two tests' records would interleave in one trace.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// A small but real grid: every cell runs actual retraining windows.
+fn tiny_grid() -> Grid {
+    Grid::new(2, 42)
+        .datasets(&[DatasetKind::Waymo])
+        .stream_counts(&[1, 2])
+        .gpu_counts(&[1.0])
+        .policies(vec![PolicySpec::Ekya, PolicySpec::FixedRes { inference_share: 0.5 }])
+}
+
+/// Runs the grid under a live in-memory trace session and returns the
+/// rendered (sorted, aggregated) logical-plane trace.
+fn traced_run(grid: &Grid, workers: usize, shard: Option<ShardSpec>) -> String {
+    ekya_telemetry::start(None);
+    let run = GridExec::new("tiny", workers).shard(shard).run(grid);
+    let text = ekya_telemetry::render();
+    ekya_telemetry::stop();
+    assert_eq!(run.report.failed, 0, "tiny grid must execute cleanly");
+    text
+}
+
+#[test]
+fn trace_is_byte_identical_across_worker_counts() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let grid = tiny_grid();
+    let serial = traced_run(&grid, 1, None);
+    let parallel = traced_run(&grid, 4, None);
+    assert!(!serial.is_empty(), "the traced run must record something");
+    assert_eq!(serial, parallel, "worker count must not change a trace byte");
+    assert_eq!(validate_trace(&serial), Vec::<String>::new());
+    // Every cell of the grid shows up as a cell span exactly once.
+    let records = parse_trace(&serial).unwrap();
+    let cell_spans = records.iter().filter(|r| r.kind == "span" && r.name == "cell").count();
+    assert_eq!(cell_spans, 4, "one cell span per grid cell");
+}
+
+#[test]
+fn shard_trace_union_is_byte_identical_to_unsharded() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let grid = tiny_grid();
+    let full = traced_run(&grid, 2, None);
+    let shard0 = traced_run(&grid, 2, Some(ShardSpec { index: 0, count: 2 }));
+    let shard1 = traced_run(&grid, 2, Some(ShardSpec { index: 1, count: 2 }));
+
+    // Merge order must not matter: spans re-sort under the logical sort
+    // key and counters/hists merge commutatively.
+    let merged = merge_traces(&[&shard1, &shard0]).unwrap();
+    assert_eq!(merged, full, "shard trace union must equal the unsharded trace");
+    assert_eq!(merge_traces(&[&shard0, &shard1]).unwrap(), full);
+    assert_eq!(validate_trace(&merged), Vec::<String>::new());
+}
+
+/// Crash injection with tracing on: `ekya_serve` killed mid-window
+/// (exit 17) must leave a *valid* trace on disk that stops at the last
+/// completed window — the per-window atomic flush contract.
+#[test]
+fn killed_daemon_trace_truncates_at_window_boundary() {
+    let bin = env!("CARGO_BIN_EXE_ekya_serve");
+    let dir = std::env::temp_dir().join(format!("ekya_trace_crash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cmd = std::process::Command::new(bin);
+    for var in ["EKYA_SHARD", "EKYA_RESUME", "EKYA_QUICK", "EKYA_STREAMS", "EKYA_SEED"] {
+        cmd.env_remove(var);
+    }
+    let status = cmd
+        .env("EKYA_RESULTS_DIR", &dir)
+        .env("EKYA_WORKERS", "2")
+        .env("EKYA_STREAMS_LIVE", "6")
+        .env("EKYA_WINDOWS", "3")
+        .env("EKYA_SEED", "42")
+        .env("EKYA_SERVE_CRASH_AFTER", "1")
+        .env("EKYA_TRACE", "1")
+        .status()
+        .expect("ekya_serve spawns");
+    assert_eq!(status.code(), Some(17), "crash injection must exit 17");
+
+    let text = std::fs::read_to_string(dir.join("TRACE_serve.jsonl"))
+        .expect("killed daemon must leave its per-window trace");
+    assert_eq!(validate_trace(&text), Vec::<String>::new(), "truncated trace must validate");
+    let records = parse_trace(&text).unwrap();
+    assert!(!records.is_empty());
+    // The daemon died inside window 1, after window 0's flush: the
+    // trace may know windows -1 (admission) and 0, never window 1.
+    let max_window = records.iter().map(|r| r.window).max().unwrap();
+    assert_eq!(max_window, 0, "trace must truncate at the last completed window");
+    let completed = records
+        .iter()
+        .find(|r| r.kind == "counter" && r.name == "windows_completed")
+        .expect("windows_completed counter present");
+    assert_eq!(completed.count, 1, "exactly one window completed before the kill");
+    // No torn tmp file left behind by the atomic trace flush.
+    assert!(!dir.join("TRACE_serve.jsonl.tmp").exists(), "tmp trace must never survive");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

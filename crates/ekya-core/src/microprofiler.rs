@@ -134,6 +134,13 @@ impl MicroProfiler {
                 continue;
             }
             let (curve, cost) = self.micro_train(model, train_pool, val, config, num_classes, seed);
+            // Logical-plane telemetry: the micro-training cost comes from
+            // the cost model, so the span value is deterministic. The
+            // enabled() guard keeps the disabled path allocation-free.
+            if ekya_telemetry::enabled() {
+                ekya_telemetry::span("core.profiler", "microtrain", cost, &config.label());
+                ekya_telemetry::hist_observe("core.profiler", "microtrain_gpu_secs", cost);
+            }
             gpu_seconds_spent += cost;
             curves.insert(key, curve);
         }
@@ -172,6 +179,17 @@ impl MicroProfiler {
 
         // Update pruning history from this window's own estimates.
         self.observe(&profiles);
+
+        if ekya_telemetry::enabled() {
+            ekya_telemetry::counter_add("core.profiler", "configs_profiled", profiles.len() as u64);
+            ekya_telemetry::counter_add("core.profiler", "configs_pruned", pruned as u64);
+            ekya_telemetry::span(
+                "core.profiler",
+                "profile",
+                gpu_seconds_spent,
+                &format!("profiled={} pruned={pruned}", profiles.len()),
+            );
+        }
 
         ProfileOutput { profiles, gpu_seconds_spent, pruned }
     }

@@ -445,6 +445,24 @@ pub fn thief_schedule(
                 temp[thief] += steal;
                 let (evals, score, mean) = evaluate(&temp, &mut cache, &mut evaluations);
                 if score > best_score + 1e-12 {
+                    // Logical-plane telemetry: an *accepted* steal with its
+                    // before/after quanta. Allocations are exact integer
+                    // units and the search is sequential, so the event
+                    // stream is a pure function of the inputs.
+                    if ekya_telemetry::enabled() {
+                        ekya_telemetry::event(
+                            "core.scheduler",
+                            "steal",
+                            &format!(
+                                "thief={thief} victim={victim} units={steal} \
+                                 thief_units={}->{} victim_units={}->{}",
+                                temp[thief] - steal,
+                                temp[thief],
+                                temp[victim] + steal,
+                                temp[victim]
+                            ),
+                        );
+                    }
                     best_alloc = temp.clone();
                     best_score = score;
                     best_mean = mean;
@@ -469,6 +487,16 @@ pub fn thief_schedule(
             estimate: eval.estimate,
         })
         .collect();
+
+    if ekya_telemetry::enabled() {
+        ekya_telemetry::counter_add("core.scheduler", "evaluations", evaluations as u64);
+        ekya_telemetry::span(
+            "core.scheduler",
+            "thief_schedule",
+            evaluations as f64,
+            &format!("streams={n} avg_accuracy={best_mean:.6}"),
+        );
+    }
 
     Schedule { decisions, avg_accuracy: best_mean, evaluations }
 }

@@ -82,6 +82,13 @@ impl Default for Config {
                 // RunStats measures harness wall time for the perf gate;
                 // it is reported next to, never inside, cell results.
                 ("wallclock-in-cell", "crates/ekya-bench/src/harness.rs"),
+                // The telemetry wall-clock plane: `wall_span` /
+                // `wall_gauge_max` live here by design, aggregate into
+                // the `.wall.json` sidecar only, and are structurally
+                // unable to reach the fingerprinted logical-plane
+                // trace. This is the *one* sanctioned home for timing
+                // in instrumented hot paths.
+                ("wallclock-in-cell", "crates/ekya-telemetry/src/timing.rs"),
                 // Orchestrator heartbeat ages and retry backoff are
                 // wall-clock by nature and never reach report files.
                 ("wallclock-in-cell", "crates/ekya-orchestrate/src/retry.rs"),

@@ -67,6 +67,31 @@ fn clean_fixture_is_clean_under_every_rule() {
 }
 
 #[test]
+fn wall_timing_fires_outside_the_sanctioned_telemetry_module() {
+    // Positive half of the telemetry-allowlist pair: the same
+    // wall-span helper that timing.rs sanctions keeps firing when it
+    // appears anywhere else — even elsewhere inside ekya-telemetry —
+    // under the real workspace allowlist, not just Config::bare().
+    // (Line 5's `std::time::Instant` type position never fires; line
+    // 9's `Instant::now()` call does.)
+    let src = fixture("wall_timing.rs");
+    let vs = lint_source("crates/ekya-telemetry/src/recorder.rs", &src, &Config::default());
+    assert_eq!(
+        vs.iter().map(|v| (v.rule, v.line)).collect::<Vec<_>>(),
+        vec![("wallclock-in-cell", 9)]
+    );
+}
+
+#[test]
+fn wall_timing_is_sanctioned_inside_telemetry_timing() {
+    // Negative half: under the one allowlisted path the wall-clock
+    // plane is silent — the quarantine the two-plane design relies on.
+    let src = fixture("wall_timing.rs");
+    let vs = lint_source("crates/ekya-telemetry/src/timing.rs", &src, &Config::default());
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
 fn path_allowlist_silences_a_whole_file() {
     let cfg = Config { path_allow: vec![("ambient-env", "crates/demo/src/knobs.rs")] };
     let vs = lint_source("crates/demo/src/knobs.rs", &fixture("ambient_env.rs"), &cfg);

@@ -1,0 +1,14 @@
+// A telemetry-style wall-clock helper: exactly the code the
+// `wallclock-in-cell` allowlist entry for ekya-telemetry's timing
+// module sanctions — and exactly what must keep firing anywhere else.
+pub struct WallSpan {
+    start: std::time::Instant,
+}
+
+pub fn wall_span() -> WallSpan {
+    WallSpan { start: Instant::now() }
+}
+
+pub fn observe(span: WallSpan) -> f64 {
+    span.start.elapsed().as_secs_f64()
+}

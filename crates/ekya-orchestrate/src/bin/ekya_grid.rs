@@ -343,6 +343,21 @@ fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
     if let Some(m) = &status.merged {
         println!("  merged: {} (fingerprint {})", m.path, m.fingerprint);
     }
+    if !status.events.is_empty() {
+        // The tail of the lifecycle log — enough to see the latest
+        // spawn/retry/merge transitions without opening status.json.
+        println!("  recent events:");
+        for e in status.events.iter().rev().take(5).rev() {
+            let who = if e.shard.is_empty() {
+                "run".to_string()
+            } else {
+                format!("shard {} attempt {}", e.shard, e.attempt)
+            };
+            let detail =
+                if e.detail.is_empty() { String::new() } else { format!(" — {}", e.detail) };
+            println!("    {who}: {}{detail}", e.event);
+        }
+    }
     // Exit code mirrors run health so scripts can poll `status`.
     Ok(match status.state {
         RunState::Failed => ExitCode::FAILURE,

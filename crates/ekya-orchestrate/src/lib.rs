@@ -52,8 +52,8 @@ pub mod spawn;
 
 pub use merge::{merge_run, promote, MergedInfo};
 pub use monitor::{
-    probe_shard, read_status, status_path, write_status, Progress, RunState, ShardFailure,
-    ShardState, ShardStatus, Status,
+    probe_shard, read_status, status_path, write_status, Progress, RunState, ShardEvent,
+    ShardFailure, ShardState, ShardStatus, Status,
 };
 pub use plan::{Plan, PlanEnv, ShardPlan, WorkloadKind};
 pub use retry::{backoff_delay, supervise, SuperviseOpts};

@@ -57,6 +57,25 @@ pub struct ShardStatus {
     pub failures: Vec<ShardFailure>,
 }
 
+/// One lifecycle transition of a supervised run, folded into
+/// `status.json` in emission order — the orchestrator's event log, so a
+/// post-mortem (or `ekya_grid status`) can reconstruct what the
+/// supervisor did without its terminal output. Run-level transitions
+/// (merge, completion) carry an empty `shard` and attempt 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEvent {
+    /// Shard coordinates `"i/N"`, or `""` for run-level events.
+    pub shard: String,
+    /// Attempt the event belongs to (0 for run-level events).
+    pub attempt: usize,
+    /// What happened: `spawned`, `already_complete`, `done`,
+    /// `attempt_failed`, `retry_scheduled`, `exhausted`, `merging`,
+    /// `complete`, `run_failed`.
+    pub event: String,
+    /// Free-form detail (pid, exit reason, backoff, merge target).
+    pub detail: String,
+}
+
 /// Overall lifecycle of a supervised run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunState {
@@ -89,6 +108,8 @@ pub struct Status {
     pub eta_secs: Option<f64>,
     /// Per-shard state, in shard-index order.
     pub shards: Vec<ShardStatus>,
+    /// Lifecycle transitions in emission order (see [`ShardEvent`]).
+    pub events: Vec<ShardEvent>,
     /// The merge outcome, once the run completed.
     pub merged: Option<MergedInfo>,
 }
@@ -241,6 +262,12 @@ mod tests {
                     failures: vec![ShardFailure { attempt: 1, reason: "exit code 17".into() }],
                 })
                 .collect(),
+            events: vec![ShardEvent {
+                shard: "0/2".into(),
+                attempt: 1,
+                event: "spawned".into(),
+                detail: "pid=4242".into(),
+            }],
             merged: None,
         };
         write_status(&dir, &status).unwrap();

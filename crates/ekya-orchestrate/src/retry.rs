@@ -26,8 +26,8 @@
 
 use crate::merge::{merge_run, promote};
 use crate::monitor::{
-    probe_shard, probe_signature, write_status, RunState, ShardFailure, ShardState, ShardStatus,
-    Status,
+    probe_shard, probe_signature, write_status, RunState, ShardEvent, ShardFailure, ShardState,
+    ShardStatus, Status,
 };
 use crate::plan::Plan;
 use crate::spawn::Spawner;
@@ -123,6 +123,7 @@ pub fn supervise(
                 failures: Vec::new(),
             })
             .collect(),
+        events: Vec::new(),
         merged: None,
     };
     let mut rt: Vec<ShardRt> = plan
@@ -139,16 +140,25 @@ pub fn supervise(
 
     // Initial probe + spawn: shards already complete on disk (a resumed
     // or re-entered run) are Done for free; the rest start attempt 1.
-    for (i, sh) in rt.iter_mut().enumerate() {
-        let probe = probe_shard(plan, run_dir, i);
-        if probe.complete {
-            status.shards[i].state = ShardState::Done;
-            status.shards[i].cells_done = probe.cells_done;
-            continue;
+    {
+        let Status { shards, events, .. } = &mut status;
+        for (i, sh) in rt.iter_mut().enumerate() {
+            let probe = probe_shard(plan, run_dir, i);
+            if probe.complete {
+                shards[i].state = ShardState::Done;
+                shards[i].cells_done = probe.cells_done;
+                events.push(ShardEvent {
+                    shard: shards[i].shard.clone(),
+                    attempt: 0,
+                    event: "already_complete".into(),
+                    detail: format!("{} cells on disk", probe.cells_done),
+                });
+                continue;
+            }
+            shards[i].cells_done = probe.cells_done;
+            let crash = opts.inject_crash.filter(|&(shard, _)| shard == i).map(|(_, after)| after);
+            spawn_attempt(plan, spawner, i, &mut shards[i], sh, opts.resume, crash, events);
         }
-        status.shards[i].cells_done = probe.cells_done;
-        let crash = opts.inject_crash.filter(|&(shard, _)| shard == i).map(|(_, after)| after);
-        spawn_attempt(plan, spawner, i, &mut status.shards[i], sh, opts.resume, crash);
     }
     let initial_done: usize = status.shards.iter().map(|s| s.cells_done).sum();
     refresh_totals(&mut status, initial_done, started);
@@ -163,14 +173,15 @@ pub fn supervise(
     // just with a growing grace period.
     let stall = Duration::from_secs(plan.stall_timeout_secs);
     loop {
+        let Status { shards, events, .. } = &mut status;
         for (i, sh) in rt.iter_mut().enumerate() {
-            let st = &mut status.shards[i];
+            let st = &mut shards[i];
             match st.state {
                 ShardState::Done | ShardState::Failed | ShardState::Pending => {}
                 ShardState::Retrying => {
                     if sh.retry_at.is_some_and(|at| Instant::now() >= at) {
                         sh.retry_at = None;
-                        spawn_attempt(plan, spawner, i, st, sh, true, None);
+                        spawn_attempt(plan, spawner, i, st, sh, true, None, events);
                     }
                 }
                 ShardState::Running => {
@@ -188,6 +199,12 @@ pub fn supervise(
                             st.cells_done = probe.cells_done;
                             if probe.complete {
                                 st.state = ShardState::Done;
+                                events.push(ShardEvent {
+                                    shard: st.shard.clone(),
+                                    attempt: st.attempt,
+                                    event: "done".into(),
+                                    detail: format!("{} cells", probe.cells_done),
+                                });
                             } else {
                                 let reason = match exit.code() {
                                     Some(0) => {
@@ -196,7 +213,7 @@ pub fn supervise(
                                     Some(code) => format!("exit code {code}"),
                                     None => "killed by signal".to_string(),
                                 };
-                                record_failure(plan, st, sh, reason, max_attempts);
+                                record_failure(plan, st, sh, reason, max_attempts, events);
                             }
                         }
                         Ok(None) => {
@@ -227,6 +244,7 @@ pub fn supervise(
                                         st.attempt
                                     ),
                                     max_attempts,
+                                    events,
                                 );
                             }
                         }
@@ -251,6 +269,7 @@ pub fn supervise(
             // the run has failed, but everything completed so far is on
             // disk for `ekya_grid resume` after the operator intervenes.
             status.state = RunState::Failed;
+            status.events.push(run_event("run_failed", "a shard exhausted its attempts"));
             write_status(run_dir, &status)?;
             return Ok(status);
         }
@@ -259,11 +278,13 @@ pub fn supervise(
 
     // ---- All shards complete: merge, verify, promote. ----
     status.state = RunState::Merging;
+    status.events.push(run_event("merging", ""));
     write_status(run_dir, &status)?;
     let mut merged = merge_run(plan, run_dir, opts.verify_against.as_deref())?;
     if opts.promote {
         merged.promoted_to = Some(promote(plan, run_dir)?.display().to_string());
     }
+    status.events.push(run_event("complete", &merged.path));
     status.merged = Some(merged);
     status.state = RunState::Complete;
     refresh_totals(&mut status, initial_done, started);
@@ -271,9 +292,15 @@ pub fn supervise(
     Ok(status)
 }
 
+/// A run-level [`ShardEvent`] (no shard coordinates, attempt 0).
+fn run_event(event: &str, detail: &str) -> ShardEvent {
+    ShardEvent { shard: String::new(), attempt: 0, event: event.into(), detail: detail.into() }
+}
+
 /// Starts the next attempt of one shard (spawn failures count as
 /// attempts too — a persistently unspawnable worker exhausts its retries
 /// instead of looping forever).
+#[allow(clippy::too_many_arguments)] // supervision state is genuinely this wide
 fn spawn_attempt(
     plan: &Plan,
     spawner: &Spawner,
@@ -282,17 +309,32 @@ fn spawn_attempt(
     sh: &mut ShardRt,
     resume: bool,
     crash_after: Option<usize>,
+    events: &mut Vec<ShardEvent>,
 ) {
     st.attempt += 1;
     match spawner.spawn(plan, index, st.attempt, resume, crash_after) {
         Ok(child) => {
-            st.pid = Some(child.id());
+            let pid = child.id();
+            st.pid = Some(pid);
             sh.child = Some(child);
             sh.last_beat = Instant::now();
             st.state = ShardState::Running;
+            events.push(ShardEvent {
+                shard: st.shard.clone(),
+                attempt: st.attempt,
+                event: "spawned".into(),
+                detail: format!("pid={pid}{}", if resume { " resume" } else { "" }),
+            });
         }
         Err(e) => {
-            record_failure(plan, st, sh, format!("spawn failed: {e}"), plan.max_retries + 1);
+            record_failure(
+                plan,
+                st,
+                sh,
+                format!("spawn failed: {e}"),
+                plan.max_retries + 1,
+                events,
+            );
         }
     }
 }
@@ -305,8 +347,15 @@ fn record_failure(
     sh: &mut ShardRt,
     reason: String,
     max_attempts: usize,
+    events: &mut Vec<ShardEvent>,
 ) {
     eprintln!("[ekya_grid: shard {} attempt {} failed — {reason}]", st.shard, st.attempt);
+    events.push(ShardEvent {
+        shard: st.shard.clone(),
+        attempt: st.attempt,
+        event: "attempt_failed".into(),
+        detail: reason.clone(),
+    });
     st.failures.push(ShardFailure { attempt: st.attempt, reason });
     if st.attempt < max_attempts {
         let delay = backoff_delay(plan.backoff_ms, st.attempt);
@@ -319,9 +368,21 @@ fn record_failure(
         );
         st.state = ShardState::Retrying;
         sh.retry_at = Some(Instant::now() + delay);
+        events.push(ShardEvent {
+            shard: st.shard.clone(),
+            attempt: st.attempt,
+            event: "retry_scheduled".into(),
+            detail: format!("backoff {:.1}s", delay.as_secs_f64()),
+        });
     } else {
         eprintln!("[ekya_grid: shard {} FAILED — {} attempts exhausted]", st.shard, st.attempt);
         st.state = ShardState::Failed;
+        events.push(ShardEvent {
+            shard: st.shard.clone(),
+            attempt: st.attempt,
+            event: "exhausted".into(),
+            detail: format!("{} attempts", st.attempt),
+        });
     }
 }
 

@@ -577,12 +577,31 @@ impl EdgeDaemon {
         assert_eq!(self.window_idx, 0, "admission after serving starts is not supported");
         if self.streams.len() >= self.cfg.capacity {
             self.rejected += 1;
+            if ekya_telemetry::enabled() {
+                ekya_telemetry::event(
+                    "server.daemon",
+                    "admission_reject",
+                    &format!("capacity_exceeded capacity={}", self.cfg.capacity),
+                );
+                ekya_telemetry::counter_add("server.daemon", "admission_rejected", 1);
+            }
             return Err(AdmissionError::CapacityExceeded { capacity: self.cfg.capacity });
         }
         let offered_fps: f64 =
             self.streams.iter().map(|s| s.ds.spec.fps).sum::<f64>() + ds.spec.fps;
         if offered_fps > self.cfg.serve_fps_capacity {
             self.rejected += 1;
+            if ekya_telemetry::enabled() {
+                ekya_telemetry::event(
+                    "server.daemon",
+                    "admission_reject",
+                    &format!(
+                        "rate_exceeded offered_fps={offered_fps:.3} capacity_fps={:.3}",
+                        self.cfg.serve_fps_capacity
+                    ),
+                );
+                ekya_telemetry::counter_add("server.daemon", "admission_rejected", 1);
+            }
             return Err(AdmissionError::RateExceeded {
                 offered_fps,
                 capacity_fps: self.cfg.serve_fps_capacity,
@@ -626,6 +645,9 @@ impl EdgeDaemon {
             status,
             ds,
         });
+        if ekya_telemetry::enabled() {
+            ekya_telemetry::counter_add("server.daemon", "streams_admitted", 1);
+        }
         Ok(id)
     }
 
@@ -680,6 +702,12 @@ impl EdgeDaemon {
     pub fn run_window(&mut self) -> Vec<ServeWindowReport> {
         let w_idx = self.window_idx;
         let n = self.streams.len();
+        // Everything this window emits on the daemon thread is keyed to
+        // the window index; worker threads (Phases A/E) re-enter their
+        // own (window, stream) contexts, since contexts are thread-local.
+        let _w_ctx = ekya_telemetry::enabled()
+            .then(|| ekya_telemetry::Ctx::current().window(w_idx as i64).enter());
+        let _w_wall = ekya_telemetry::timing::wall_span("server.daemon", "window");
         for st in &self.streams {
             assert!(
                 w_idx < st.ds.num_windows(),
@@ -727,6 +755,15 @@ impl EdgeDaemon {
         };
         let mut policy = EkyaPolicy::new(self.cfg.scheduler);
         let plan = policy.plan_window(&ctx);
+        if ekya_telemetry::enabled() {
+            let retrains = plan.streams.iter().filter(|s| s.retrain.is_some()).count();
+            ekya_telemetry::span(
+                "server.daemon",
+                "plan",
+                retrains as f64,
+                &format!("streams={n} retrains={retrains}"),
+            );
+        }
 
         // ---- Phase C: dispatch retraining round-robin over the
         // supervised pool; one waiter thread per trainer drains its jobs
@@ -743,6 +780,14 @@ impl EdgeDaemon {
             let st = &mut self.streams[s];
             planned[s] = true;
             st.status.retrains_planned += 1;
+            // Logical event: *that* a retrain was dispatched is planner
+            // output; *which* trainer got it is physical placement
+            // (pool size tracks worker count) and stays out of the
+            // fingerprinted plane.
+            if ekya_telemetry::enabled() {
+                let _s_ctx = ekya_telemetry::Ctx::current().stream(st.id.0 as i64).enter();
+                ekya_telemetry::event("server.daemon", "retrain_dispatch", "");
+            }
             let spec = TrainJobSpec {
                 base_model: prep[s].model.clone(),
                 pool: prep[s].pool.clone(),
@@ -792,10 +837,16 @@ impl EdgeDaemon {
             self.pump_once(w_idx, cursor, &mut live_served);
             std::process::exit(17);
         }
-        while waiters.iter().any(|j| !j.is_finished()) {
-            self.pump_once(w_idx, cursor, &mut live_served);
-            cursor += self.cfg.batch_size;
+        let mut pump_rounds = 0u64;
+        {
+            let _train_wall = ekya_telemetry::timing::wall_span("server.daemon", "train_wait");
+            while waiters.iter().any(|j| !j.is_finished()) {
+                self.pump_once(w_idx, cursor, &mut live_served);
+                cursor += self.cfg.batch_size;
+                pump_rounds += 1;
+            }
         }
+        ekya_telemetry::timing::wall_gauge_max("server.daemon", "live_pump_rounds", pump_rounds);
         let mut outcomes: Vec<Option<Option<TrainOutcome>>> = (0..n).map(|_| None).collect();
         for waiter in waiters {
             for (s, out) in waiter.join().expect("trainer waiter thread") {
@@ -814,6 +865,15 @@ impl EdgeDaemon {
         let mut reports = Vec::with_capacity(n);
         for (s, (version, accuracy, model_mbits)) in finals.into_iter().enumerate() {
             let st = &mut self.streams[s];
+            // Per-stream logical records for this window, emitted from
+            // the daemon thread in stream order — keyed by (window,
+            // stream, model_version), never by anything wall-clock.
+            let _s_ctx = ekya_telemetry::enabled().then(|| {
+                ekya_telemetry::Ctx::current()
+                    .stream(st.id.0 as i64)
+                    .model_version(version as i64)
+                    .enter()
+            });
             let swapped = version - st.status.model_version;
             st.status.model_version = version;
             st.status.checkpoints_swapped += swapped;
@@ -827,10 +887,28 @@ impl EdgeDaemon {
                 });
                 st.status.swap_mbits += model_mbits;
                 st.status.swap_transfer_secs += done.finished_at - done.started_at;
+                if ekya_telemetry::enabled() {
+                    ekya_telemetry::event(
+                        "server.daemon",
+                        "hot_swap",
+                        &format!(
+                            "mbits={model_mbits:.3} transfer_secs={:.6}",
+                            done.finished_at - done.started_at
+                        ),
+                    );
+                    ekya_telemetry::hist_observe(
+                        "server.daemon",
+                        "swap_transfer_secs",
+                        done.finished_at - done.started_at,
+                    );
+                }
             }
             let failed = planned[s] && matches!(outcomes[s], Some(None));
             if failed {
                 st.status.retrains_failed += 1;
+                if ekya_telemetry::enabled() {
+                    ekya_telemetry::event("server.daemon", "retrain_failed", "");
+                }
             }
 
             // Logical serving ledger for this window.
@@ -849,6 +927,19 @@ impl EdgeDaemon {
             st.status.peak_latency_ticks =
                 st.status.peak_queue_depth.div_ceil(self.cfg.batch_size.max(1) as u64);
             st.status.windows_completed += 1;
+            if ekya_telemetry::enabled() {
+                ekya_telemetry::span(
+                    "server.daemon",
+                    "stream_window",
+                    accuracy,
+                    &format!("retrained={} failed={failed} swapped={swapped}", planned[s]),
+                );
+                ekya_telemetry::hist_observe(
+                    "server.daemon",
+                    "peak_queue_depth",
+                    st.status.peak_queue_depth as f64,
+                );
+            }
 
             reports.push(ServeWindowReport {
                 id: st.id,
@@ -859,6 +950,19 @@ impl EdgeDaemon {
                 live_served_during_training: live_served[s],
             });
         }
+        if ekya_telemetry::enabled() {
+            ekya_telemetry::counter_add("server.daemon", "windows_completed", 1);
+            ekya_telemetry::counter_add(
+                "server.daemon",
+                "swaps_credited",
+                reports.iter().map(|r| r.checkpoints_swapped).sum(),
+            );
+            ekya_telemetry::counter_add(
+                "server.daemon",
+                "retrains_failed",
+                reports.iter().filter(|r| r.retrain_failed).count() as u64,
+            );
+        }
         self.window_idx += 1;
         reports
     }
@@ -867,6 +971,14 @@ impl EdgeDaemon {
     /// every stream's shard (blocking ask — replies are the proof of
     /// liveness).
     fn pump_once(&self, w_idx: usize, cursor: usize, live_served: &mut [u64]) {
+        if ekya_telemetry::enabled() {
+            let depth = self.shards.iter().map(|h| h.mailbox_len()).max().unwrap_or(0);
+            ekya_telemetry::timing::wall_gauge_max(
+                "server.daemon",
+                "shard_mailbox_depth",
+                depth as u64,
+            );
+        }
         for (s, st) in self.streams.iter().enumerate() {
             let val = &st.ds.window(w_idx).val;
             let frames: Vec<Sample> = val
@@ -902,8 +1014,20 @@ impl EdgeDaemon {
             {
                 let addrs = shard_addrs.clone();
                 scope.spawn(move || {
+                    let _chunk_wall =
+                        ekya_telemetry::timing::wall_span("server.daemon", "phase_a_chunk");
                     for (i, (st, slot)) in states.iter_mut().zip(slots.iter_mut()).enumerate() {
                         let s = c * chunk + i;
+                        // Contexts are thread-local: re-key this worker's
+                        // deep emissions (micro-profiler spans) to the
+                        // (window, stream) they belong to, so planner
+                        // worker count never reorders the sorted trace.
+                        let _s_ctx = ekya_telemetry::enabled().then(|| {
+                            ekya_telemetry::Ctx::current()
+                                .window(w_idx as i64)
+                                .stream(st.id.0 as i64)
+                                .enter()
+                        });
                         let w = st.ds.window(w_idx);
                         let fresh = distill_labels(&mut st.teacher, &w.train_pool);
                         let pool = st.memory.training_mix(&fresh);

@@ -1,0 +1,114 @@
+//! Fixed-bucket histograms for the logical plane.
+//!
+//! Buckets are a fixed power-of-two ladder shared by every histogram in
+//! the workspace, so two shards' bucket arrays merge by element-wise
+//! `u64` addition — commutative, hence schedule-independent — and the
+//! `ekya_trace summary` view can quote p50/p95 without ever having
+//! stored the raw samples.
+
+/// Number of buckets in every histogram.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Exponent of the upper bound of bucket 0: bucket 0 holds every value
+/// `<= 2^FIRST_EXP` (including zero and negatives, which logical values
+/// never are but a histogram must not panic on).
+const FIRST_EXP: i32 = -20;
+
+/// The bucket index a value falls into. Bucket `i` (for `0 < i <
+/// HIST_BUCKETS-1`) holds values in `(2^(FIRST_EXP+i-1),
+/// 2^(FIRST_EXP+i)]`; the last bucket is the overflow. The mapping is a
+/// pure function of the value's bits — no rounding mode or platform
+/// dependence — so identical logical values bucket identically
+/// everywhere.
+pub fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0;
+    }
+    for i in 0..HIST_BUCKETS - 1 {
+        if value <= bucket_bound(i) {
+            return i;
+        }
+    }
+    HIST_BUCKETS - 1
+}
+
+/// Upper bound of bucket `i` (the last bucket is unbounded and reports
+/// `f64::INFINITY`).
+pub fn bucket_bound(i: usize) -> f64 {
+    if i >= HIST_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(FIRST_EXP + i as i32)
+    }
+}
+
+/// The `q`-quantile (`0.0..=1.0`) estimated from bucket counts: the
+/// upper bound of the first bucket where the cumulative count reaches
+/// `q` of the total. Returns 0.0 for an empty histogram. The estimate
+/// is conservative (quotes the bucket ceiling), which is the right bias
+/// for a regression watchdog.
+pub fn quantile(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(buckets.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_positive_line() {
+        for v in [1e-9, 0.001, 0.5, 1.0, 1.5, 1024.0, 1e9] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_bound(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "{v} not above previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_values_land_in_bucket_zero() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-3.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn overflow_lands_in_last_bucket() {
+        assert_eq!(bucket_of(f64::INFINITY), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(1e30), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_walks_the_cumulative_counts() {
+        let mut b = vec![0u64; HIST_BUCKETS];
+        // 10 observations of ~1.0 (bucket of 1.0), 10 of ~1000.
+        let lo = bucket_of(1.0);
+        let hi = bucket_of(1000.0);
+        b[lo] = 10;
+        b[hi] = 10;
+        assert_eq!(quantile(&b, 0.5), bucket_bound(lo));
+        assert_eq!(quantile(&b, 0.95), bucket_bound(hi));
+        assert_eq!(quantile(&[0u64; HIST_BUCKETS], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_its_bucket() {
+        let mut b = vec![0u64; HIST_BUCKETS];
+        b[bucket_of(0.25)] = 1;
+        assert_eq!(quantile(&b, 0.5), bucket_bound(bucket_of(0.25)));
+        assert_eq!(quantile(&b, 0.95), bucket_bound(bucket_of(0.25)));
+    }
+}

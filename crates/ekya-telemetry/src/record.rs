@@ -1,0 +1,95 @@
+//! The logical-plane trace record: one JSONL line per record.
+//!
+//! Every field is logical — derived from the workload and seed, never
+//! from the clock, the thread schedule, or the process layout. Fields
+//! that do not apply to a record carry sentinel values (`-1` for
+//! indices, `""` for the cell fingerprint) rather than `Option`s, so
+//! the serialized line set is flat and trivially sortable.
+
+use serde::{Deserialize, Serialize};
+
+/// One logical-plane trace record.
+///
+/// `kind` is one of:
+/// * `"span"` — a completed unit of logical work; `value` carries its
+///   deterministic magnitude (GPU-seconds, evaluations, streams —
+///   whatever the emitting layer documents).
+/// * `"event"` — a point occurrence; `detail` carries the payload.
+/// * `"counter"` — an aggregated `u64` total in `count` (summed
+///   commutatively, so worker count cannot change it).
+/// * `"hist"` — an aggregated fixed-bucket histogram in `buckets`
+///   (see [`crate::hist`]), total observations in `count`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Record kind: `span`, `event`, `counter`, or `hist`.
+    pub kind: String,
+    /// Emitting layer, dotted (`core.scheduler`, `bench.grid`,
+    /// `serve.daemon`, ...).
+    pub layer: String,
+    /// Span/event/counter/histogram name within the layer.
+    pub name: String,
+    /// Logical retraining-window index; `-1` when not in a window.
+    pub window: i64,
+    /// Stream id; `-1` when not stream-scoped.
+    pub stream: i64,
+    /// Grid-cell fingerprint (hex); empty when not cell-scoped. Note
+    /// this is the cell's *identity*, never the executing shard — which
+    /// process ran the cell is placement, i.e. wall-plane.
+    pub cell: String,
+    /// Logical shard id (e.g. the daemon's inference-shard index a
+    /// stream hashes to); `-1` when not shard-scoped.
+    pub shard: i64,
+    /// Serving-model version; `-1` when not model-scoped.
+    pub model_version: i64,
+    /// Per-context sequence number: position of this record within its
+    /// logical scope (reset to 0 on every context push). Orders records
+    /// that share all other key fields.
+    pub seq: u64,
+    /// Deterministic magnitude for spans/events (must be finite; the
+    /// serializer rejects NaN/inf).
+    pub value: f64,
+    /// Aggregated total for counters and histograms; 0 otherwise.
+    pub count: u64,
+    /// Free-form deterministic payload (config indices, steal ledgers,
+    /// rejection reasons).
+    pub detail: String,
+    /// Histogram bucket counts ([`crate::HIST_BUCKETS`] entries) for
+    /// `hist` records; empty otherwise.
+    pub buckets: Vec<u64>,
+}
+
+impl TraceRecord {
+    /// The sort key that makes the flushed line order total and
+    /// schedule-independent: logical coordinates first, then layer /
+    /// kind / name / seq. Ties beyond this key are broken by the full
+    /// serialized line (see [`crate::recorder::render`]), so the order
+    /// is total even for duplicate records.
+    pub fn sort_key(&self) -> (i64, i64, String, i64, String, String, String, u64) {
+        (
+            self.window,
+            self.stream,
+            self.cell.clone(),
+            self.shard,
+            self.layer.clone(),
+            self.kind.clone(),
+            self.name.clone(),
+            self.seq,
+        )
+    }
+
+    /// The identity under which `counter` and `hist` records merge
+    /// across shard traces: every field that names the measurement,
+    /// none that describe its magnitude.
+    pub fn merge_key(&self) -> (String, String, String, i64, i64, String, i64, i64) {
+        (
+            self.kind.clone(),
+            self.layer.clone(),
+            self.name.clone(),
+            self.window,
+            self.stream,
+            self.cell.clone(),
+            self.shard,
+            self.model_version,
+        )
+    }
+}

@@ -1,0 +1,194 @@
+//! Pure trace views: the aggregation behind `ekya_trace summary` and
+//! the ASCII lanes behind `ekya_trace timeline`.
+//!
+//! Both take records in canonical (sorted) order and are pure string
+//! functions of them, so the views are as deterministic as the trace.
+
+use crate::hist::quantile;
+use crate::record::TraceRecord;
+use std::collections::BTreeMap;
+
+/// One row of the per-span aggregate table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Emitting layer.
+    pub layer: String,
+    /// Record name.
+    pub name: String,
+    /// Record kind (`span`, `event`, `counter`, `hist`).
+    pub kind: String,
+    /// Occurrences (span/event records, counter totals, or histogram
+    /// observation counts).
+    pub count: u64,
+    /// Sum of span values (0 for other kinds).
+    pub total_value: f64,
+    /// p50 from histogram buckets (0 for other kinds).
+    pub p50: f64,
+    /// p95 from histogram buckets (0 for other kinds).
+    pub p95: f64,
+}
+
+/// Aggregates records by (layer, name, kind). Counter totals and
+/// histogram buckets sum across contexts; span values sum in canonical
+/// record order (deterministic because the input order is).
+pub fn summarize(records: &[TraceRecord]) -> Vec<SummaryRow> {
+    let mut rows: BTreeMap<(String, String, String), SummaryRow> = BTreeMap::new();
+    let mut buckets: BTreeMap<(String, String, String), Vec<u64>> = BTreeMap::new();
+    for r in records {
+        let key = (r.layer.clone(), r.name.clone(), r.kind.clone());
+        let row = rows.entry(key.clone()).or_insert_with(|| SummaryRow {
+            layer: r.layer.clone(),
+            name: r.name.clone(),
+            kind: r.kind.clone(),
+            count: 0,
+            total_value: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+        });
+        match r.kind.as_str() {
+            "counter" | "hist" => row.count += r.count,
+            _ => {
+                row.count += 1;
+                row.total_value += r.value;
+            }
+        }
+        if r.kind == "hist" {
+            let b = buckets.entry(key).or_insert_with(|| vec![0u64; r.buckets.len()]);
+            for (a, v) in b.iter_mut().zip(r.buckets.iter()) {
+                *a += v;
+            }
+        }
+    }
+    let mut out: Vec<SummaryRow> = rows
+        .into_iter()
+        .map(|(key, mut row)| {
+            if let Some(b) = buckets.get(&key) {
+                row.p50 = quantile(b, 0.50);
+                row.p95 = quantile(b, 0.95);
+            }
+            row
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.layer, &a.name, &a.kind).cmp(&(&b.layer, &b.name, &b.kind)));
+    out
+}
+
+fn lane_label(r: &TraceRecord) -> String {
+    if r.stream >= 0 {
+        format!("stream{:>4}", r.stream)
+    } else if !r.cell.is_empty() {
+        format!("cell {}", &r.cell[..r.cell.len().min(8)])
+    } else if r.shard >= 0 {
+        format!("shard{:>4}", r.shard)
+    } else {
+        "run       ".trim_end().to_string()
+    }
+}
+
+/// Renders ASCII lanes: one section per window (`-1` renders as
+/// `pre-run`), one lane per stream/cell/shard, span and event names in
+/// sequence order. Aggregate records (counters, histograms) are listed
+/// under a trailing `totals` section.
+pub fn timeline(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    let mut by_window: BTreeMap<i64, BTreeMap<String, Vec<&TraceRecord>>> = BTreeMap::new();
+    let mut totals: Vec<&TraceRecord> = Vec::new();
+    for r in records {
+        match r.kind.as_str() {
+            "counter" | "hist" => totals.push(r),
+            _ => by_window.entry(r.window).or_default().entry(lane_label(r)).or_default().push(r),
+        }
+    }
+    for (window, lanes) in &by_window {
+        if *window < 0 {
+            out.push_str("== pre-run ==\n");
+        } else {
+            out.push_str(&format!("== window {window} ==\n"));
+        }
+        for (lane, recs) in lanes {
+            let mut cells = Vec::with_capacity(recs.len());
+            for r in recs {
+                let mark = if r.kind == "span" {
+                    format!("[{} {:.4}]", r.name, r.value)
+                } else {
+                    format!("·{}", r.name)
+                };
+                cells.push(mark);
+            }
+            out.push_str(&format!("  {lane:<12} {}\n", cells.join(" ")));
+        }
+    }
+    if !totals.is_empty() {
+        out.push_str("== totals ==\n");
+        for r in totals {
+            out.push_str(&format!(
+                "  {:<28} {:>12}  {}\n",
+                format!("{}/{}", r.layer, r.name),
+                r.count,
+                r.kind
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{bucket_bound, bucket_of, HIST_BUCKETS};
+
+    fn span_rec(name: &str, window: i64, stream: i64, seq: u64, value: f64) -> TraceRecord {
+        TraceRecord {
+            kind: "span".into(),
+            layer: "l".into(),
+            name: name.into(),
+            window,
+            stream,
+            cell: String::new(),
+            shard: -1,
+            model_version: -1,
+            seq,
+            value,
+            count: 0,
+            detail: String::new(),
+            buckets: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_spans_counters_and_hists() {
+        let mut hist = span_rec("cost", 0, -1, 0, 0.0);
+        hist.kind = "hist".into();
+        hist.count = 3;
+        hist.buckets = vec![0u64; HIST_BUCKETS];
+        hist.buckets[bucket_of(1.0)] = 3;
+        let mut counter = span_rec("items", 0, -1, 0, 0.0);
+        counter.kind = "counter".into();
+        counter.count = 7;
+        let records =
+            vec![span_rec("work", 0, 1, 0, 2.0), span_rec("work", 0, 2, 0, 3.0), counter, hist];
+        let rows = summarize(&records);
+        let work = rows.iter().find(|r| r.name == "work").unwrap();
+        assert_eq!(work.count, 2);
+        assert!((work.total_value - 5.0).abs() < 1e-12);
+        let items = rows.iter().find(|r| r.name == "items").unwrap();
+        assert_eq!(items.count, 7);
+        let cost = rows.iter().find(|r| r.name == "cost").unwrap();
+        assert_eq!(cost.count, 3);
+        assert_eq!(cost.p50, bucket_bound(bucket_of(1.0)));
+    }
+
+    #[test]
+    fn timeline_groups_by_window_and_lane() {
+        let records = vec![
+            span_rec("a", 0, 1, 0, 1.0),
+            span_rec("b", 0, 1, 1, 2.0),
+            span_rec("a", 1, 2, 0, 1.0),
+        ];
+        let t = timeline(&records);
+        assert!(t.contains("== window 0 =="), "got: {t}");
+        assert!(t.contains("== window 1 =="), "got: {t}");
+        assert!(t.contains("stream   1"), "got: {t}");
+        assert!(t.contains("[a 1.0000] [b 2.0000]"), "got: {t}");
+    }
+}

@@ -12,7 +12,11 @@
 //! * [`net`] (`ekya-net`) — edge↔cloud links (Table 4);
 //! * [`actors`] (`ekya-actors`) — actor runtime (the paper's Ray, §5);
 //! * [`baselines`] (`ekya-baselines`) — uniform/ablation/cloud/cache
-//!   comparisons.
+//!   comparisons;
+//! * [`telemetry`] (`ekya-telemetry`) — two-plane structured tracing:
+//!   a deterministic logical plane (spans/events/counters keyed by
+//!   window, cell, shard, model version) plus a quarantined wall-clock
+//!   plane, off by default (`EKYA_TRACE`).
 //!
 //! Two experiment-layer crates ride on top (dev-dependencies of this
 //! facade, guarded by `tests/workspace_smoke.rs`): `ekya-bench` — the
@@ -41,6 +45,7 @@ pub use ekya_net as net;
 pub use ekya_nn as nn;
 pub use ekya_server as server;
 pub use ekya_sim as sim;
+pub use ekya_telemetry as telemetry;
 pub use ekya_video as video;
 
 /// One-stop imports for the common experiment workflow.

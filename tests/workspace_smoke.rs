@@ -177,7 +177,7 @@ fn orchestrator_symbols_importable() {
     let _ = ekya_orchestrate::backoff_delay as fn(u64, usize) -> std::time::Duration;
 }
 
-/// The facade re-exports all eight sub-crates as modules.
+/// The facade re-exports all nine sub-crates as modules.
 #[test]
 fn facade_modules_present() {
     let _ = std::any::type_name::<ekya::actors::ActorSystem<DummyActor>>();
@@ -187,6 +187,7 @@ fn facade_modules_present() {
     let _ = std::any::type_name::<ekya::nn::Matrix>();
     let _ = std::any::type_name::<ekya::server::TrainOutcome>();
     let _ = std::any::type_name::<ekya::sim::SimTime>();
+    let _ = std::any::type_name::<ekya::telemetry::TraceRecord>();
     let _ = std::any::type_name::<ekya::video::ObjectClass>();
 }
 
@@ -279,6 +280,56 @@ fn serving_path_registered() {
         serde_json::to_string_pretty(&b.snapshot).unwrap(),
         "serving snapshots must be byte-identical for one seed"
     );
+}
+
+/// The telemetry surface (`ekya-telemetry`): both planes' entry points
+/// stay importable through the facade, the logical-plane toolkit
+/// (parse / merge / validate / summarize / chrome export) stays intact,
+/// the `EKYA_TRACE` knob stays on the knob surface, and the trace
+/// integration suite exists where cargo auto-discovers it.
+#[test]
+fn telemetry_registered() {
+    // Session control + the disabled-fast-path check.
+    let _ = ekya::telemetry::start as fn(Option<std::path::PathBuf>);
+    let _ = ekya::telemetry::stop as fn();
+    let _ = ekya::telemetry::enabled as fn() -> bool;
+    let _ = ekya::telemetry::flush as fn() -> std::io::Result<()>;
+    let _ = ekya::telemetry::render as fn() -> String;
+
+    // Logical-plane emission + context keying.
+    let _ = std::any::type_name::<ekya::telemetry::Ctx>();
+    let _ = std::any::type_name::<ekya::telemetry::CtxGuard>();
+    let _ = std::any::type_name::<ekya::telemetry::TraceRecord>();
+    let _ = ekya::telemetry::span as fn(&str, &str, f64, &str);
+    let _ = ekya::telemetry::event as fn(&str, &str, &str);
+    let _ = ekya::telemetry::counter_add as fn(&str, &str, u64);
+    let _ = ekya::telemetry::hist_observe as fn(&str, &str, f64);
+
+    // Trace toolkit the ekya_trace bin rides on.
+    let _ = ekya::telemetry::parse_trace as *const ();
+    let _ = ekya::telemetry::merge_traces as *const ();
+    let _ = ekya::telemetry::validate_trace as fn(&str) -> Vec<String>;
+    let _ = ekya::telemetry::chrome_trace as *const ();
+    let _ = ekya::telemetry::summarize as *const ();
+    let _ = ekya::telemetry::timeline as *const ();
+    let _ = std::any::type_name::<ekya::telemetry::SummaryRow>();
+    let _ = ekya::telemetry::HIST_BUCKETS;
+
+    // Wall-clock plane: quarantined in the timing module, sidecar-only.
+    let _ =
+        ekya::telemetry::wall_span as fn(&'static str, &'static str) -> ekya::telemetry::WallSpan;
+    let _ = ekya::telemetry::wall_gauge_max as fn(&'static str, &'static str, u64);
+
+    // The EKYA_TRACE knob + the trace-path policy live on ekya-bench.
+    let _ = ekya_bench::knob::trace as fn() -> Option<String>;
+    let _ = ekya_bench::trace_path as *const ();
+
+    // The trace integration suite exists where cargo discovers it.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/ekya-bench/tests/trace.rs");
+    assert!(path.is_file(), "trace suite missing from crates/ekya-bench/tests/");
+    let src = std::fs::read_to_string(&path).expect("suite readable");
+    assert!(src.contains("#[test]"), "trace suite contains no #[test] functions");
 }
 
 /// All integration suites exist where cargo auto-discovers them. Each
