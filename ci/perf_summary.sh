@@ -35,8 +35,23 @@ BASELINE="${EKYA_BENCH_BASELINE:-ci/bench_baseline.json}"
   echo
   echo "## Perf trajectory"
   echo '```'
-  cargo run --release -q -p ekya-bench --bin bench_series 2>&1
+  series_out=$(cargo run --release -q -p ekya-bench --bin bench_series 2>&1)
+  echo "${series_out:-<no bench_series output>}"
   echo '```'
+  echo
+  # Serving hot-path frames/sec, pulled out of the full trajectory so
+  # the record that gates the zero-copy serving path (cells == frames
+  # for `serve_throughput*`) is readable without scanning every table.
+  echo "## Serving hot path (frames/sec trajectory)"
+  serve_out=$(echo "$series_out" \
+    | awk '/^## serve_throughput/{on=1; print; next} /^## /{on=0} on')
+  if [ -n "$serve_out" ]; then
+    echo '```'
+    echo "$serve_out"
+    echo '```'
+  else
+    echo "_no serve_throughput entries in the trajectory yet — run harness_bench_"
+  fi
   echo
   # Logical-plane window traces, when the quick tier's traced ekya_serve
   # smoke (EKYA_TRACE=1) left any behind. `ekya_trace summary` scans

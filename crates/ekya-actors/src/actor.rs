@@ -9,7 +9,7 @@
 //! This module is the same abstraction on OS threads + crossbeam
 //! channels — CPU-bound work belongs on threads, not an async runtime.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use std::thread::JoinHandle;
 
 /// A message-handling actor. One instance runs on one thread; `handle`
@@ -50,6 +50,55 @@ pub(crate) enum Envelope<A: Actor> {
     Stop,
 }
 
+/// An in-flight reply from [`Address::ask_deferred`]: the request is
+/// already queued with the actor; [`Pending::wait`] blocks for the
+/// reply. Splitting *send* from *wait* lets one thread fan a request
+/// out to several actors and only then start waiting, so the actors
+/// work concurrently instead of serialising behind one blocking `ask`
+/// at a time.
+#[must_use = "a deferred ask does nothing until waited on"]
+pub struct Pending<R> {
+    rx: Receiver<R>,
+}
+
+impl<R> Pending<R> {
+    /// Blocks until the actor replies. A dropped reply sender means the
+    /// actor died (or panicked) while holding the request.
+    pub fn wait(self) -> Result<R, ActorError> {
+        self.rx.recv().map_err(|_| ActorError::Panicked)
+    }
+}
+
+/// Shared body of [`Address::try_send_many`] / [`ActorHandle::try_send_many`].
+fn try_send_many_on<A: Actor>(
+    sender: &Sender<Envelope<A>>,
+    batch: &mut Vec<A::Msg>,
+) -> Result<usize, ActorError> {
+    let mut pending = std::mem::take(batch).into_iter();
+    let mut sent = 0usize;
+    let mut result = Ok(());
+    for msg in pending.by_ref() {
+        match sender.try_send(Envelope::Tell(msg)) {
+            Ok(()) => sent += 1,
+            Err(TrySendError::Full(env)) => {
+                if let Envelope::Tell(msg) = env {
+                    batch.push(msg);
+                }
+                break;
+            }
+            Err(TrySendError::Disconnected(env)) => {
+                if let Envelope::Tell(msg) = env {
+                    batch.push(msg);
+                }
+                result = Err(ActorError::Stopped);
+                break;
+            }
+        }
+    }
+    batch.extend(pending);
+    result.map(|()| sent)
+}
+
 /// A cloneable, lifecycle-free address of an actor: lets other actors (or
 /// threads) send messages without owning the actor's join handle. Sends
 /// fail with [`ActorError::Stopped`] once the actor shuts down.
@@ -80,6 +129,26 @@ impl<A: Actor> Address<A> {
         let (tx, rx) = bounded(1);
         self.sender.send(Envelope::Ask(msg, tx)).map_err(|_| ActorError::Stopped)?;
         rx.recv().map_err(|_| ActorError::Panicked)
+    }
+
+    /// Queues a request and returns immediately with a [`Pending`] reply
+    /// slot; [`Pending::wait`] blocks for the answer. Backpressure is
+    /// unchanged — on a full bounded mailbox the *send* blocks, exactly
+    /// like [`Address::ask`].
+    pub fn ask_deferred(&self, msg: A::Msg) -> Result<Pending<A::Reply>, ActorError> {
+        let (tx, rx) = bounded(1);
+        self.sender.send(Envelope::Ask(msg, tx)).map_err(|_| ActorError::Stopped)?;
+        Ok(Pending { rx })
+    }
+
+    /// Fire-and-forget a *batch*: sends messages from the front of
+    /// `batch`, in order, for as long as the mailbox accepts them
+    /// **without blocking**, removing the sent prefix from `batch`.
+    /// Returns the number sent; the unsent tail stays in `batch` (FIFO
+    /// intact), so the caller keeps the backpressure decision — block
+    /// via [`Address::tell`], retry later, or shed load.
+    pub fn try_send_many(&self, batch: &mut Vec<A::Msg>) -> Result<usize, ActorError> {
+        try_send_many_on(&self.sender, batch)
     }
 }
 
@@ -116,6 +185,18 @@ impl<A: Actor> ActorHandle<A> {
         // A dropped reply sender means the actor died (or panicked) while
         // holding our request.
         rx.recv().map_err(|_| ActorError::Panicked)
+    }
+
+    /// Queues a request without waiting (see [`Address::ask_deferred`]).
+    pub fn ask_deferred(&self, msg: A::Msg) -> Result<Pending<A::Reply>, ActorError> {
+        let (tx, rx) = bounded(1);
+        self.sender.send(Envelope::Ask(msg, tx)).map_err(|_| ActorError::Stopped)?;
+        Ok(Pending { rx })
+    }
+
+    /// Non-blocking batch send (see [`Address::try_send_many`]).
+    pub fn try_send_many(&self, batch: &mut Vec<A::Msg>) -> Result<usize, ActorError> {
+        try_send_many_on(&self.sender, batch)
     }
 
     /// Number of messages waiting in the mailbox.
@@ -372,6 +453,57 @@ mod tests {
         let seen = h.ask(GatedMsg::Seen).unwrap();
         assert_eq!(seen, (0..10).collect::<Vec<u64>>(), "order must be preserved");
         h.stop();
+    }
+
+    /// `try_send_many` on a full bounded mailbox must stop at the first
+    /// rejection — never block, never reorder — leaving the unsent tail
+    /// with the caller, and the tail must drain FIFO once the consumer
+    /// frees up.
+    #[test]
+    fn try_send_many_respects_backpressure_and_fifo() {
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let h = spawn_bounded("gated", Gated { release: gate_rx, seen: Vec::new() }, 2);
+        let addr = h.address();
+        let mut batch: Vec<GatedMsg> = (0..10).map(GatedMsg::Record).collect();
+        // Stalled consumer: at most 1 in the handler + 2 queued slots.
+        let sent = addr.try_send_many(&mut batch).unwrap();
+        assert!(sent <= 3, "sent {sent} messages past a full capacity-2 mailbox");
+        assert_eq!(batch.len(), 10 - sent, "unsent tail stays with the caller");
+        // Release the gate and push the tail through blocking tells.
+        for _ in 0..10 {
+            gate_tx.send(()).unwrap();
+        }
+        for msg in batch.drain(..) {
+            addr.tell(msg).unwrap();
+        }
+        let seen = h.ask(GatedMsg::Seen).unwrap();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>(), "coalesced send must stay FIFO");
+        h.stop();
+    }
+
+    #[test]
+    fn try_send_many_reports_stopped_actor() {
+        let h = spawn_bounded("counter", Counter { count: 0 }, 4);
+        let addr = h.address();
+        h.stop();
+        let mut batch = vec![CounterMsg::Add(1), CounterMsg::Add(2)];
+        assert_eq!(addr.try_send_many(&mut batch), Err(ActorError::Stopped));
+        assert_eq!(batch.len(), 2, "nothing is silently dropped on a dead mailbox");
+    }
+
+    /// Deferred asks let one producer put work on several actors before
+    /// waiting on any reply — and each `Pending` resolves to its own
+    /// actor's answer.
+    #[test]
+    fn ask_deferred_overlaps_requests() {
+        let a = spawn("counter-a", Counter { count: 10 });
+        let b = spawn("counter-b", Counter { count: 20 });
+        let pa = a.ask_deferred(CounterMsg::Add(1)).unwrap();
+        let pb = b.address().ask_deferred(CounterMsg::Add(2)).unwrap();
+        assert_eq!(pb.wait().unwrap(), 22);
+        assert_eq!(pa.wait().unwrap(), 11);
+        a.stop();
+        b.stop();
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod actor;
 pub mod supervisor;
 pub mod system;
 
-pub use actor::{spawn, spawn_bounded, Actor, ActorError, ActorHandle, Address};
+pub use actor::{spawn, spawn_bounded, Actor, ActorError, ActorHandle, Address, Pending};
 pub use supervisor::{
     spawn_supervised, spawn_supervised_bounded, SupervisedHandle, SupervisorStats,
 };

@@ -270,6 +270,78 @@ mod tests {
         h.stop();
     }
 
+    /// A recorder whose `Record` handler waits for one gate token per
+    /// message — a deterministic stand-in for a stalled consumer.
+    struct GatedRecorder {
+        gate: crossbeam::channel::Receiver<()>,
+        log: Arc<Mutex<Vec<i64>>>,
+    }
+
+    impl Actor for GatedRecorder {
+        type Msg = RecorderMsg;
+        type Reply = ();
+
+        fn handle(&mut self, msg: RecorderMsg) {
+            match msg {
+                RecorderMsg::Record(v) => {
+                    self.gate.recv().expect("gate token");
+                    self.log.lock().push(v);
+                }
+                RecorderMsg::Boom => panic!("injected failure"),
+            }
+        }
+    }
+
+    /// Coalesced (`try_send_many`) batches must keep both bounded-mailbox
+    /// contracts across a supervised restart: the non-blocking send stops
+    /// at capacity while the consumer stalls (backpressure stays with the
+    /// caller — a capacity-2 mailbox absorbs at most 1 in-handler + 2
+    /// queued), and everything eventually delivered — including messages
+    /// queued behind a panic — is served in original FIFO order by the
+    /// rebuilt actor.
+    #[test]
+    fn coalesced_sends_preserve_backpressure_and_fifo_across_restart() {
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let factory_log = Arc::clone(&log);
+        let h = spawn_supervised_bounded(
+            "recorder",
+            move || GatedRecorder { gate: gate_rx.clone(), log: Arc::clone(&factory_log) },
+            2,
+        );
+        let addr = h.address();
+        let mut batch = vec![
+            RecorderMsg::Record(1),
+            RecorderMsg::Boom,
+            RecorderMsg::Record(2),
+            RecorderMsg::Record(3),
+            RecorderMsg::Record(4),
+            RecorderMsg::Record(5),
+        ];
+        // Gate closed: the first coalesced send cannot push the whole
+        // batch — at most Record(1) into the handler plus two queued.
+        let sent = addr.try_send_many(&mut batch).unwrap();
+        assert!(sent <= 3, "sent {sent} messages past a stalled capacity-2 mailbox");
+        assert_eq!(batch.len(), 6 - sent, "unsent tail stays with the caller");
+        // Open the gate (one token per Record, Boom takes none) and keep
+        // coalescing the tail through; the panic + restart happens
+        // mid-batch.
+        for _ in 0..5 {
+            gate_tx.send(()).unwrap();
+        }
+        while !batch.is_empty() {
+            if addr.try_send_many(&mut batch).unwrap() == 0 {
+                std::thread::yield_now();
+            }
+        }
+        // Synchronise: the ask drains everything queued before it.
+        gate_tx.send(()).unwrap();
+        h.ask(RecorderMsg::Record(6)).unwrap();
+        assert_eq!(*log.lock(), vec![1, 2, 3, 4, 5, 6], "FIFO must survive the restart");
+        assert_eq!(h.stats().restarts, 1, "the Boom mid-batch restarts the actor once");
+        h.stop();
+    }
+
     #[test]
     fn bounded_supervised_panics_surface_to_asker() {
         let log = Arc::new(Mutex::new(Vec::new()));

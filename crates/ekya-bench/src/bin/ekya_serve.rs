@@ -22,6 +22,7 @@
 use ekya_bench::serve::{build_daemon, report_for, FleetConfig};
 use ekya_bench::{knob, results_dir, write_json, Knobs};
 use ekya_server::{ArrivalPattern, StatusSnapshot};
+use serde::Serialize;
 use std::path::PathBuf;
 
 fn snapshot_path() -> PathBuf {
@@ -40,8 +41,11 @@ fn flush_trace(traced: bool) {
 
 /// Writes the snapshot atomically: the tmp file is fully written, then
 /// renamed over the live path, so a reader (or a daemon killed mid-write)
-/// never sees a torn snapshot.
-fn write_snapshot(snap: &StatusSnapshot) {
+/// never sees a torn snapshot. Generic over the snapshot form — the
+/// serving loop hands it the daemon's borrowed `StatusView` (built only
+/// because a sink is installed; serialises byte-identically to the
+/// owned `StatusSnapshot`).
+fn write_snapshot(snap: &impl Serialize) {
     let path = snapshot_path();
     let tmp = path.with_extension("json.tmp");
     if let Err(e) = write_json(&tmp, snap) {
@@ -128,13 +132,19 @@ fn main() {
     let mut daemon = build_daemon(&cfg);
     // Window-0 snapshot: even a daemon that crashes during its first
     // window leaves a consistent (empty-ledger) snapshot behind.
-    write_snapshot(&daemon.status_snapshot());
+    write_snapshot(&daemon.status_view());
     flush_trace(traced.is_some());
+    // Per-window snapshots ride the daemon's snapshot sink: the daemon
+    // builds a *borrowed* status view (no per-stream ledger clones) at
+    // each window boundary, and only because this sink is installed.
+    let traced_on = traced.is_some();
+    daemon.set_snapshot_sink(move |view| {
+        write_snapshot(view);
+        flush_trace(traced_on);
+    });
 
     for w in 0..windows {
         let reports = daemon.run_window();
-        write_snapshot(&daemon.status_snapshot());
-        flush_trace(traced.is_some());
         let retrained = reports.iter().filter(|r| r.retrained).count();
         let failed = reports.iter().filter(|r| r.retrain_failed).count();
         let swapped: u64 = reports.iter().map(|r| r.checkpoints_swapped).sum();

@@ -1,10 +1,13 @@
 //! Harness throughput benchmark + determinism guard.
 //!
-//! Measures the four gated quick workloads — the quick-mode Figure 6
+//! Measures the five gated quick workloads — the quick-mode Figure 6
 //! scenario grid, the quick-mode fig03 configuration sweep, the
-//! quick-mode fig07 trace-replay grid, and the quick serving-path fleet
-//! (`serve_quick`: a 200-stream EdgeDaemon run) — each twice: serial
-//! (1 worker) and parallel (≥4 workers), asserting the two passes
+//! quick-mode fig07 trace-replay grid, the quick serving-path fleet
+//! (`serve_quick`: a 200-stream EdgeDaemon run), and the serving hot
+//! path in isolation (`serve_throughput`: steady-state frames/sec
+//! through the daemon's live pump at 1000 streams, gated by
+//! `EKYA_MIN_FPS`) — each twice: serial (1 worker / 1 shard) and
+//! parallel (≥4 workers), asserting the two passes
 //! produce **byte-identical** results. The run's records are appended as one
 //! entry (stamped with `git describe`) to the perf trajectory
 //! `results/BENCH_series.json`; the CI perf gate (`ci/check_bench.sh` /
@@ -94,6 +97,76 @@ fn measure_grid(name: &str, label: &str, grid: &Grid, workers: usize) -> BenchRe
          workers · speedup {speedup:.2}x · {:.2} cells/s · serial ≡ parallel ✓",
         record.serial_wall_secs, record.parallel_wall_secs, record.cells_per_sec
     );
+    record
+}
+
+/// Steady-state frames/sec of the serving hot path, measured on this
+/// machine *before* the zero-copy refactor (per-stream blocking asks,
+/// freshly cloned batch `Vec`s, deep-copied models): the reference the
+/// `serve_throughput` output prints its improvement ratio against.
+const PRE_REFACTOR_FPS: f64 = 700_000.0;
+
+/// Boots a daemon for `cfg`, warms the pump (slot scratch sizing + the
+/// carrier free list), then times `rounds` rounds of pure live pumping.
+/// Returns `(wall secs, frames classified, snapshot bytes before,
+/// snapshot bytes after)` — the two snapshot strings must be equal (the
+/// pump is wall plane only) and identical across daemon shapes.
+fn measure_pump(cfg: &FleetConfig, rounds: usize) -> (f64, u64, String, String) {
+    let mut daemon = ekya_bench::build_daemon(cfg);
+    let warm = daemon.pump_rounds(2);
+    assert!(warm > 0, "warmup pump must classify frames");
+    let before = serde_json::to_string_pretty(&daemon.status_view()).expect("serialise");
+    let started = Instant::now();
+    let frames = daemon.pump_rounds(rounds);
+    let secs = started.elapsed().as_secs_f64();
+    let after = serde_json::to_string_pretty(&daemon.status_view()).expect("serialise");
+    daemon.shutdown();
+    (secs, frames, before, after)
+}
+
+/// Measures the `serve_throughput` shape pair (serial 1-shard daemon vs
+/// parallel shape) at `streams` streams, asserts the logical plane is
+/// untouched and shape-independent, prints the frames/sec line with the
+/// pre-refactor reference, and applies the `EKYA_MIN_FPS` gate.
+fn measure_serve_throughput(
+    name: &str,
+    streams: usize,
+    rounds: usize,
+    seed: u64,
+    workers: usize,
+) -> BenchRecord {
+    eprintln!("[harness_bench: {name} — {streams} streams, serial shape]");
+    let (serial_secs, serial_frames, s_before, s_after) =
+        measure_pump(&FleetConfig::serial(streams, 1, seed), rounds);
+    eprintln!("[harness_bench: {name} — parallel shape]");
+    let (parallel_secs, parallel_frames, p_before, p_after) =
+        measure_pump(&FleetConfig::parallel(streams, 1, seed, workers), rounds);
+    assert_eq!(s_before, s_after, "{name}: serial-shape pump moved the logical plane");
+    assert_eq!(p_before, p_after, "{name}: parallel-shape pump moved the logical plane");
+    assert_eq!(s_before, p_before, "{name}: daemon shapes disagree on the status snapshot");
+    assert_eq!(serial_frames, parallel_frames, "{name}: shapes classified different frame counts");
+
+    let fps = parallel_frames as f64 / parallel_secs.max(1e-9);
+    let record = BenchRecord {
+        name: name.into(),
+        cells: parallel_frames as usize,
+        workers,
+        serial_wall_secs: serial_secs,
+        parallel_wall_secs: parallel_secs,
+        speedup: serial_secs / parallel_secs.max(1e-9),
+        cells_per_sec: fps,
+    };
+    println!(
+        "harness_bench: {name} {streams} streams × {rounds} rounds · {parallel_frames} frames · \
+         serial shape {serial_secs:.3} s · parallel shape {parallel_secs:.3} s · {fps:.0} \
+         frames/s (pre-refactor reference {PRE_REFACTOR_FPS:.0} frames/s → {:.2}x) · snapshot \
+         byte-identity ✓",
+        fps / PRE_REFACTOR_FPS
+    );
+    if let Some(floor) = ekya_bench::knob::min_fps() {
+        assert!(fps >= floor, "{name}: {fps:.0} frames/s below the EKYA_MIN_FPS={floor:.0} floor");
+        println!("harness_bench: {name} fps gate {fps:.0} >= {floor:.0} ✓");
+    }
     record
 }
 
@@ -274,17 +347,36 @@ fn main() {
         serve.serial_wall_secs, serve.parallel_wall_secs, serve.speedup, serve.cells_per_sec
     );
 
-    let mut records = vec![fig06, fig03, fig07, serve];
+    // Fifth gated workload: the serving hot path in isolation — the
+    // daemon's live pump (Arc-shared models, per-slot scratch reuse,
+    // coalesced `ClassifyMany` dispatch) driven for pure steady-state
+    // rounds at quick scale. The logical plane must not move a byte and
+    // must agree across daemon shapes; the gated metric is frames/sec
+    // (`EKYA_MIN_FPS`), not speedup — a 1-shard → 2-shard shape pair has
+    // a hard 2x ceiling below the grid records' speedup floor.
+    let pump_streams = ekya_bench::knob::streams_live().unwrap_or(1000);
+    let throughput =
+        measure_serve_throughput("serve_throughput", pump_streams, 30, knobs.seed(), workers);
 
-    // Fifth gated record, nightly lane only (EKYA_BENCH_FULL=1): the
-    // full-size fig06 grid. The quick records prove every fan-out path;
-    // this one proves the speedup holds at real cell sizes and counts,
-    // where per-cell work dwarfs dispatch overhead.
+    let mut records = vec![fig06, fig03, fig07, serve, throughput];
+
+    // Nightly-lane extras (EKYA_BENCH_FULL=1): the full-size fig06 grid —
+    // the quick records prove every fan-out path; this one proves the
+    // speedup holds at real cell sizes and counts, where per-cell work
+    // dwarfs dispatch overhead — and the serving hot path at double
+    // scale with longer steady state.
     if ekya_bench::knob::bench_full() {
         let full = fig06_grid(false, knobs.windows(2), knobs.seed());
         warm_holdout_cache(&full);
         warm_stream_cache(&full);
         records.push(measure_grid("fig06_full_grid", "fig06 full grid", &full, workers));
+        records.push(measure_serve_throughput(
+            "serve_throughput_full",
+            pump_streams * 2,
+            60,
+            knobs.seed(),
+            workers,
+        ));
     }
 
     match append_bench_series(records.clone()) {
@@ -295,7 +387,9 @@ fn main() {
         }
     }
 
-    // The speedup gate covers every measured record: a fan-out
+    // The speedup gate covers every measured record except the
+    // serve_throughput pair (its shapes differ by shard count with a
+    // hard 2x ceiling; its gate is EKYA_MIN_FPS above): a fan-out
     // regression in any cell shape — scenario grid, config sweep,
     // trace replay, or the full-size grid — trips it. The floor is
     // derated when the box has fewer hardware threads than workers
@@ -308,7 +402,7 @@ fn main() {
                 gate.effective, gate.requested, gate.hw
             );
         }
-        for record in &records {
+        for record in records.iter().filter(|r| !r.name.starts_with("serve_throughput")) {
             assert!(
                 record.speedup >= gate.effective,
                 "{}: parallel speedup {:.2}x below required {:.2}x (EKYA_MIN_SPEEDUP={:.2}; \

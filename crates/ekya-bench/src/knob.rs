@@ -125,6 +125,14 @@ pub fn trace() -> Option<String> {
     }
 }
 
+/// `EKYA_MIN_FPS` — when set, `harness_bench` asserts the
+/// `serve_throughput` record's steady-state frames/sec reaches this
+/// floor (CI perf-sanity gate for the serving hot path; unset means no
+/// gate, e.g. on slow or heavily shared runners).
+pub fn min_fps() -> Option<f64> {
+    std::env::var("EKYA_MIN_FPS").ok().and_then(|v| v.parse().ok())
+}
+
 /// `EKYA_SERVE_CRASH_AFTER` — fault injection for the serving daemon:
 /// `ekya_serve` kills its own process (exit 17) in the middle of this
 /// window index, after retraining has been dispatched, so the
@@ -152,6 +160,7 @@ mod tests {
         // The test runner environment must not carry these; if it does,
         // every assertion about "production state" below is void.
         assert_eq!(std::env::var_os("EKYA_MIN_SPEEDUP"), None);
+        assert_eq!(std::env::var_os("EKYA_MIN_FPS"), None);
         assert_eq!(std::env::var_os("EKYA_ORCH_CRASH_AFTER"), None);
         assert_eq!(std::env::var_os("EKYA_SERVE_CRASH_AFTER"), None);
         assert_eq!(std::env::var_os("EKYA_STREAMS_LIVE"), None);
@@ -160,6 +169,7 @@ mod tests {
         assert_eq!(std::env::var_os("EKYA_BENCH_FULL"), None);
         assert_eq!(std::env::var_os("EKYA_TRACE"), None);
         assert_eq!(min_speedup(), None);
+        assert_eq!(min_fps(), None);
         assert_eq!(trace(), None);
         assert_eq!(orch_crash_after(), None);
         assert_eq!(serve_crash_after(), None);

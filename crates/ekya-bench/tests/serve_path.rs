@@ -90,6 +90,42 @@ fn loadgen_snapshots_are_byte_identical_across_processes() {
     let _ = std::fs::remove_dir_all(&dir_b);
 }
 
+/// The `ekya_serve` daemon's serialized plane is independent of the
+/// concurrency shape end-to-end through the bin: a single-worker and a
+/// 4-worker daemon write byte-identical status snapshots for one seed —
+/// on the clean path *and* on the killed-daemon path (crash injection
+/// mid-window leaves the same frozen bytes regardless of workers).
+#[test]
+fn serve_snapshots_are_byte_identical_across_worker_counts_and_crash() {
+    let bin = env!("CARGO_BIN_EXE_ekya_serve");
+    let base: &[(&str, &str)] =
+        &[("EKYA_STREAMS_LIVE", "6"), ("EKYA_WINDOWS", "2"), ("EKYA_SEED", "42")];
+    let snapshot = |tag: &str, extra: &[(&str, &str)], want_code: Option<i32>| -> Vec<u8> {
+        let dir = temp(tag);
+        let mut env = base.to_vec();
+        env.extend_from_slice(extra);
+        let status = run_bin(bin, &dir, &env);
+        match want_code {
+            Some(code) => assert_eq!(status.code(), Some(code), "{tag}: wrong exit code"),
+            None => assert!(status.success(), "{tag}: run failed"),
+        }
+        let bytes = std::fs::read(dir.join("serve_status.json")).expect("snapshot written");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    };
+
+    let w1 = snapshot("sv_w1", &[("EKYA_WORKERS", "1")], None);
+    let w4 = snapshot("sv_w4", &[("EKYA_WORKERS", "4")], None);
+    assert_eq!(w1, w4, "worker count must not change a snapshot byte");
+
+    let crash1 =
+        snapshot("sv_c1", &[("EKYA_WORKERS", "1"), ("EKYA_SERVE_CRASH_AFTER", "1")], Some(17));
+    let crash4 =
+        snapshot("sv_c4", &[("EKYA_WORKERS", "4"), ("EKYA_SERVE_CRASH_AFTER", "1")], Some(17));
+    assert_eq!(crash1, crash4, "killed-daemon snapshot must not depend on workers");
+    assert_ne!(w1, crash1, "crashed daemon froze at an earlier window than the clean run");
+}
+
 /// Crash injection: `ekya_serve` killed in the middle of window 1 (exit
 /// 17, mid-retraining) must leave the *window-0* snapshot on disk —
 /// valid JSON, internally consistent, counters frozen at the last

@@ -65,6 +65,44 @@ fn shard_trace_union_is_byte_identical_to_unsharded() {
     assert_eq!(validate_trace(&merged), Vec::<String>::new());
 }
 
+/// The serving daemon's logical-plane trace is a pure function of
+/// `(fleet, seed)` end-to-end through the `ekya_serve` bin: a
+/// single-worker and a 4-worker daemon leave byte-identical
+/// `TRACE_serve.jsonl` files (the `.wall.json` sidecar is wall-plane
+/// and exempt).
+#[test]
+fn serve_trace_is_byte_identical_across_worker_counts() {
+    let bin = env!("CARGO_BIN_EXE_ekya_serve");
+    let traced_serve = |tag: &str, workers: &str| -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!("ekya_trace_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cmd = std::process::Command::new(bin);
+        for var in ["EKYA_SHARD", "EKYA_RESUME", "EKYA_QUICK", "EKYA_STREAMS", "EKYA_SEED"] {
+            cmd.env_remove(var);
+        }
+        let status = cmd
+            .env("EKYA_RESULTS_DIR", &dir)
+            .env("EKYA_WORKERS", workers)
+            .env("EKYA_STREAMS_LIVE", "6")
+            .env("EKYA_WINDOWS", "2")
+            .env("EKYA_SEED", "42")
+            .env("EKYA_TRACE", "1")
+            .status()
+            .expect("ekya_serve spawns");
+        assert!(status.success(), "traced serve run ({workers} workers) failed");
+        let bytes = std::fs::read(dir.join("TRACE_serve.jsonl")).expect("trace written");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    };
+    let w1 = traced_serve("sv_w1", "1");
+    let w4 = traced_serve("sv_w4", "4");
+    assert_eq!(w1, w4, "worker count must not change a trace byte");
+    let text = String::from_utf8(w1).expect("trace is UTF-8");
+    assert_eq!(validate_trace(&text), Vec::<String>::new());
+    assert!(!text.is_empty());
+}
+
 /// Crash injection with tracing on: `ekya_serve` killed mid-window
 /// (exit 17) must leave a *valid* trace on disk that stops at the last
 /// completed window — the per-window atomic flush contract.

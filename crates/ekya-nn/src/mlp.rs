@@ -134,6 +134,54 @@ impl Workspace {
     }
 }
 
+/// Reusable forward-pass buffers for batched prediction — the public,
+/// serving-path analogue of the private training [`Workspace`]. One
+/// scratch serves any sequence of [`Mlp::predict_into`] /
+/// [`Mlp::accuracy_with`] calls: batch features, per-layer activations
+/// and ReLU masks, softmax probabilities, and the prediction vector all
+/// reuse one allocation each, reshaped in place as batch sizes — and
+/// even *models* (a hot-swap to a deeper, shallower, wider, or narrower
+/// network) — change underneath it. Every `_into` kernel fully rewrites
+/// its output for the current shape, so a dirty oversized buffer can
+/// never leak stale tail bytes into a result; the scratch path is
+/// bit-identical to the allocating [`Mlp::predict`].
+#[derive(Debug)]
+pub struct PredictScratch {
+    x: Matrix,
+    acts: Vec<Matrix>,
+    masks: Vec<Vec<bool>>,
+    probs: Matrix,
+    preds: Vec<usize>,
+}
+
+impl PredictScratch {
+    /// An empty scratch: buffers grow on first use, then are reused.
+    pub fn new() -> Self {
+        Self {
+            x: Matrix::zeros(0, 0),
+            acts: Vec::new(),
+            masks: Vec::new(),
+            probs: Matrix::zeros(0, 0),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Fits the per-layer buffer *counts* to `model`'s depth (`acts`
+    /// needs `layers + 1` slots, `masks` `layers - 1`). The matrices
+    /// inside reshape themselves inside the forward kernels, so layer
+    /// count is the scratch's only model-shape dependence.
+    fn fit(&mut self, model: &Mlp) {
+        self.acts.resize_with(model.layers.len() + 1, || Matrix::zeros(0, 0));
+        self.masks.resize_with(model.layers.len().saturating_sub(1), Vec::new);
+    }
+}
+
+impl Default for PredictScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Mlp {
     /// Builds a freshly initialised MLP. Deterministic for a fixed seed.
     pub fn new(arch: MlpArch, seed: u64) -> Self {
@@ -271,6 +319,52 @@ impl Mlp {
                     .unwrap_or(0)
             })
             .collect()
+    }
+
+    /// [`Mlp::predict`] through caller-owned scratch buffers: the
+    /// steady-state serving path, allocation-free once the scratch has
+    /// warmed up. Returns the predictions as a slice borrowed from
+    /// `scratch`; results are bit-identical to [`Mlp::predict`].
+    pub fn predict_into<'a>(
+        &self,
+        samples: &[Sample],
+        scratch: &'a mut PredictScratch,
+    ) -> &'a [usize] {
+        scratch.preds.clear();
+        if samples.is_empty() {
+            return &scratch.preds;
+        }
+        scratch.fit(self);
+        let PredictScratch { x, acts, masks, probs, preds } = scratch;
+        let input_dim = self.arch.input_dim;
+        x.resize_zeroed(samples.len(), input_dim);
+        for (r, s) in samples.iter().enumerate() {
+            assert_eq!(s.x.len(), input_dim, "sample dimensionality mismatch");
+            x.row_mut(r).copy_from_slice(&s.x);
+        }
+        self.forward_into(x, acts, masks, probs);
+        for r in 0..probs.rows() {
+            let row = probs.row(r);
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            preds.push(best);
+        }
+        &scratch.preds
+    }
+
+    /// [`Mlp::accuracy`] through a [`PredictScratch`] — the same value,
+    /// computed without per-call allocation.
+    pub fn accuracy_with(&self, data: DataView<'_>, scratch: &mut PredictScratch) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict_into(data.samples, scratch);
+        let correct = preds.iter().zip(data.samples).filter(|(p, s)| **p == s.y).count();
+        correct as f64 / data.len() as f64
     }
 
     /// Classification accuracy on a dataset view, in `[0, 1]`.
@@ -636,6 +730,54 @@ mod tests {
         let (w2, l2) = run();
         assert_eq!(w1, w2, "weights diverged between identical runs");
         assert_eq!(l1, l2, "losses diverged between identical runs");
+    }
+
+    /// The public serving-path scratch must match [`Mlp::predict`]
+    /// bit-for-bit across growing *and* shrinking batches — a shrinking
+    /// batch leaves every buffer dirty and oversized, the exact state a
+    /// long-lived serving slot operates in.
+    #[test]
+    fn predict_scratch_reuse_matches_predict_exactly() {
+        let model = Mlp::new(MlpArch::edge(6, 4, 10), 7);
+        let big: Vec<Sample> = (0..5)
+            .map(|i| {
+                Sample::new((0..6).map(|c| ((i * 13 + c * 7) % 11) as f32 / 11.0).collect(), 0)
+            })
+            .collect();
+        let small: Vec<Sample> = (0..2)
+            .map(|i| {
+                Sample::new((0..6).map(|c| ((i * 17 + c * 5) % 13) as f32 / 13.0).collect(), 1)
+            })
+            .collect();
+        let mut scratch = PredictScratch::new();
+        for (pass, batch) in [&big, &small, &big].into_iter().enumerate() {
+            let reused = model.predict_into(batch, &mut scratch).to_vec();
+            assert_eq!(reused, model.predict(batch), "pass {pass} diverged");
+        }
+        let labelled: Vec<Sample> = big.to_vec();
+        let view = DataView::new(&labelled, 4);
+        assert_eq!(model.accuracy_with(view, &mut scratch), model.accuracy(view));
+    }
+
+    /// One scratch shared across *different models* — deeper, then
+    /// shallower and narrower (the serving hot-swap case) — must never
+    /// read stale tail bytes left by the larger model's pass.
+    #[test]
+    fn predict_scratch_survives_hot_swap_to_smaller_model() {
+        let deep = Mlp::new(MlpArch { input_dim: 6, hidden: vec![24, 16, 12], num_classes: 5 }, 3);
+        let shallow = Mlp::new(MlpArch { input_dim: 6, hidden: vec![4], num_classes: 3 }, 4);
+        let batch: Vec<Sample> = (0..7)
+            .map(|i| {
+                Sample::new((0..6).map(|c| ((i * 31 + c * 3) % 17) as f32 / 17.0).collect(), 0)
+            })
+            .collect();
+        let mut scratch = PredictScratch::new();
+        // Dirty the scratch with the deep model's large buffers…
+        assert_eq!(deep.predict_into(&batch, &mut scratch).to_vec(), deep.predict(&batch));
+        // …then swap to the smaller model: same scratch, same answers.
+        assert_eq!(shallow.predict_into(&batch, &mut scratch).to_vec(), shallow.predict(&batch));
+        // And back up to the deep model again.
+        assert_eq!(deep.predict_into(&batch, &mut scratch).to_vec(), deep.predict(&batch));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use ekya_actors::Actor;
 use ekya_core::InferenceConfig;
 use ekya_nn::data::{DataView, Sample};
-use ekya_nn::mlp::Mlp;
+use ekya_nn::mlp::{Mlp, PredictScratch};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Counters exposed by an inference actor.
@@ -30,13 +31,14 @@ pub enum InferenceMsg {
     ClassifyBatch(Vec<Sample>),
     /// Replace the serving model; `reload` emulates weight-loading time.
     SwapModel {
-        /// The new model.
-        model: Box<Mlp>,
+        /// The new model. `Arc` so the sender keeps its copy without a
+        /// deep clone; the actor only ever reads through it.
+        model: Arc<Mlp>,
         /// Simulated weight-reload duration.
         reload: Duration,
     },
-    /// Measure accuracy on a labelled batch.
-    Evaluate(Vec<Sample>),
+    /// Measure accuracy on a labelled batch (shared, not copied).
+    Evaluate(Arc<Vec<Sample>>),
     /// A copy of the current serving model (for profiling/retraining).
     GetModel,
     /// Change the inference configuration (frame sampling / resolution).
@@ -55,17 +57,22 @@ pub enum InferenceReply {
     Swapped,
     /// Accuracy for `Evaluate`.
     Accuracy(f64),
-    /// Model copy for `GetModel`.
-    Model(Box<Mlp>),
+    /// Shared handle to the serving model for `GetModel`.
+    Model(Arc<Mlp>),
     /// Config updated.
     ConfigSet,
     /// Counters for `Stats`.
     Stats(InferenceStats),
 }
 
-/// The actor state.
+/// The actor state. The model lives behind an `Arc` (swaps install a
+/// new `Arc`, readers elsewhere keep the old one — copy-on-write at the
+/// hot-swap boundary only) and all forward passes run through one
+/// per-actor [`PredictScratch`], so steady-state classification
+/// allocates nothing.
 pub struct InferenceActor {
-    model: Mlp,
+    model: Arc<Mlp>,
+    scratch: PredictScratch,
     num_classes: usize,
     config: InferenceConfig,
     stats: InferenceStats,
@@ -75,7 +82,8 @@ impl InferenceActor {
     /// Creates an inference actor serving `model`.
     pub fn new(model: Mlp, num_classes: usize) -> Self {
         Self {
-            model,
+            model: Arc::new(model),
+            scratch: PredictScratch::new(),
             num_classes,
             config: InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
             stats: InferenceStats::default(),
@@ -97,24 +105,28 @@ impl Actor for InferenceActor {
             InferenceMsg::Classify(x) => {
                 self.stats.served += 1;
                 let s = Sample::new(x, 0);
-                InferenceReply::Prediction(self.model.predict(std::slice::from_ref(&s))[0])
+                let preds = self.model.predict_into(std::slice::from_ref(&s), &mut self.scratch);
+                InferenceReply::Prediction(preds[0])
             }
             InferenceMsg::ClassifyBatch(batch) => {
                 self.stats.served += batch.len() as u64;
-                InferenceReply::Predictions(self.model.predict(&batch))
+                InferenceReply::Predictions(
+                    self.model.predict_into(&batch, &mut self.scratch).to_vec(),
+                )
             }
             InferenceMsg::SwapModel { model, reload } => {
                 if !reload.is_zero() {
                     std::thread::sleep(reload);
                 }
-                self.model = *model;
+                self.model = model;
                 self.stats.swaps += 1;
                 InferenceReply::Swapped
             }
             InferenceMsg::Evaluate(batch) => InferenceReply::Accuracy(
-                self.model.accuracy(DataView::new(&batch, self.num_classes)),
+                self.model
+                    .accuracy_with(DataView::new(&batch, self.num_classes), &mut self.scratch),
             ),
-            InferenceMsg::GetModel => InferenceReply::Model(Box::new(self.model.clone())),
+            InferenceMsg::GetModel => InferenceReply::Model(Arc::clone(&self.model)),
             InferenceMsg::SetConfig(c) => {
                 self.config = c;
                 InferenceReply::ConfigSet
@@ -161,7 +173,7 @@ mod tests {
             let s = Sample::new(vec![0.5, -0.5, 0.3, 0.1], 0);
             other.predict(std::slice::from_ref(&s))[0]
         };
-        h.ask(InferenceMsg::SwapModel { model: Box::new(other), reload: Duration::ZERO }).unwrap();
+        h.ask(InferenceMsg::SwapModel { model: Arc::new(other), reload: Duration::ZERO }).unwrap();
         let InferenceReply::Prediction(p) =
             h.ask(InferenceMsg::Classify(vec![0.5, -0.5, 0.3, 0.1])).unwrap()
         else {

@@ -34,10 +34,10 @@ pub mod server;
 pub mod trainer;
 
 pub use inference::{InferenceActor, InferenceMsg, InferenceReply, InferenceStats};
-pub use metrics::{StatusSnapshot, StreamStatus};
+pub use metrics::{StatusSnapshot, StatusView, StreamStatus};
 pub use serve::{
-    AdmissionError, ArrivalPattern, DaemonClient, EdgeDaemon, InferenceShard, ServeConfig,
-    ServeError, ServeWindowReport, ShardLive, ShardMsg, ShardReply,
+    AdmissionError, ArrivalPattern, ClassifyJob, DaemonClient, EdgeDaemon, InferenceShard,
+    ServeConfig, ServeError, ServeWindowReport, ShardLive, ShardMsg, ShardReply,
 };
 pub use server::{EdgeServer, EdgeServerConfig, StreamWindowOutcome};
 pub use trainer::{SwapTarget, TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply};

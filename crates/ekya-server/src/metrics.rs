@@ -69,6 +69,46 @@ pub struct StatusSnapshot {
     pub streams: Vec<StreamStatus>,
 }
 
+/// A borrowed view of the daemon's status plane: field-for-field the
+/// same shape as [`StatusSnapshot`] (serde serialises references
+/// transparently, so the JSON is byte-identical), but built without
+/// cloning any per-stream ledger. This is what the per-window snapshot
+/// sink receives on the serving hot path; [`StatusSnapshot`] remains the
+/// owned form for deserialisation and offline validation.
+#[derive(Debug)]
+pub struct StatusView<'a> {
+    /// Base seed the daemon runs under.
+    pub seed: u64,
+    /// Admission capacity (maximum concurrent streams).
+    pub capacity: usize,
+    /// Windows the daemon has completed.
+    pub windows_completed: u64,
+    /// Streams admitted (== `streams.len()`).
+    pub admitted: usize,
+    /// Admission attempts rejected with a typed error.
+    pub rejected: u64,
+    /// Per-stream ledgers, ascending by stream id.
+    pub streams: Vec<&'a StreamStatus>,
+}
+
+// Manual impl (the vendored derive does not handle lifetime generics):
+// field names and order MUST mirror `StatusSnapshot` exactly — that is
+// what makes the two forms serialise byte-identically, and the
+// `borrowed_view_serialises_byte_identically_to_owned_snapshot` test
+// holds it.
+impl Serialize for StatusView<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("windows_completed".to_string(), self.windows_completed.to_value()),
+            ("admitted".to_string(), self.admitted.to_value()),
+            ("rejected".to_string(), self.rejected.to_value()),
+            ("streams".to_string(), self.streams.to_value()),
+        ])
+    }
+}
+
 impl StatusSnapshot {
     /// Checks the snapshot's internal consistency; returns every violated
     /// invariant (empty means consistent). This is the contract the
@@ -200,6 +240,23 @@ mod tests {
         let mut snap = snapshot();
         snap.streams.swap(0, 1);
         assert!(snap.validate().iter().any(|e| e.contains("ascending")));
+    }
+
+    #[test]
+    fn borrowed_view_serialises_byte_identically_to_owned_snapshot() {
+        let snap = snapshot();
+        let view = StatusView {
+            seed: snap.seed,
+            capacity: snap.capacity,
+            windows_completed: snap.windows_completed,
+            admitted: snap.admitted,
+            rejected: snap.rejected,
+            streams: snap.streams.iter().collect(),
+        };
+        assert_eq!(
+            serde_json::to_string_pretty(&view).unwrap(),
+            serde_json::to_string_pretty(&snap).unwrap()
+        );
     }
 
     #[test]

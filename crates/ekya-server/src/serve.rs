@@ -22,12 +22,12 @@
 //!   trainers ran — proves liveness under real concurrency and is
 //!   reported per window, never serialised.
 
-use crate::metrics::{StatusSnapshot, StreamStatus};
+use crate::metrics::{StatusSnapshot, StatusView, StreamStatus};
 use crate::trainer::{
     SwapTarget, TrainJobSpec, TrainOutcome, TrainerActor, TrainerMsg, TrainerReply,
 };
 use ekya_actors::{
-    spawn_bounded, spawn_supervised_bounded, Actor, ActorHandle, Address, SupervisedHandle,
+    spawn_bounded, spawn_supervised_bounded, Actor, ActorHandle, Address, Pending, SupervisedHandle,
 };
 use ekya_core::{
     build_inference_profiles, default_inference_grid, default_retrain_grid, EkyaPolicy,
@@ -39,9 +39,10 @@ use ekya_nn::continual::ExemplarMemory;
 use ekya_nn::cost::CostModel;
 use ekya_nn::data::{DataView, Sample};
 use ekya_nn::golden::{distill_labels, OracleTeacher};
-use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_nn::mlp::{Mlp, MlpArch, PredictScratch};
 use ekya_video::{StreamId, VideoDataset};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Why the daemon refused to admit a stream. Rejection is immediate and
@@ -286,7 +287,13 @@ impl ServeConfig {
 }
 
 struct Slot {
-    model: Mlp,
+    /// Shared handle to the serving model: `GetModel` hands out clones
+    /// of the `Arc`, and a hot-swap installs a new `Arc` (copy-on-write
+    /// at the swap boundary — readers keep the version they fetched).
+    model: Arc<Mlp>,
+    /// Per-slot forward-pass workspace; classification and evaluation
+    /// reuse its buffers, so steady-state serving allocates nothing.
+    scratch: PredictScratch,
     version: u64,
     num_classes: usize,
     config: InferenceConfig,
@@ -301,6 +308,25 @@ pub struct ShardLive {
     pub swaps: u64,
 }
 
+/// One stream's slice of a coalesced classification round
+/// ([`ShardMsg::ClassifyMany`]). Carriers are recycled through a free
+/// list by the daemon's pump: both `frames` and `preds` keep their
+/// allocations across rounds, so steady-state pumping allocates nothing.
+#[derive(Debug, Default)]
+pub struct ClassifyJob {
+    /// Stream id (input).
+    pub stream: u32,
+    /// Frames to classify (input).
+    pub frames: Vec<Sample>,
+    /// Predicted classes, filled in place by the shard (output).
+    pub preds: Vec<usize>,
+    /// Serving-model version that produced `preds` (output).
+    pub version: u64,
+    /// Whether the stream had a slot on this shard (output; `preds` is
+    /// empty when it did not).
+    pub known: bool,
+}
+
 /// Messages understood by an inference shard.
 pub enum ShardMsg {
     /// Install a new stream slot.
@@ -308,7 +334,7 @@ pub enum ShardMsg {
         /// Stream id.
         stream: u32,
         /// Initial serving model.
-        model: Box<Mlp>,
+        model: Arc<Mlp>,
         /// Number of classes.
         num_classes: usize,
     },
@@ -319,12 +345,18 @@ pub enum ShardMsg {
         /// The frames.
         frames: Vec<Sample>,
     },
+    /// Classify batches for many streams under **one** mailbox dequeue —
+    /// the daemon's pump coalesces a whole round into one of these per
+    /// shard, so mailbox traffic scales with shard count, not stream
+    /// count. Carriers come back in the same order via
+    /// [`ShardReply::ClassifiedMany`].
+    ClassifyMany(Vec<ClassifyJob>),
     /// Hot-swap a stream's serving model; bumps its version.
     Swap {
         /// Stream id.
         stream: u32,
         /// The new model.
-        model: Box<Mlp>,
+        model: Arc<Mlp>,
         /// Simulated weight-reload duration.
         reload: Duration,
     },
@@ -332,8 +364,8 @@ pub enum ShardMsg {
     Evaluate {
         /// Stream id.
         stream: u32,
-        /// The labelled batch.
-        batch: Vec<Sample>,
+        /// The labelled batch (shared, not copied).
+        batch: Arc<Vec<Sample>>,
     },
     /// A copy of a stream's serving model and version.
     GetModel {
@@ -367,12 +399,15 @@ pub enum ShardReply {
         /// Version after the swap.
         version: u64,
     },
+    /// Carriers from a coalesced round, in request order, with `preds`,
+    /// `version` and `known` filled in.
+    ClassifiedMany(Vec<ClassifyJob>),
     /// Accuracy for `Evaluate`.
     Accuracy(f64),
-    /// Model copy and version for `GetModel`.
+    /// Shared model handle and version for `GetModel`.
     Model {
-        /// The serving model.
-        model: Box<Mlp>,
+        /// The serving model (an `Arc` clone, not a deep copy).
+        model: Arc<Mlp>,
         /// Its version.
         version: u64,
     },
@@ -403,7 +438,8 @@ impl Actor for InferenceShard {
                 self.slots.insert(
                     stream,
                     Slot {
-                        model: *model,
+                        model,
+                        scratch: PredictScratch::new(),
                         version: 0,
                         num_classes,
                         config: InferenceConfig { frame_sampling: 1.0, resolution: 1.0 },
@@ -411,37 +447,55 @@ impl Actor for InferenceShard {
                 );
                 ShardReply::Admitted
             }
-            ShardMsg::ClassifyBatch { stream, frames } => match self.slots.get(&stream) {
+            ShardMsg::ClassifyBatch { stream, frames } => match self.slots.get_mut(&stream) {
                 Some(slot) => {
                     self.live.served += frames.len() as u64;
                     ShardReply::Predictions {
-                        preds: slot.model.predict(&frames),
+                        preds: slot.model.predict_into(&frames, &mut slot.scratch).to_vec(),
                         version: slot.version,
                     }
                 }
                 None => ShardReply::NoSuchStream,
             },
+            ShardMsg::ClassifyMany(mut jobs) => {
+                for job in &mut jobs {
+                    job.preds.clear();
+                    match self.slots.get_mut(&job.stream) {
+                        Some(slot) => {
+                            self.live.served += job.frames.len() as u64;
+                            job.preds.extend_from_slice(
+                                slot.model.predict_into(&job.frames, &mut slot.scratch),
+                            );
+                            job.version = slot.version;
+                            job.known = true;
+                        }
+                        None => job.known = false,
+                    }
+                }
+                ShardReply::ClassifiedMany(jobs)
+            }
             ShardMsg::Swap { stream, model, reload } => match self.slots.get_mut(&stream) {
                 Some(slot) => {
                     if !reload.is_zero() {
                         std::thread::sleep(reload);
                     }
-                    slot.model = *model;
+                    slot.model = model;
                     slot.version += 1;
                     self.live.swaps += 1;
                     ShardReply::Swapped { version: slot.version }
                 }
                 None => ShardReply::NoSuchStream,
             },
-            ShardMsg::Evaluate { stream, batch } => match self.slots.get(&stream) {
+            ShardMsg::Evaluate { stream, batch } => match self.slots.get_mut(&stream) {
                 Some(slot) => ShardReply::Accuracy(
-                    slot.model.accuracy(DataView::new(&batch, slot.num_classes)),
+                    slot.model
+                        .accuracy_with(DataView::new(&batch, slot.num_classes), &mut slot.scratch),
                 ),
                 None => ShardReply::NoSuchStream,
             },
             ShardMsg::GetModel { stream } => match self.slots.get(&stream) {
                 Some(slot) => {
-                    ShardReply::Model { model: Box::new(slot.model.clone()), version: slot.version }
+                    ShardReply::Model { model: Arc::clone(&slot.model), version: slot.version }
                 }
                 None => ShardReply::NoSuchStream,
             },
@@ -510,9 +564,9 @@ struct StreamState {
 }
 
 struct PhaseAOut {
-    pool: Vec<Sample>,
-    sys_val: Vec<Sample>,
-    model: Mlp,
+    pool: Arc<Vec<Sample>>,
+    sys_val: Arc<Vec<Sample>>,
+    model: Arc<Mlp>,
     serving_sys: f64,
     profiles: Vec<RetrainProfile>,
 }
@@ -520,6 +574,31 @@ struct PhaseAOut {
 /// One waiter thread per trainer: feeds its job queue sequentially and
 /// returns `(stream index, outcome)` pairs (`None` = trainer panicked).
 type TrainWaiter = std::thread::JoinHandle<Vec<(usize, Option<TrainOutcome>)>>;
+
+/// Refills a recycled frame carrier with `want` frames cycled from `val`
+/// starting at `cursor`, reusing the carrier's `Vec` and each `Sample`'s
+/// feature buffer instead of cloning fresh ones.
+fn refill_frames(frames: &mut Vec<Sample>, val: &[Sample], cursor: usize, want: usize) {
+    if val.is_empty() {
+        frames.clear();
+        return;
+    }
+    frames.truncate(want);
+    let mut src = val.iter().cycle().skip(cursor % val.len());
+    for i in 0..want {
+        let s = src.next().expect("cycled non-empty slice is infinite");
+        if let Some(dst) = frames.get_mut(i) {
+            dst.x.clear();
+            dst.x.extend_from_slice(&s.x);
+            dst.y = s.y;
+        } else {
+            frames.push(s.clone());
+        }
+    }
+}
+
+/// A per-window snapshot consumer (see [`EdgeDaemon::set_snapshot_sink`]).
+type SnapshotSink = Box<dyn FnMut(&StatusView<'_>) + Send>;
 
 /// The long-running multi-tenant serving daemon.
 pub struct EdgeDaemon {
@@ -531,6 +610,12 @@ pub struct EdgeDaemon {
     window_idx: usize,
     link: LinkScheduler,
     faults: BTreeSet<u32>,
+    /// Free list of recycled pump carriers (wall plane only).
+    carrier_pool: Vec<ClassifyJob>,
+    /// Per-shard staging for one coalesced pump round (kept here so the
+    /// staging `Vec`s themselves are reused across rounds).
+    shard_jobs: Vec<Vec<ClassifyJob>>,
+    snapshot_sink: Option<SnapshotSink>,
 }
 
 impl EdgeDaemon {
@@ -550,6 +635,7 @@ impl EdgeDaemon {
             .map(|i| spawn_supervised_bounded(format!("trainer-{i}"), || TrainerActor, 2))
             .collect();
         let link = LinkScheduler::new(cfg.link);
+        let shard_jobs = (0..cfg.infer_shards.max(1)).map(|_| Vec::new()).collect();
         Self {
             cfg,
             shards,
@@ -559,6 +645,9 @@ impl EdgeDaemon {
             window_idx: 0,
             faults: BTreeSet::new(),
             link,
+            carrier_pool: Vec::new(),
+            shard_jobs,
+            snapshot_sink: None,
         }
     }
 
@@ -614,7 +703,7 @@ impl EdgeDaemon {
             .shard_for(id.0)
             .ask(ShardMsg::Admit {
                 stream: id.0,
-                model: Box::new(model),
+                model: Arc::new(model),
                 num_classes: ds.num_classes,
             })
             .expect("shard alive at admission");
@@ -789,8 +878,8 @@ impl EdgeDaemon {
                 ekya_telemetry::event("server.daemon", "retrain_dispatch", "");
             }
             let spec = TrainJobSpec {
-                base_model: prep[s].model.clone(),
-                pool: prep[s].pool.clone(),
+                base_model: Arc::clone(&prep[s].model),
+                pool: Arc::clone(&prep[s].pool),
                 config: plan.streams[s].retrain.expect("filtered on is_some").config,
                 num_classes: st.ds.num_classes,
                 hyper: self.cfg.hyper,
@@ -801,7 +890,7 @@ impl EdgeDaemon {
                     stream: st.id.0,
                 }),
                 swap_reload: self.cfg.swap_reload,
-                val: prep[s].sys_val.clone(),
+                val: Arc::clone(&prep[s].sys_val),
                 fail_after_epochs: self.faults.remove(&st.id.0).then_some(1),
             };
             queues[k % self.trainers.len()].push((s, spec));
@@ -964,13 +1053,21 @@ impl EdgeDaemon {
             );
         }
         self.window_idx += 1;
+        if let Some(mut sink) = self.snapshot_sink.take() {
+            sink(&self.status_view());
+            self.snapshot_sink = Some(sink);
+        }
         reports
     }
 
-    /// One round of live pumping: a batch of this window's frames to
-    /// every stream's shard (blocking ask — replies are the proof of
-    /// liveness).
-    fn pump_once(&self, w_idx: usize, cursor: usize, live_served: &mut [u64]) {
+    /// One round of live pumping: every stream's batch of this window's
+    /// frames, coalesced into at most one [`ShardMsg::ClassifyMany`] per
+    /// shard, dispatched concurrently via deferred asks (the replies are
+    /// the proof of liveness). Mailbox traffic scales with shard count,
+    /// not stream count, and the batch carriers — frame `Vec`s and
+    /// their feature buffers included — are recycled through a free
+    /// list, so a steady-state round allocates nothing.
+    fn pump_once(&mut self, w_idx: usize, cursor: usize, live_served: &mut [u64]) {
         if ekya_telemetry::enabled() {
             let depth = self.shards.iter().map(|h| h.mailbox_len()).max().unwrap_or(0);
             ekya_telemetry::timing::wall_gauge_max(
@@ -979,21 +1076,63 @@ impl EdgeDaemon {
                 depth as u64,
             );
         }
-        for (s, st) in self.streams.iter().enumerate() {
+        let nshards = self.shards.len();
+        for st in &self.streams {
             let val = &st.ds.window(w_idx).val;
-            let frames: Vec<Sample> = val
-                .iter()
-                .cycle()
-                .skip(cursor % val.len().max(1))
-                .take(self.cfg.batch_size)
-                .cloned()
-                .collect();
-            if let Ok(ShardReply::Predictions { preds, .. }) =
-                self.shard_for(st.id.0).ask(ShardMsg::ClassifyBatch { stream: st.id.0, frames })
-            {
-                live_served[s] += preds.len() as u64;
+            let mut job = self.carrier_pool.pop().unwrap_or_default();
+            job.stream = st.id.0;
+            refill_frames(&mut job.frames, val, cursor, self.cfg.batch_size);
+            self.shard_jobs[st.id.0 as usize % nshards].push(job);
+        }
+        let pending: Vec<Option<Pending<ShardReply>>> = self
+            .shards
+            .iter()
+            .zip(self.shard_jobs.iter_mut())
+            .map(|(shard, jobs)| {
+                if jobs.is_empty() {
+                    return None;
+                }
+                shard.ask_deferred(ShardMsg::ClassifyMany(std::mem::take(jobs))).ok()
+            })
+            .collect();
+        for p in pending.into_iter().flatten() {
+            if let Ok(ShardReply::ClassifiedMany(jobs)) = p.wait() {
+                for job in jobs {
+                    if job.known {
+                        live_served[job.stream as usize] += job.preds.len() as u64;
+                    }
+                    self.carrier_pool.push(job);
+                }
             }
         }
+    }
+
+    /// Drives `rounds` rounds of the live pump against the *current*
+    /// window's frames without running a window: pure wall plane — the
+    /// logical ledger, status snapshots and traces are untouched.
+    /// Returns the number of frames classified. This is the serving hot
+    /// path in isolation, used by the `serve_throughput` benchmark.
+    ///
+    /// # Panics
+    /// Panics when any admitted stream's dataset has no window at the
+    /// current cursor.
+    pub fn pump_rounds(&mut self, rounds: usize) -> u64 {
+        let w_idx = self.window_idx;
+        for st in &self.streams {
+            assert!(
+                w_idx < st.ds.num_windows(),
+                "no window {w_idx} for {}: dataset holds {}",
+                st.id,
+                st.ds.num_windows()
+            );
+        }
+        let mut live_served = vec![0u64; self.streams.len()];
+        let mut cursor = 0usize;
+        for _ in 0..rounds {
+            self.pump_once(w_idx, cursor, &mut live_served);
+            cursor += self.cfg.batch_size;
+        }
+        live_served.iter().sum()
     }
 
     /// Phase A body: per-stream label/profile/evaluate work, fanned over
@@ -1030,8 +1169,8 @@ impl EdgeDaemon {
                         });
                         let w = st.ds.window(w_idx);
                         let fresh = distill_labels(&mut st.teacher, &w.train_pool);
-                        let pool = st.memory.training_mix(&fresh);
-                        let sys_val = distill_labels(&mut st.teacher, &w.val);
+                        let pool = Arc::new(st.memory.training_mix(&fresh));
+                        let sys_val = Arc::new(distill_labels(&mut st.teacher, &w.val));
                         let addr = &addrs[st.id.0 as usize % nshards];
                         let Ok(ShardReply::Model { model, .. }) =
                             addr.ask(ShardMsg::GetModel { stream: st.id.0 })
@@ -1052,7 +1191,7 @@ impl EdgeDaemon {
                         *slot = Some(PhaseAOut {
                             pool,
                             sys_val,
-                            model: *model,
+                            model,
                             serving_sys,
                             profiles: profiled.profiles,
                         });
@@ -1097,8 +1236,32 @@ impl EdgeDaemon {
         outs.into_iter().map(|o| o.expect("every stream measured")).collect()
     }
 
-    /// The deterministic status snapshot (logical plane only): what
-    /// `ekya_serve` writes to disk after every completed window.
+    /// Installs a per-window snapshot sink. After each completed window
+    /// the daemon builds a borrowed [`StatusView`] — no per-stream
+    /// ledger clones — and hands it to `sink`. Without a sink, no
+    /// per-window snapshot is constructed at all: snapshot work is gated
+    /// entirely on someone wanting it.
+    pub fn set_snapshot_sink(&mut self, sink: impl FnMut(&StatusView<'_>) + Send + 'static) {
+        self.snapshot_sink = Some(Box::new(sink));
+    }
+
+    /// A borrowed view of the deterministic status plane. Serialises
+    /// byte-identically to [`EdgeDaemon::status_snapshot`] without
+    /// cloning any per-stream state.
+    pub fn status_view(&self) -> StatusView<'_> {
+        StatusView {
+            seed: self.cfg.seed,
+            capacity: self.cfg.capacity,
+            windows_completed: self.window_idx as u64,
+            admitted: self.streams.len(),
+            rejected: self.rejected,
+            streams: self.streams.iter().map(|st| &st.status).collect(),
+        }
+    }
+
+    /// The deterministic status snapshot (logical plane only), as an
+    /// owned document (reports, tests, offline validation). The serving
+    /// path writes through [`EdgeDaemon::status_view`] instead.
     pub fn status_snapshot(&self) -> StatusSnapshot {
         StatusSnapshot {
             seed: self.cfg.seed,

@@ -26,6 +26,7 @@ use ekya_nn::data::DataView;
 use ekya_nn::golden::{distill_labels, OracleTeacher};
 use ekya_nn::mlp::{Mlp, MlpArch};
 use ekya_video::{StreamId, StreamSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the actor-based edge server.
@@ -177,8 +178,8 @@ impl EdgeServer {
             let ds = datasets[s];
             let w = ds.window(w_idx);
             let fresh = distill_labels(&mut rt.teacher, &w.train_pool);
-            let pool = rt.memory.training_mix(&fresh);
-            let sys_val = distill_labels(&mut rt.teacher, &w.val);
+            let pool = Arc::new(rt.memory.training_mix(&fresh));
+            let sys_val = Arc::new(distill_labels(&mut rt.teacher, &w.val));
 
             let InferenceReply::Model(model) =
                 rt.infer.ask(InferenceMsg::GetModel).expect("inference actor alive")
@@ -187,7 +188,7 @@ impl EdgeServer {
             };
             let InferenceReply::Accuracy(sys_acc) = rt
                 .infer
-                .ask(InferenceMsg::Evaluate(sys_val.clone()))
+                .ask(InferenceMsg::Evaluate(Arc::clone(&sys_val)))
                 .expect("inference actor alive")
             else {
                 unreachable!("Evaluate answers Accuracy")
@@ -205,7 +206,7 @@ impl EdgeServer {
             pools.push(pool);
             sys_vals.push(sys_val);
             serving_sys.push(sys_acc);
-            models.push(*model);
+            models.push(model);
             rt.memory.update(&fresh);
         }
 
@@ -258,8 +259,8 @@ impl EdgeServer {
         for s in 0..n {
             let Some(planned) = plan.streams[s].retrain else { continue };
             let spec = TrainJobSpec {
-                base_model: models[s].clone(),
-                pool: pools[s].clone(),
+                base_model: Arc::clone(&models[s]),
+                pool: Arc::clone(&pools[s]),
                 config: planned.config,
                 num_classes: datasets[s].num_classes,
                 hyper: self.cfg.hyper,
@@ -267,7 +268,7 @@ impl EdgeServer {
                 checkpoint_every: self.cfg.checkpoint_every,
                 swap_target: Some(SwapTarget::Actor(self.runtimes[s].infer.address())),
                 swap_reload: self.cfg.swap_reload,
-                val: sys_vals[s].clone(),
+                val: Arc::clone(&sys_vals[s]),
                 fail_after_epochs: None,
             };
             let trainer = self.runtimes[s].trainer.address();

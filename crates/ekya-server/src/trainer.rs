@@ -12,6 +12,7 @@ use ekya_actors::{Actor, Address};
 use ekya_core::{RetrainConfig, RetrainExecution, TrainHyper};
 use ekya_nn::data::Sample;
 use ekya_nn::mlp::Mlp;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where a trainer hot-swaps improved checkpoints.
@@ -32,14 +33,14 @@ pub enum SwapTarget {
 impl SwapTarget {
     /// Accuracy the serving side currently achieves on `val` (the bar a
     /// checkpoint must clear before it is worth swapping in).
-    fn serving_accuracy(&self, val: &[Sample]) -> f64 {
+    fn serving_accuracy(&self, val: &Arc<Vec<Sample>>) -> f64 {
         match self {
-            SwapTarget::Actor(addr) => match addr.ask(InferenceMsg::Evaluate(val.to_vec())) {
+            SwapTarget::Actor(addr) => match addr.ask(InferenceMsg::Evaluate(Arc::clone(val))) {
                 Ok(InferenceReply::Accuracy(a)) => a,
                 _ => 0.0,
             },
             SwapTarget::Shard { addr, stream } => {
-                match addr.ask(ShardMsg::Evaluate { stream: *stream, batch: val.to_vec() }) {
+                match addr.ask(ShardMsg::Evaluate { stream: *stream, batch: Arc::clone(val) }) {
                     Ok(ShardReply::Accuracy(a)) => a,
                     _ => 0.0,
                 }
@@ -48,25 +49,29 @@ impl SwapTarget {
     }
 
     /// Swaps `model` into serving; `true` when the target applied it.
+    /// The `Arc::new` here is the copy-on-write boundary: a freshly
+    /// materialised checkpoint enters shared ownership exactly once.
     fn swap(&self, model: Mlp, reload: Duration) -> bool {
         match self {
             SwapTarget::Actor(addr) => {
-                addr.ask(InferenceMsg::SwapModel { model: Box::new(model), reload }).is_ok()
+                addr.ask(InferenceMsg::SwapModel { model: Arc::new(model), reload }).is_ok()
             }
             SwapTarget::Shard { addr, stream } => matches!(
-                addr.ask(ShardMsg::Swap { stream: *stream, model: Box::new(model), reload }),
+                addr.ask(ShardMsg::Swap { stream: *stream, model: Arc::new(model), reload }),
                 Ok(ShardReply::Swapped { .. })
             ),
         }
     }
 }
 
-/// One retraining job.
+/// One retraining job. Model and data inputs are `Arc`-shared: the
+/// planner keeps its copies and the trainer only reads through them, so
+/// dispatching a job deep-copies nothing.
 pub struct TrainJobSpec {
     /// Model state to start from.
-    pub base_model: Mlp,
+    pub base_model: Arc<Mlp>,
     /// Teacher-labelled training pool.
-    pub pool: Vec<Sample>,
+    pub pool: Arc<Vec<Sample>>,
     /// The retraining configuration to run.
     pub config: RetrainConfig,
     /// Number of classes.
@@ -82,7 +87,7 @@ pub struct TrainJobSpec {
     /// Simulated weight-reload cost per swap.
     pub swap_reload: Duration,
     /// Validation batch for swap decisions (teacher-labelled).
-    pub val: Vec<Sample>,
+    pub val: Arc<Vec<Sample>>,
     /// Fault injection: panic after this many completed epochs (the
     /// supervised-recovery test path). `None` — the production state —
     /// means never fail.
@@ -195,8 +200,11 @@ mod tests {
 
     fn spec(swap_target: Option<SwapTarget>) -> TrainJobSpec {
         TrainJobSpec {
-            base_model: Mlp::new(MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 }, 1),
-            pool: toy_data(150, 2),
+            base_model: Arc::new(Mlp::new(
+                MlpArch { input_dim: 2, hidden: vec![8], num_classes: 2 },
+                1,
+            )),
+            pool: Arc::new(toy_data(150, 2)),
             config: RetrainConfig {
                 epochs: 20,
                 batch_size: 16,
@@ -210,7 +218,7 @@ mod tests {
             checkpoint_every: Some(5),
             swap_target,
             swap_reload: Duration::ZERO,
-            val: toy_data(80, 4),
+            val: Arc::new(toy_data(80, 4)),
             fail_after_epochs: None,
         }
     }
@@ -232,9 +240,9 @@ mod tests {
         // Serve the *same untrained base model* the trainer starts from,
         // so the retrained model is better by construction and at least
         // the final swap must land.
-        let infer = spawn("inf", InferenceActor::new(job.base_model.clone(), 2));
+        let infer = spawn("inf", InferenceActor::new((*job.base_model).clone(), 2));
         let job = TrainJobSpec { swap_target: Some(SwapTarget::Actor(infer.address())), ..job };
-        let val = job.val.clone();
+        let val = Arc::clone(&job.val);
         let TrainerReply::Done(out) = trainer.ask(TrainerMsg::Run(Box::new(job))).unwrap();
         assert!(out.checkpoints_swapped >= 1, "at least the final swap should land");
         // The inference actor now serves a model at least as good as the

@@ -2,10 +2,16 @@
 //! concurrent retraining, hot-swap visibility, typed admission control,
 //! and supervised recovery from trainer faults.
 
-use ekya_server::{AdmissionError, EdgeDaemon, ServeConfig, ServeError};
+use ekya_nn::data::Sample;
+use ekya_nn::mlp::{Mlp, MlpArch};
+use ekya_server::{
+    AdmissionError, ClassifyJob, EdgeDaemon, InferenceShard, ServeConfig, ServeError, ShardMsg,
+    ShardReply,
+};
 use ekya_video::{DatasetKind, DatasetSpec, VideoDataset};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 fn tiny_spec(seed: u64) -> DatasetSpec {
     DatasetSpec {
@@ -135,6 +141,98 @@ fn admission_control_rejects_typed_not_queued() {
         Some(ServeError::UnknownStream)
     );
     assert!(client.classify(id, probe).is_ok());
+    daemon.shutdown();
+}
+
+/// Hot-swapping a slot to a *smaller* model (fewer layers, narrower
+/// output) must not leak stale bytes from the slot's reused scratch
+/// buffers: predictions through the recycled scratch — on both the
+/// single-batch and the coalesced path, with a dirtied carrier — equal
+/// a fresh allocating `predict`.
+#[test]
+fn classify_after_hot_swap_to_smaller_model_reads_no_stale_tail() {
+    let shard = ekya_actors::spawn("shard", InferenceShard::default());
+    let big = Mlp::new(MlpArch { input_dim: 6, hidden: vec![32, 24, 16], num_classes: 7 }, 11);
+    let small = Mlp::new(MlpArch { input_dim: 6, hidden: vec![4], num_classes: 3 }, 13);
+    assert!(matches!(
+        shard.ask(ShardMsg::Admit { stream: 0, model: Arc::new(big), num_classes: 7 }),
+        Ok(ShardReply::Admitted)
+    ));
+    let frames: Vec<Sample> = (0..33)
+        .map(|i| Sample::new((0..6).map(|d| ((i * 7 + d) as f32).sin()).collect(), 0))
+        .collect();
+    // A large batch through the deep model sizes the slot's scratch up.
+    let Ok(ShardReply::Predictions { preds, .. }) =
+        shard.ask(ShardMsg::ClassifyBatch { stream: 0, frames: frames.clone() })
+    else {
+        panic!("wrong reply")
+    };
+    assert_eq!(preds.len(), frames.len());
+    assert!(matches!(
+        shard.ask(ShardMsg::Swap {
+            stream: 0,
+            model: Arc::new(small.clone()),
+            reload: Duration::ZERO
+        }),
+        Ok(ShardReply::Swapped { version: 1 })
+    ));
+    // A smaller batch through the smaller model reuses the oversized
+    // scratch; its predictions must match a fresh forward pass exactly.
+    let tail = frames[..5].to_vec();
+    let Ok(ShardReply::Predictions { preds, version }) =
+        shard.ask(ShardMsg::ClassifyBatch { stream: 0, frames: tail.clone() })
+    else {
+        panic!("wrong reply")
+    };
+    assert_eq!(version, 1);
+    assert_eq!(preds, small.predict(&tail));
+    // Same through the coalesced path, with a deliberately dirty carrier.
+    let job = ClassifyJob {
+        stream: 0,
+        frames: tail.clone(),
+        preds: vec![usize::MAX; 40],
+        version: 999,
+        known: false,
+    };
+    let Ok(ShardReply::ClassifiedMany(jobs)) = shard.ask(ShardMsg::ClassifyMany(vec![job])) else {
+        panic!("wrong reply")
+    };
+    assert!(jobs[0].known);
+    assert_eq!(jobs[0].version, 1);
+    assert_eq!(jobs[0].preds, small.predict(&tail));
+    shard.stop();
+}
+
+/// `pump_rounds` is pure wall plane: it classifies frames but leaves
+/// the logical ledger untouched, the borrowed status view serialises
+/// byte-identically to the owned snapshot, and the per-window snapshot
+/// sink fires exactly once per window with those same bytes.
+#[test]
+fn pump_rounds_is_wall_plane_only_and_sink_gets_snapshot_bytes() {
+    let mut daemon = EdgeDaemon::new(ServeConfig::quick(2.0));
+    for ds in tiny_fleet(3, 83) {
+        daemon.admit(ds).unwrap();
+    }
+    let before = serde_json::to_string_pretty(&daemon.status_snapshot()).unwrap();
+    let served = daemon.pump_rounds(4);
+    assert!(served > 0, "the pump must classify frames");
+    assert!(daemon.live_stats().served >= served);
+    let view = serde_json::to_string_pretty(&daemon.status_view()).unwrap();
+    assert_eq!(view, before, "pumping must not move the logical plane");
+
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let seen = seen.clone();
+        daemon.set_snapshot_sink(move |v| {
+            seen.lock().unwrap().push(serde_json::to_string_pretty(v).unwrap());
+        });
+    }
+    daemon.run_window();
+    let owned = serde_json::to_string_pretty(&daemon.status_snapshot()).unwrap();
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 1, "one sink call per completed window");
+    assert_eq!(seen[0], owned, "borrowed view bytes == owned snapshot bytes");
+    drop(seen);
     daemon.shutdown();
 }
 

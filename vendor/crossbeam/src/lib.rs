@@ -255,6 +255,35 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent
+    /// message back to the caller like crossbeam's.
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity right now.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// The sending half. Cloneable; the channel disconnects when every
     /// sender is dropped.
     pub struct Sender<T> {
@@ -281,6 +310,25 @@ pub mod channel {
                         st = self.chan.not_full.wait(st).expect("channel lock");
                     }
                     _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: queues the message only when the channel
+        /// has room *right now*; a full bounded channel returns
+        /// [`TrySendError::Full`] with the message instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap.max(1) {
+                    return Err(TrySendError::Full(value));
                 }
             }
             st.queue.push_back(value);
@@ -431,6 +479,17 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
 
         #[test]
